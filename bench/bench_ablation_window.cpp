@@ -1,0 +1,72 @@
+// Ablation: executor per-switch dispatch window (DESIGN.md §5.5 adjacent).
+//
+// The window is the executor's flow-control knob: commands in flight per
+// switch. Window 1 starves the agent on channel latency; a huge window
+// pushes the whole backlog to the switch where the scheduler can no longer
+// re-order it (trickled requests lose type grouping / priority sorting).
+// The sweet spot keeps the agent busy while the backlog stays at the
+// controller.
+#include <map>
+
+#include "bench/bench_util.h"
+#include "scheduler/executor.h"
+#include "scheduler/schedulers.h"
+#include "switchsim/profiles.h"
+#include "tango/tango.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace tango;
+
+workload::TestbedIds build(net::Network& net) {
+  namespace profiles = switchsim::profiles;
+  workload::TestbedIds tb;
+  tb.s1 = net.add_switch(profiles::switch1());
+  tb.s2 = net.add_switch(profiles::switch1());
+  tb.s3 = net.add_switch(profiles::switch3());
+  return tb;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: per-switch dispatch window (TE1 scenario, Tango scheduler)",
+      "window 1: agent starves on RTT; window 512: backlog leaves the "
+      "controller and re-ordering degrades to arrival order");
+
+  // Learn costs once.
+  std::map<SwitchId, core::OpCostEstimate> costs;
+  {
+    net::Network net;
+    const auto tb = build(net);
+    core::TangoController tango(net);
+    for (const auto id : {tb.s1, tb.s2, tb.s3}) {
+      core::LearnOptions options;
+      options.size.max_rules = 1024;
+      options.infer_policy = false;
+      costs[id] = tango.learn(id, options).costs;
+    }
+  }
+
+  std::printf("%8s | makespan (s) | vs window=4\n", "window");
+  std::printf("---------+--------------+------------\n");
+  double baseline = 0;
+  for (const std::size_t window : {1, 2, 4, 16, 64, 512}) {
+    net::Network net;
+    const auto tb = build(net);
+    Rng rng(99);
+    auto dag = workload::traffic_engineering_scenario(tb, 800, 2, 1, 1, rng,
+                                                      100000, 0);
+    sched::BasicTangoScheduler scheduler(costs);
+    sched::ExecutorOptions options;
+    options.per_switch_window = window;
+    const double s = sched::execute(net, dag, scheduler, options).makespan.sec();
+    if (window == 4) baseline = s;
+    std::printf("%8zu | %12.3f |\n", window, s);
+  }
+  std::printf("(baseline window=4: %.3f s)\n", baseline);
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension bench (§6 "schedule dependent switch requests concurrently"):
+// when a dependency chain crosses from a fast switch to a slow, backlogged
+// one, the dependent can be issued before its predecessor completes if the
+// predecessor's estimated finish (plus a guard interval) precedes the
+// dependent's own earliest start. Measures makespan strict vs speculative
+// across guard values, on chains fast-OVS -> slow-Vendor#3.
+#include "bench/bench_util.h"
+#include "scheduler/executor.h"
+#include "scheduler/schedulers.h"
+#include "switchsim/profiles.h"
+
+namespace {
+
+using namespace tango;
+
+/// A few deep chains alternating fast -> slow -> fast -> slow: the strict
+/// executor serializes every hop (paying channel RTT + fast-op latency
+/// between slow ops); speculation issues each fast->slow pair together.
+sched::RequestDag chain_workload(SwitchId fast, SwitchId slow,
+                                 std::size_t chains, std::size_t depth) {
+  sched::RequestDag dag;
+  std::uint32_t next = 0;
+  for (std::uint32_t c = 0; c < chains; ++c) {
+    std::size_t prev = SIZE_MAX;
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      sched::SwitchRequest req;
+      req.location = (d % 2 == 0) ? fast : slow;
+      req.type = sched::RequestType::kAdd;
+      req.priority = static_cast<std::uint16_t>(2000 + next);
+      req.match = core::ProbeEngine::probe_match(next++);
+      req.actions = of::output_to(2);
+      const auto id = dag.add(req);
+      if (prev != SIZE_MAX) dag.add_dependency(prev, id);
+      prev = id;
+    }
+  }
+  return dag;
+}
+
+double run(bool speculative, SimDuration guard) {
+  // A remote (WAN) controller: strict ordering pays two 2ms controller
+  // round trips per hop — exactly the bubbles speculation removes.
+  net::Network net(millis(2));
+  const auto fast = net.add_switch(switchsim::profiles::ovs());
+  const auto slow = net.add_switch(switchsim::profiles::switch3());
+  auto dag = chain_workload(fast, slow, /*chains=*/1, /*depth=*/60);
+  sched::DionysusScheduler sched;
+  sched::ExecutorOptions options;
+  options.speculative_dependents = speculative;
+  options.guard = guard;
+  // Cost hints as TangoController::learn would provide them.
+  core::OpCostEstimate ovs_cost;
+  ovs_cost.add_ascending_ms = 0.06;
+  ovs_cost.mod_ms = 0.05;
+  ovs_cost.del_ms = 0.04;
+  core::OpCostEstimate hw_cost;
+  hw_cost.add_ascending_ms = 2.6;
+  hw_cost.mod_ms = 3.5;
+  hw_cost.del_ms = 3.0;
+  options.cost_hints = {{fast, ovs_cost}, {slow, hw_cost}};
+  return sched::execute(net, dag, sched, options).makespan.sec();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension: concurrent dependent requests (guard-time speculation)",
+      "a consistent-update chain alternating OVS -> Vendor#3 hops, driven by "
+      "a WAN controller (2ms each way): each fast->slow pair can be issued "
+      "together because the slow op is estimated to finish last");
+
+  const double strict = run(false, millis(5));
+  std::printf("strict dependency order : %.3f s\n", strict);
+  for (const double guard_ms : {0.5, 1.0, 2.0, 5.0}) {
+    const double spec = run(true, millis(guard_ms));
+    std::printf("speculative, guard %4.1fms: %.3f s  (%.1f%% faster)\n", guard_ms,
+                spec, 100.0 * (1.0 - spec / strict));
+  }
+  std::printf("\nLarger guards are more conservative (less overlap, closer to\n"
+              "strict); the mechanism suits weak-consistency scenarios (§6).\n");
+  bench::print_footer();
+  return 0;
+}

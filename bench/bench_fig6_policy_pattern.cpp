@@ -1,0 +1,45 @@
+// Figure 6 reproduction: the attribute-initialization pattern the policy
+// probe installs for a cache of size 100 — every flow gets independent
+// ranks for insertion time, use time, priority, and traffic count, so no
+// attribute's top half coincides with another's.
+#include "bench/bench_util.h"
+#include "stats/correlation.h"
+#include "tango/policy_inference.h"
+
+int main() {
+  using namespace tango;
+  bench::print_header(
+      "Figure 6: policy-probe attribute pattern (cache size = 100, 200 flows)",
+      "independent per-attribute rank permutations; pairwise correlation ~0");
+
+  Rng rng(7);
+  const auto init = core::make_attribute_init(200, rng);
+
+  std::printf("  flow | insertion | use_time | priority | traffic\n");
+  for (std::size_t f = 0; f < 200; f += 10) {
+    std::printf("  %4zu | %9zu | %8zu | %8zu | %7zu\n", f,
+                init.insertion_rank[f], init.use_rank[f], init.priority_rank[f],
+                init.traffic_rank[f]);
+  }
+
+  auto as_double = [](const std::vector<std::size_t>& v) {
+    std::vector<double> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = static_cast<double>(v[i]);
+    return out;
+  };
+  const auto ins = as_double(init.insertion_rank);
+  const auto use = as_double(init.use_rank);
+  const auto pri = as_double(init.priority_rank);
+  const auto tra = as_double(init.traffic_rank);
+
+  std::printf("\npairwise rank correlations (want ~0 so one attribute's top half\n"
+              "never doubles as another's):\n");
+  std::printf("  insertion-use      : %+.3f\n", stats::pearson(ins, use));
+  std::printf("  insertion-priority : %+.3f\n", stats::pearson(ins, pri));
+  std::printf("  insertion-traffic  : %+.3f\n", stats::pearson(ins, tra));
+  std::printf("  use-priority       : %+.3f\n", stats::pearson(use, pri));
+  std::printf("  use-traffic        : %+.3f\n", stats::pearson(use, tra));
+  std::printf("  priority-traffic   : %+.3f\n", stats::pearson(pri, tra));
+  bench::print_footer();
+  return 0;
+}

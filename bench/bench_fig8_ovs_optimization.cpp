@@ -1,0 +1,16 @@
+// Figure 8 reproduction: ClassBench installation on OVS under the four
+// priority/order scenarios. OVS is order-insensitive, so the spread is
+// small (the paper reports 8-10% improvements at ~0.05 s totals).
+#include "bench/bench_fig89_common.h"
+
+int main() {
+  using namespace tango;
+  bench::print_header(
+      "Figure 8(a-c): OVS optimization results (3 ClassBench files x 4 "
+      "scenarios x 10 trials)",
+      "totals ~0.044-0.058 s; Topo+Opt best by ~8-10%");
+  bench::run_fig89(switchsim::profiles::ovs(),
+                   "paper: ~0.05 s totals, ~8-10% spread");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Section 5.3 evaluation: cache-replacement-policy inference across the
+// classic policies and lexicographic compositions — ground truth vs what
+// Algorithm 2 recovers, with the correlation strength per inferred key.
+#include "bench/bench_util.h"
+#include "switchsim/profiles.h"
+#include "tango/policy_inference.h"
+
+int main() {
+  using namespace tango;
+  namespace profiles = switchsim::profiles;
+  using tables::Attribute;
+  using tables::Direction;
+  using tables::LexCachePolicy;
+
+  bench::print_header(
+      "Cache-policy inference: ground truth vs inferred",
+      "Algorithm 2 identifies the eviction order's attributes by probing "
+      "(LRU example in §5.3)");
+
+  struct Case {
+    const char* name;
+    LexCachePolicy truth;
+    std::size_t cache;
+  };
+  const Case cases[] = {
+      {"FIFO", LexCachePolicy::fifo(), 100},
+      {"LRU", LexCachePolicy::lru(), 100},
+      {"LFU", LexCachePolicy::lfu(), 100},
+      {"priority", LexCachePolicy::priority_based(), 100},
+      {"LRU (big cache)", LexCachePolicy::lru(), 600},
+      {"priority->use",
+       LexCachePolicy::lex({{Attribute::kPriority, Direction::kPreferHigh},
+                            {Attribute::kUseTime, Direction::kPreferHigh}}),
+       120},
+      {"traffic->priority",
+       LexCachePolicy::lex({{Attribute::kTrafficCount, Direction::kPreferHigh},
+                            {Attribute::kPriority, Direction::kPreferHigh}}),
+       120},
+  };
+
+  std::printf("%-18s | %-34s | %-34s | rounds | correlations\n", "truth name",
+              "configured order", "inferred order");
+  std::printf("-------------------+------------------------------------+----"
+              "--------------------------------+--------+-------------\n");
+
+  for (const auto& c : cases) {
+    net::Network net;
+    const auto id =
+        net.add_switch(profiles::policy_cache("probe", {c.cache}, c.truth));
+    core::ProbeEngine probe(net, id);
+    core::PolicyInferenceConfig config;
+    config.cache_size = c.cache;
+    const auto result = infer_policy(probe, config);
+
+    std::string corrs;
+    for (double r : result.correlations) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.2f ", r);
+      corrs += buf;
+    }
+    std::printf("%-18s | %-34s | %-34s | %6zu | %s\n", c.name,
+                c.truth.describe().c_str(), result.policy.describe().c_str(),
+                result.rounds, corrs.c_str());
+  }
+
+  std::printf("\n(The inferred order's leading keys should match the "
+              "configured policy; trailing keys beyond the configured ones "
+              "are unobservable tie-breaks.)\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Table 1 reproduction: "Diversity of tables and table sizes".
+//
+// For every switch model we install non-overlapping rules of each shape —
+// L2-only, L3-only, and L2+L3 — until the switch rejects (or a cap, for
+// switches with software tables), and report how many fit, alongside the
+// paper's measured values.
+#include "bench/bench_util.h"
+#include "switchsim/profiles.h"
+
+namespace {
+
+using namespace tango;
+
+of::FlowMod shaped_rule(std::uint32_t index, const char* shape) {
+  of::FlowMod fm;
+  fm.command = of::FlowModCommand::kAdd;
+  fm.priority = 0x8000;
+  fm.actions = of::output_to(2);
+  if (shape[0] == '2' || shape[0] == 'B') {  // L2 or both
+    fm.match.with_dl_dst({0x02, 0x00,
+                          static_cast<std::uint8_t>(index >> 16),
+                          static_cast<std::uint8_t>(index >> 8),
+                          static_cast<std::uint8_t>(index), 0x01});
+  }
+  if (shape[0] == '3' || shape[0] == 'B') {  // L3 or both
+    fm.match.with_dl_type(0x0800);
+    fm.match.set_nw_src_prefix(0x0a000000u + index, 32);
+  }
+  return fm;
+}
+
+/// Install rules of a shape until rejection or cap; returns accepted count
+/// and whether we stopped at the cap (software-unbounded).
+std::pair<std::size_t, bool> fill(const switchsim::SwitchProfile& profile,
+                                  const char* shape, std::size_t cap = 6000) {
+  net::Network net;
+  const auto id = net.add_switch(profile);
+  std::size_t accepted = 0;
+  for (std::uint32_t i = 0; i < cap; ++i) {
+    if (!net.install(id, shaped_rule(i, shape)).accepted) {
+      return {accepted, false};
+    }
+    ++accepted;
+  }
+  return {accepted, true};
+}
+
+void row(const char* name, const switchsim::SwitchProfile& profile,
+         const char* paper_l2l3, const char* paper_both) {
+  const auto l2 = fill(profile, "2");
+  const auto l3 = fill(profile, "3");
+  const auto both = fill(profile, "B");
+  char l2l3[64];
+  if (l2.second) {
+    std::snprintf(l2l3, sizeof(l2l3), "unbounded");
+  } else {
+    std::snprintf(l2l3, sizeof(l2l3), "%zu / %zu", l2.first, l3.first);
+  }
+  char bothbuf[32];
+  if (both.second) {
+    std::snprintf(bothbuf, sizeof(bothbuf), "unbounded");
+  } else {
+    std::snprintf(bothbuf, sizeof(bothbuf), "%zu", both.first);
+  }
+  std::printf("%-24s | %-14s | %-10s | paper: %s L2|L3, %s L2+L3\n", name,
+              l2l3, bothbuf, paper_l2l3, paper_both);
+}
+
+}  // namespace
+
+int main() {
+  namespace profiles = switchsim::profiles;
+  bench::print_header(
+      "Table 1: diversity of tables and table sizes",
+      "OVS unbounded; #1: 4K L2|L3 / 2K L2+L3 (configurable); #2: 2560 any; "
+      "#3: 767 L2|L3 / 369 L2+L3");
+
+  std::printf("%-24s | %-14s | %-10s |\n", "switch (hw fast table)",
+              "L2-only/L3-only", "L2+L3");
+  std::printf("-------------------------+----------------+------------+\n");
+
+  row("OVS", profiles::ovs(), "unbounded", "unbounded");
+
+  // Switch #1's TCAM mode is configurable (Table 1's 4K vs 2K): measure the
+  // hardware table by capping the software spill detection — the fill stops
+  // at the cap, so instead report TCAM occupancy directly per mode.
+  {
+    auto single = profiles::switch1(tables::TcamMode::kSingleWide);
+    single.software_backing = false;  // isolate the hardware table
+    single.arch = switchsim::Architecture::kTcamOnly;
+    single.install_default_route = false;
+    row("HW #1 (single-wide)", single, "4K", "n/a");
+    auto dbl = profiles::switch1(tables::TcamMode::kDoubleWide);
+    dbl.software_backing = false;
+    dbl.arch = switchsim::Architecture::kTcamOnly;
+    dbl.install_default_route = false;
+    row("HW #1 (double-wide)", dbl, "2K", "2K");
+  }
+
+  {
+    auto p2 = profiles::switch2();
+    p2.install_default_route = false;
+    row("HW #2", p2, "2560", "2560");
+    auto p3 = profiles::switch3();
+    p3.install_default_route = false;
+    row("HW #3", p3, "767", "369");
+  }
+
+  std::printf("\nNote: with software backing enabled (as shipped), HW #1 accepts\n"
+              "rules past its TCAM into user-space virtual tables — Table 1's\n"
+              "\"<inf\" software rows; the fill above isolates the TCAM.\n");
+  std::printf("HW #3 (adaptive, 767 slots) holds 383 double-wide entries in our\n"
+              "integral-slot model vs the paper's 369 (3.8%% deviation).\n");
+  bench::print_footer();
+  return 0;
+}

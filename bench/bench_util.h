@@ -1,0 +1,84 @@
+// Shared helpers for the figure/table reproduction benches: consistent
+// headers, paper-vs-measured rows, and ACL installation runs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "tango/latency_profiler.h"
+#include "tango/probe_engine.h"
+#include "workload/classbench.h"
+
+namespace tango::bench {
+
+inline void print_header(const std::string& experiment, const std::string& paper_summary) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("  paper: %s\n", paper_summary.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void print_footer() { std::printf("\n"); }
+
+/// Mean and sample stddev of a series.
+struct Stats {
+  double mean = 0;
+  double stddev = 0;
+};
+
+inline Stats stats_of(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  for (double x : xs) s.mean += x;
+  s.mean /= static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double acc = 0;
+    for (double x : xs) acc += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(acc / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+/// Install an ACL with the given per-rule priorities in the given order
+/// (indices into `rules`); returns the barrier-to-barrier install time.
+inline SimDuration install_acl(core::ProbeEngine& probe,
+                               const std::vector<workload::AclRule>& rules,
+                               const std::vector<std::uint16_t>& priorities,
+                               const std::vector<std::size_t>& order,
+                               std::size_t* rejected = nullptr) {
+  std::vector<of::FlowMod> commands;
+  commands.reserve(order.size());
+  for (std::size_t idx : order) {
+    of::FlowMod fm;
+    fm.command = of::FlowModCommand::kAdd;
+    fm.match = rules[idx].match;
+    fm.priority = priorities[idx];
+    fm.actions = of::output_to(2);
+    commands.push_back(std::move(fm));
+  }
+  return probe.timed_batch(commands, rejected);
+}
+
+/// Identity order 0..n-1.
+inline std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  return order;
+}
+
+/// Order sorted by ascending priority (the probing-engine-optimal order on
+/// priority-sensitive hardware).
+inline std::vector<std::size_t> ascending_order(
+    const std::vector<std::uint16_t>& priorities) {
+  auto order = identity_order(priorities.size());
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return priorities[a] < priorities[b];
+  });
+  return order;
+}
+
+}  // namespace tango::bench

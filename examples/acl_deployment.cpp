@@ -1,0 +1,89 @@
+// ACL deployment: compile a ClassBench-style access-control list into a
+// switch-request DAG (Maple-style priority assignment) and deploy it on a
+// hardware switch, comparing:
+//
+//   * priority assignment: topological (minimum distinct values) vs 1-1 R,
+//   * consistency: barrier-ordered ("consistent") vs scheduler-free ("fast"),
+//   * scheduler: Dionysus vs Tango.
+//
+// This is the application-level face of the Fig 8/9 experiments, and shows
+// the consistency/speed tension the paper's priority patterns navigate.
+//
+//   $ ./examples/acl_deployment
+#include <cstdio>
+
+#include "apps/acl_compiler.h"
+#include "apps/flow_monitor.h"
+#include "net/network.h"
+#include "scheduler/executor.h"
+#include "scheduler/schedulers.h"
+#include "switchsim/profiles.h"
+#include "tango/tango.h"
+#include "workload/classbench.h"
+
+int main() {
+  using namespace tango;
+
+  const auto rules = workload::generate_classbench(workload::cb3());
+  std::printf("ACL: %zu rules (ClassBench-style, nested prefixes)\n\n", rules.size());
+
+  // Learn the switch's costs once.
+  std::map<SwitchId, core::OpCostEstimate> costs;
+  {
+    net::Network net;
+    const auto id = net.add_switch(switchsim::profiles::switch1());
+    core::TangoController tango(net);
+    core::LearnOptions options;
+    options.size.max_rules = 1024;
+    options.infer_policy = false;
+    costs[1] = tango.learn(id, options).costs;
+  }
+
+  struct Variant {
+    const char* label;
+    bool topological;
+    bool consistent;
+    bool tango;
+  };
+  const Variant variants[] = {
+      {"R priorities,    fast,       Dionysus", false, false, false},
+      {"R priorities,    fast,       Tango   ", false, false, true},
+      {"topo priorities, fast,       Tango   ", true, false, true},
+      {"topo priorities, consistent, Tango   ", true, true, true},
+  };
+
+  std::printf("%-42s | install time | distinct prios | barrier edges\n", "variant");
+  std::printf("-------------------------------------------+--------------+----------------+--------------\n");
+
+  for (const auto& v : variants) {
+    net::Network net;
+    const auto id = net.add_switch(switchsim::profiles::switch1());
+    apps::AclCompileOptions options;
+    options.target = id;
+    options.topological = v.topological;
+    options.consistent = v.consistent;
+    auto compiled = apps::compile_acl(rules, options);
+
+    SimDuration makespan;
+    if (v.tango) {
+      sched::BasicTangoScheduler scheduler(costs);
+      makespan = sched::execute(net, compiled.dag, scheduler).makespan;
+    } else {
+      sched::DionysusScheduler scheduler;
+      makespan = sched::execute(net, compiled.dag, scheduler).makespan;
+    }
+    std::printf("%-42s | %9.3f s  | %14zu | %zu\n", v.label, makespan.sec(),
+                compiled.distinct_priorities, compiled.dependency_edges);
+  }
+
+  std::printf(
+      "\nReading the table:\n"
+      " * Tango beats Dionysus on identical input by installing in ascending\n"
+      "   priority order (TCAM appends instead of shifts).\n"
+      " * Topological priorities collapse hundreds of distinct values into a\n"
+      "   few dozen levels -> same-priority appends, cheaper still.\n"
+      " * Consistency costs: barrier edges force higher-priority-first\n"
+      "   (descending!) installation of overlapping rules, giving back much\n"
+      "   of the win - the tension the paper's scheduler navigates.\n");
+  return 0;
+}

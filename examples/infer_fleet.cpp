@@ -1,0 +1,60 @@
+// Fleet inference: run the full Tango inference pipeline against all four
+// switch models from the paper (OVS + three hardware vendors) and print a
+// property table — the "understanding challenge" demo.
+//
+//   $ ./examples/infer_fleet
+#include <cstdio>
+
+#include "net/network.h"
+#include "switchsim/profiles.h"
+#include "tango/tango.h"
+
+int main() {
+  using namespace tango;
+  namespace profiles = switchsim::profiles;
+
+  net::Network network;
+  std::vector<SwitchId> fleet;
+  for (const auto& profile : profiles::paper_fleet()) {
+    fleet.push_back(network.add_switch(profile));
+  }
+
+  core::TangoController tango(network);
+
+  std::printf("%-14s | %-22s | %-28s | %-12s | %s\n", "switch", "layer sizes",
+              "cache policy", "tcam mode", "add asc/desc/mod/del (ms)");
+  std::printf("---------------+------------------------+------------------------------+--------------+--------------------------\n");
+
+  for (const SwitchId id : fleet) {
+    core::LearnOptions options;
+    options.size.max_rules = 4096;
+    options.infer_width = true;  // also probe the TCAM operating mode
+    const auto& know = tango.learn(id, options);
+
+    std::string layers;
+    for (std::size_t i = 0; i < know.sizes.layer_sizes.size(); ++i) {
+      if (!layers.empty()) layers += ", ";
+      const bool unbounded = know.sizes.hit_rule_cap &&
+                             i + 1 == know.sizes.layer_sizes.size();
+      layers += (unbounded ? ">" : "") +
+                std::to_string(static_cast<long long>(know.sizes.layer_sizes[i] + 0.5));
+    }
+    const std::string policy = know.policy.has_value()
+                                   ? know.policy->policy.describe()
+                                   : "(n/a)";
+    const std::string mode =
+        know.width.has_value()
+            ? (know.width->unbounded ? "software" : tables::to_string(know.width->mode))
+            : "(skipped)";
+    std::printf("%-14s | %-22s | %-28s | %-12s | %.2f / %.2f / %.2f / %.2f\n",
+                know.name.c_str(), layers.c_str(), policy.c_str(), mode.c_str(),
+                know.costs.add_ascending_ms, know.costs.add_descending_ms,
+                know.costs.mod_ms, know.costs.del_ms);
+  }
+
+  std::printf("\nGround truth (Table 1 of the paper): OVS unbounded software;"
+              "\n  Switch #1: 4K/2K TCAM + software FIFO buffer;"
+              "\n  Switch #2: 2560-entry double-wide TCAM only;"
+              "\n  Switch #3: 767/383-entry adaptive TCAM only.\n");
+  return 0;
+}

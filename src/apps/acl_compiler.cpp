@@ -1,0 +1,38 @@
+#include "apps/acl_compiler.h"
+
+namespace tango::apps {
+
+CompiledAcl compile_acl(const std::vector<workload::AclRule>& rules,
+                        const AclCompileOptions& options) {
+  CompiledAcl out;
+  const auto rule_dag = workload::RuleDag::build(rules);
+  out.priorities = options.topological ? rule_dag.topological_priorities()
+                                       : rule_dag.r_priorities();
+  out.distinct_priorities = workload::RuleDag::distinct_count(out.priorities);
+
+  std::vector<std::size_t> node_of(rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    sched::SwitchRequest req;
+    req.location = options.target;
+    req.type = sched::RequestType::kAdd;
+    req.priority = out.priorities[i];
+    req.match = rules[i].match;
+    req.actions = of::output_to(options.out_port);
+    req.deadline = options.deadline;
+    node_of[i] = out.dag.add(std::move(req));
+  }
+
+  if (options.consistent) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      for (std::size_t j : rule_dag.successors(i)) {
+        // i is earlier in the ACL (higher priority): it must be live before
+        // the broader/later rule can safely match traffic.
+        out.dag.add_dependency(node_of[i], node_of[j]);
+        ++out.dependency_edges;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tango::apps

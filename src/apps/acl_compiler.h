@@ -1,0 +1,46 @@
+// ACL deployment compiler (paper §6: declarative, match-condition-only
+// requests; priority machinery from Maple [23]).
+//
+// Takes a first-match-wins ACL, derives the overlap-dependency DAG, assigns
+// priorities (topological — the minimum number of distinct values — or 1-1
+// "R" priorities), and emits a switch-request DAG. Two consistency modes:
+//
+//  * consistent: an overlapping pair must install higher-priority-first so
+//    no packet transiently matches the broader rule (barrier semantics) —
+//    the DAG carries an edge per overlap constraint;
+//  * fast: no ordering constraints — the scheduler is free to install in
+//    the cheapest (ascending) order. This is the mode the paper's Fig 9
+//    "Topo Asc" scenario measures; the tension between the two is exactly
+//    why Tango's priority patterns matter.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "scheduler/request.h"
+#include "workload/classbench.h"
+#include "workload/dependency.h"
+
+namespace tango::apps {
+
+struct AclCompileOptions {
+  SwitchId target = 1;
+  /// Add barrier dependencies for overlapping rules (see header comment).
+  bool consistent = false;
+  /// Topological (levelled) priorities; false = 1-1 "R" priorities.
+  bool topological = true;
+  std::uint16_t out_port = 2;
+  std::optional<SimDuration> deadline;
+};
+
+struct CompiledAcl {
+  sched::RequestDag dag;
+  std::vector<std::uint16_t> priorities;  // per original rule index
+  std::size_t distinct_priorities = 0;
+  std::size_t dependency_edges = 0;
+};
+
+CompiledAcl compile_acl(const std::vector<workload::AclRule>& rules,
+                        const AclCompileOptions& options);
+
+}  // namespace tango::apps

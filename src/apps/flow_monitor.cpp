@@ -1,0 +1,30 @@
+#include "apps/flow_monitor.h"
+
+namespace tango::apps {
+
+FlowMonitor::FlowMonitor(net::Network& network) : network_(network) {
+  network_.set_unsolicited_handler([this](SwitchId id, const of::Message& msg) {
+    if (const auto* fr = std::get_if<of::FlowRemoved>(&msg.body)) {
+      removals_.push_back(RemovalRecord{id, *fr});
+    }
+    if (const auto* ps = std::get_if<of::PortStatus>(&msg.body)) {
+      port_events_.push_back(PortEvent{id, *ps});
+    }
+  });
+}
+
+std::uint64_t FlowMonitor::total_packets(SwitchId id, const of::Match& filter) {
+  const auto stats = network_.flow_stats_sync(id, filter);
+  std::uint64_t total = 0;
+  for (const auto& e : stats.entries) total += e.packet_count;
+  return total;
+}
+
+std::uint64_t FlowMonitor::reported_active_rules(SwitchId id) {
+  const auto stats = network_.table_stats_sync(id);
+  std::uint64_t total = 0;
+  for (const auto& e : stats.entries) total += e.active_count;
+  return total;
+}
+
+}  // namespace tango::apps

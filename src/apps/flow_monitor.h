@@ -1,0 +1,53 @@
+// Flow monitoring helper: collects unsolicited FLOW_REMOVED notifications
+// and polls flow/table statistics — the consumer side of the switch's
+// counters (which the cache policies key off).
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace tango::apps {
+
+struct RemovalRecord {
+  SwitchId switch_id = 0;
+  of::FlowRemoved info;
+};
+
+struct PortEvent {
+  SwitchId switch_id = 0;
+  of::PortStatus info;
+};
+
+class FlowMonitor {
+ public:
+  /// Installs itself as the network's unsolicited-message handler.
+  explicit FlowMonitor(net::Network& network);
+
+  [[nodiscard]] const std::vector<RemovalRecord>& removals() const {
+    return removals_;
+  }
+  [[nodiscard]] std::size_t removal_count() const { return removals_.size(); }
+  [[nodiscard]] const std::vector<PortEvent>& port_events() const {
+    return port_events_;
+  }
+  void clear() {
+    removals_.clear();
+    port_events_.clear();
+  }
+
+  /// Total packets counted across rules matching `filter` on a switch.
+  std::uint64_t total_packets(SwitchId id, const of::Match& filter);
+
+  /// Sum of active rules across a switch's tables (as reported by the
+  /// switch — the paper's point is that such reports can mislead; compare
+  /// with Tango's inferred sizes).
+  std::uint64_t reported_active_rules(SwitchId id);
+
+ private:
+  net::Network& network_;
+  std::vector<RemovalRecord> removals_;
+  std::vector<PortEvent> port_events_;
+};
+
+}  // namespace tango::apps

@@ -1,0 +1,85 @@
+#include "apps/path_installer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "tango/probe_engine.h"
+
+namespace tango::apps {
+
+std::uint16_t PathInstaller::port_toward(net::NodeId node, net::NodeId next) const {
+  const auto link = network_.topology().link_between(node, next);
+  if (!link) return of::kPortNone;
+  return net::port_for_link(*link);
+}
+
+sched::SwitchRequest PathInstaller::hop_request(const PathRequest& request,
+                                                net::NodeId node,
+                                                std::uint16_t out_port,
+                                                sched::RequestType type) const {
+  sched::SwitchRequest req;
+  req.location = net::Network::switch_of(node);
+  req.type = type;
+  req.priority = request.priority;
+  req.match = core::ProbeEngine::probe_match(request.flow_id);
+  req.actions = of::output_to(out_port);
+  req.deadline = request.deadline;
+  return req;
+}
+
+std::vector<std::size_t> PathInstaller::compile(const PathRequest& request,
+                                                sched::RequestDag& dag) const {
+  std::vector<std::size_t> ids;
+  const auto path = network_.topology().shortest_path(request.src, request.dst);
+  if (path.size() < 2) return ids;
+
+  // Build destination-first so each request depends on its downstream hop.
+  std::size_t prev = SIZE_MAX;
+  std::vector<std::size_t> in_path_order(path.size() - 1);
+  for (std::size_t i = path.size() - 1; i-- > 0;) {
+    const std::uint16_t out_port = port_toward(path[i], path[i + 1]);
+    const std::size_t id =
+        dag.add(hop_request(request, path[i], out_port, sched::RequestType::kAdd));
+    if (prev != SIZE_MAX) dag.add_dependency(prev, id);
+    prev = id;
+    in_path_order[i] = id;
+  }
+  return in_path_order;
+}
+
+std::vector<std::size_t> PathInstaller::compile_reroute(
+    const PathRequest& request, const std::vector<net::NodeId>& old_path,
+    sched::RequestDag& dag) const {
+  std::vector<std::size_t> ids;
+  const auto new_path = network_.topology().shortest_path(request.src, request.dst);
+  if (new_path.size() < 2) return ids;
+  const std::set<net::NodeId> old_nodes(old_path.begin(), old_path.end());
+  const std::set<net::NodeId> new_nodes(new_path.begin(), new_path.end());
+
+  // New path, destination-first: MOD where a rule exists, ADD elsewhere.
+  std::size_t prev = SIZE_MAX;
+  for (std::size_t i = new_path.size() - 1; i-- > 0;) {
+    const std::uint16_t out_port = port_toward(new_path[i], new_path[i + 1]);
+    const auto type = old_nodes.count(new_path[i]) != 0 ? sched::RequestType::kMod
+                                                        : sched::RequestType::kAdd;
+    const std::size_t id =
+        dag.add(hop_request(request, new_path[i], out_port, type));
+    if (prev != SIZE_MAX) dag.add_dependency(prev, id);
+    prev = id;
+    ids.push_back(id);
+  }
+
+  // Abandoned switches: delete once the new path is live (dependency on the
+  // last new-path request, i.e. the source hop).
+  for (std::size_t i = 0; i + 1 < old_path.size(); ++i) {
+    if (new_nodes.count(old_path[i]) != 0) continue;
+    const std::size_t id = dag.add(
+        hop_request(request, old_path[i], of::kPortNone, sched::RequestType::kDel));
+    if (prev != SIZE_MAX) dag.add_dependency(prev, id);
+    ids.push_back(id);
+  }
+  std::reverse(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace tango::apps

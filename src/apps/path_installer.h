@@ -1,0 +1,60 @@
+// Application-level path installation (paper §6 "Application requests").
+//
+// The simplest class of requests Tango accepts is "install this flow from A
+// to B" — a static-flow-pusher-style request where the controller computes
+// the route and emits one switch request per hop. Consistency: per-hop
+// requests are chained destination-first [18], so no packet can reach a
+// switch without a rule waiting for it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+#include "scheduler/request.h"
+
+namespace tango::apps {
+
+struct PathRequest {
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  /// Flow identity; the rule matches ProbeEngine::probe_match(flow_id).
+  std::uint32_t flow_id = 0;
+  /// Empty: let Tango's priority enforcement choose.
+  std::optional<std::uint16_t> priority;
+  /// install_by deadline applied to every hop of the path.
+  std::optional<SimDuration> deadline;
+};
+
+class PathInstaller {
+ public:
+  explicit PathInstaller(net::Network& network) : network_(network) {}
+
+  /// Append ADD requests for the flow along the current shortest path.
+  /// Returns the dag node ids in path order (source first); empty when the
+  /// destination is unreachable.
+  std::vector<std::size_t> compile(const PathRequest& request,
+                                   sched::RequestDag& dag) const;
+
+  /// Append requests to move an installed flow from `old_path` to the
+  /// current shortest path: MOD on shared switches, ADD on new-only ones,
+  /// DEL on abandoned ones — chained destination-first (the LF workload's
+  /// shape, generalized).
+  std::vector<std::size_t> compile_reroute(const PathRequest& request,
+                                           const std::vector<net::NodeId>& old_path,
+                                           sched::RequestDag& dag) const;
+
+  /// The output port on `node` that leads to `next` (deterministic mapping
+  /// from the connecting link).
+  [[nodiscard]] std::uint16_t port_toward(net::NodeId node, net::NodeId next) const;
+
+ private:
+  sched::SwitchRequest hop_request(const PathRequest& request, net::NodeId node,
+                                   std::uint16_t out_port,
+                                   sched::RequestType type) const;
+
+  net::Network& network_;
+};
+
+}  // namespace tango::apps

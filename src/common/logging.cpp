@@ -1,0 +1,23 @@
+#include "common/logging.h"
+
+namespace tango::log {
+
+Level& threshold() {
+  static Level level = Level::kWarn;
+  return level;
+}
+
+void write(Level level, const std::string& msg) {
+  if (level < threshold()) return;
+  const char* tag = "?";
+  switch (level) {
+    case Level::kDebug: tag = "DEBUG"; break;
+    case Level::kInfo: tag = "INFO"; break;
+    case Level::kWarn: tag = "WARN"; break;
+    case Level::kError: tag = "ERROR"; break;
+    case Level::kOff: return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace tango::log

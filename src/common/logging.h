@@ -1,0 +1,21 @@
+// Tiny leveled logger. Off by default above WARN so tests and benches stay
+// quiet; examples flip the level to INFO to narrate what they do.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace tango::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+Level& threshold();
+
+void write(Level level, const std::string& msg);
+
+inline void debug(const std::string& msg) { write(Level::kDebug, msg); }
+inline void info(const std::string& msg) { write(Level::kInfo, msg); }
+inline void warn(const std::string& msg) { write(Level::kWarn, msg); }
+inline void error(const std::string& msg) { write(Level::kError, msg); }
+
+}  // namespace tango::log

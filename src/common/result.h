@@ -1,0 +1,45 @@
+// Minimal Result<T> type: either a value or an error message.
+//
+// The controller <-> switch paths report recoverable failures (e.g. a switch
+// rejecting a flow_mod because its TCAM is full) as values, not exceptions,
+// because those failures are *signal* to the inference algorithms.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tango {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(data_).message;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace tango

@@ -1,0 +1,63 @@
+// Deterministic random number generation for simulation and workloads.
+//
+// Every component that needs randomness takes an Rng& so experiments are
+// reproducible from a single seed.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace tango {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x7a4f00d5eedULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Index in [0, n).
+  std::size_t index(std::size_t n) {
+    assert(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// A random permutation of 0..n-1.
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = i;
+    shuffle(p);
+    return p;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tango

@@ -1,0 +1,22 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace tango {
+
+std::string format_duration(SimDuration d) {
+  char buf[64];
+  const double ns = static_cast<double>(d.ns());
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace tango

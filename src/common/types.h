@@ -1,0 +1,75 @@
+// Core strong types shared across the Tango reproduction: simulated time,
+// durations, and identifier types.
+//
+// All simulation time is kept in integer nanoseconds to make event ordering
+// deterministic and comparisons exact; helpers convert to/from human units.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace tango {
+
+/// A span of simulated time, in integer nanoseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration{ns_ + o.ns_}; }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration{ns_ - o.ns_}; }
+  constexpr SimDuration& operator+=(SimDuration o) { ns_ += o.ns_; return *this; }
+  constexpr SimDuration& operator-=(SimDuration o) { ns_ -= o.ns_; return *this; }
+  constexpr SimDuration operator*(std::int64_t k) const { return SimDuration{ns_ * k}; }
+  constexpr SimDuration operator/(std::int64_t k) const { return SimDuration{ns_ / k}; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime{ns_ + d.ns()}; }
+  constexpr SimTime& operator+=(SimDuration d) { ns_ += d.ns(); return *this; }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration{ns_ - o.ns_}; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr SimDuration nanos(std::int64_t v) { return SimDuration{v}; }
+constexpr SimDuration micros(double v) { return SimDuration{static_cast<std::int64_t>(v * 1e3)}; }
+constexpr SimDuration millis(double v) { return SimDuration{static_cast<std::int64_t>(v * 1e6)}; }
+constexpr SimDuration seconds(double v) { return SimDuration{static_cast<std::int64_t>(v * 1e9)}; }
+
+/// Identifier of a switch in the simulated network (OpenFlow datapath id).
+using SwitchId = std::uint64_t;
+
+/// Identifier of a port on a switch.
+using PortId = std::uint32_t;
+
+/// Monotone id for installed flows / probe flows used by the inference engine.
+using FlowId = std::uint64_t;
+
+/// Human-readable rendering like "12.5ms" / "3.2s" for reports.
+std::string format_duration(SimDuration d);
+
+}  // namespace tango

@@ -1,0 +1,50 @@
+#include "net/b4.h"
+
+namespace tango::net {
+
+namespace {
+
+// Site pairs (1-based), 19 links.
+constexpr std::pair<int, int> kB4Links[] = {
+    {1, 2}, {1, 3}, {2, 3}, {2, 4},  {3, 4},  {4, 5},  {4, 6},
+    {5, 6}, {5, 7}, {6, 7}, {6, 8},  {7, 8},  {7, 10}, {8, 9},
+    {8, 10}, {9, 10}, {9, 11}, {10, 12}, {11, 12},
+};
+
+// Approximate one-way site-to-site latencies (ms) — mix of intra-continent
+// and trans-oceanic spans.
+constexpr double kB4LatencyMs[] = {
+    12, 18, 9,  14, 11, 30, 26, 8,  35, 22, 28, 9, 40, 15, 31, 12, 45, 38, 10,
+};
+
+}  // namespace
+
+Topology b4_topology() {
+  Topology topo;
+  for (int i = 1; i <= 12; ++i) topo.add_node("B4-" + std::to_string(i));
+  for (std::size_t i = 0; i < std::size(kB4Links); ++i) {
+    topo.add_link(static_cast<NodeId>(kB4Links[i].first - 1),
+                  static_cast<NodeId>(kB4Links[i].second - 1),
+                  millis(kB4LatencyMs[i]), 10.0);
+  }
+  return topo;
+}
+
+std::vector<SwitchId> build_b4(Network& network,
+                               const switchsim::SwitchProfile& profile) {
+  std::vector<SwitchId> ids;
+  ids.reserve(12);
+  for (int i = 1; i <= 12; ++i) {
+    auto site_profile = profile;
+    site_profile.name = "B4-" + std::to_string(i);
+    ids.push_back(network.add_switch(site_profile));
+  }
+  for (std::size_t i = 0; i < std::size(kB4Links); ++i) {
+    network.topology().add_link(Network::node_of(ids[kB4Links[i].first - 1]),
+                                Network::node_of(ids[kB4Links[i].second - 1]),
+                                millis(kB4LatencyMs[i]), 10.0);
+  }
+  return ids;
+}
+
+}  // namespace tango::net

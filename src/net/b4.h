@@ -1,0 +1,24 @@
+// Google's B4 inter-datacenter WAN topology (Jain et al., SIGCOMM 2013):
+// 12 sites, 19 inter-site links. Used by the Fig 12 network-wide TE
+// experiment. Link latencies are representative WAN values; the paper's
+// experiment runs this topology in Mininet with OVS switches.
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "switchsim/switch_model.h"
+
+namespace tango::net {
+
+/// The 12-node/19-link B4 site graph (standalone, for routing tests).
+Topology b4_topology();
+
+/// Instantiate B4 inside a Network: one switch per site (all sharing
+/// `profile`), links mirrored into the network's topology. Returns the
+/// switch ids in site order.
+std::vector<SwitchId> build_b4(Network& network,
+                               const switchsim::SwitchProfile& profile);
+
+}  // namespace tango::net

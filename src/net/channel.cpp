@@ -1,0 +1,180 @@
+#include "net/channel.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace tango::net {
+
+ControlChannel::ControlChannel(sim::EventQueue& events,
+                               switchsim::SimulatedSwitch& sw,
+                               SimDuration one_way_latency)
+    : events_(events), switch_(sw), latency_(one_way_latency) {}
+
+void ControlChannel::send(of::Message msg) {
+  // Round-trip through the codec: what arrives is what the wire carried.
+  const auto frame = of::encode(msg);
+  stats_.messages_to_switch += 1;
+  stats_.bytes_to_switch += frame.size();
+  events_.schedule_after(latency_, [this, frame = std::move(frame)]() {
+    auto decoded = of::decode(frame);
+    assert(decoded.ok());
+    on_arrival(decoded.value());
+  });
+}
+
+void ControlChannel::reply(of::Message msg, SimTime at) {
+  const auto frame = of::encode(msg);
+  stats_.messages_to_controller += 1;
+  stats_.bytes_to_controller += frame.size();
+  events_.schedule_at(at + latency_, [this, frame = std::move(frame)]() {
+    auto decoded = of::decode(frame);
+    assert(decoded.ok());
+    if (on_message_) on_message_(decoded.value());
+  });
+}
+
+void ControlChannel::on_arrival(const of::Message& msg) {
+  // Lazy timeout processing: expiry is applied no later than the next
+  // controller interaction with the switch.
+  switch_.sweep_timeouts(events_.now());
+  handle(msg);
+  // Ship any FLOW_REMOVED / PORT_STATUS notices the sweep or handling
+  // produced (unsolicited: xid 0).
+  for (auto& fr : switch_.drain_removals()) {
+    reply(of::Message{0, std::move(fr)}, events_.now());
+  }
+  for (auto& ps : switch_.drain_port_status()) {
+    reply(of::Message{0, std::move(ps)}, events_.now());
+  }
+}
+
+void ControlChannel::handle(const of::Message& msg) {
+  const SimTime now = events_.now();
+
+  if (const auto* fm = std::get_if<of::FlowMod>(&msg.body)) {
+    stats_.flow_mods += 1;
+    const SimTime start = std::max(now, busy_until_);
+    // Table state mutates at completion time; completion drives callbacks.
+    const of::FlowMod fm_copy = *fm;
+    const std::uint32_t xid = msg.xid;
+    // Reserve the agent: we must know the processing time, which requires
+    // applying the command — apply lazily at start time via an event.
+    // We approximate by applying now but time-stamping at start; since the
+    // controller serializes commands per switch through this queue, the
+    // application order equals the queue order.
+    auto outcome = switch_.apply_flow_mod(fm_copy, start);
+    busy_until_ = start + outcome.processing_time;
+    const bool accepted = outcome.accepted;
+    if (outcome.error.has_value()) {
+      reply(of::Message{xid, *outcome.error}, busy_until_);
+    }
+    const SimTime done = busy_until_;
+    events_.schedule_at(done, [this, xid, accepted, done]() {
+      if (on_flow_mod_) on_flow_mod_(xid, accepted, done);
+    });
+    return;
+  }
+
+  if (const auto* po = std::get_if<of::PacketOut>(&msg.body)) {
+    stats_.packets_out += 1;
+    auto pkt = of::Packet::decode(po->data);
+    if (!pkt.ok()) {
+      log::warn("channel: undecodable packet_out payload");
+      return;
+    }
+    // Data plane: forwarded immediately, independent of the agent queue.
+    const auto outcome = switch_.forward(pkt.value(), now);
+    const std::uint32_t xid = msg.xid;
+    if (outcome.kind == switchsim::ForwardOutcome::Kind::kToController) {
+      // The packet comes back to the controller as a PACKET_IN.
+      of::PacketIn pin;
+      pin.in_port = pkt.value().header.in_port;
+      pin.reason = of::PacketInReason::kNoMatch;
+      pin.total_len = static_cast<std::uint16_t>(pkt.value().total_len());
+      pin.data = pkt.value().encode();
+      reply(of::Message{xid, pin}, now + outcome.delay);
+    }
+    events_.schedule_at(now + outcome.delay, [this, xid, outcome]() {
+      if (on_probe_) on_probe_(xid, outcome);
+    });
+    return;
+  }
+
+  if (std::holds_alternative<of::BarrierRequest>(msg.body)) {
+    // Replied only after every queued command completes.
+    reply(of::Message{msg.xid, of::BarrierReply{}}, std::max(now, busy_until_));
+    return;
+  }
+
+  if (const auto* echo = std::get_if<of::EchoRequest>(&msg.body)) {
+    reply(of::Message{msg.xid, of::EchoReply{echo->payload}}, now);
+    return;
+  }
+
+  if (std::holds_alternative<of::FeaturesRequest>(msg.body)) {
+    reply(of::Message{msg.xid, switch_.features()}, now + micros(200));
+    return;
+  }
+
+  if (const auto* fsr = std::get_if<of::FlowStatsRequest>(&msg.body)) {
+    reply(of::Message{msg.xid, switch_.flow_stats(fsr->match)}, now + micros(500));
+    return;
+  }
+
+  if (std::holds_alternative<of::TableStatsRequest>(msg.body)) {
+    reply(of::Message{msg.xid, switch_.table_stats()}, now + micros(300));
+    return;
+  }
+
+  if (std::holds_alternative<of::GetConfigRequest>(msg.body)) {
+    reply(of::Message{msg.xid, switch_.config()}, now);
+    return;
+  }
+
+  if (const auto* cfg = std::get_if<of::SetConfig>(&msg.body)) {
+    switch_.set_config(*cfg);  // no reply, per OF 1.0
+    return;
+  }
+
+  if (const auto* pm = std::get_if<of::PortMod>(&msg.body)) {
+    switch_.apply_port_mod(*pm);
+    return;
+  }
+
+  if (std::holds_alternative<of::Vendor>(msg.body)) {
+    // No vendor extensions implemented: OFPBRC_BAD_VENDOR.
+    of::ErrorMsg err;
+    err.type = of::ErrorType::kBadRequest;
+    err.code = 3;  // OFPBRC_BAD_VENDOR
+    reply(of::Message{msg.xid, err}, now);
+    return;
+  }
+
+  if (const auto* agg = std::get_if<of::AggregateStatsRequest>(&msg.body)) {
+    reply(of::Message{msg.xid, switch_.aggregate_stats(agg->match)},
+          now + micros(500));
+    return;
+  }
+
+  if (std::holds_alternative<of::DescStatsRequest>(msg.body)) {
+    reply(of::Message{msg.xid, switch_.description()}, now + micros(200));
+    return;
+  }
+
+  if (const auto* psr = std::get_if<of::PortStatsRequest>(&msg.body)) {
+    reply(of::Message{msg.xid, switch_.port_stats(psr->port_no)},
+          now + micros(300));
+    return;
+  }
+
+  if (std::holds_alternative<of::Hello>(msg.body)) {
+    reply(of::Message{msg.xid, of::Hello{}}, now);
+    return;
+  }
+
+  log::warn("channel: unhandled message type " +
+            of::type_name(of::type_of(msg.body)));
+}
+
+}  // namespace tango::net

@@ -1,0 +1,77 @@
+// Control channel between the controller and one simulated switch.
+//
+// Every message crosses the channel as real OpenFlow 1.0 wire bytes (encoded
+// and re-decoded through the codec) so byte/message accounting is honest.
+// The switch agent processes control commands sequentially: a command starts
+// at max(arrival, busy_until) and occupies the agent for its processing
+// time; BARRIER_REQUEST is answered only once everything before it is done —
+// exactly how the paper's install-latency measurements are taken.
+//
+// Data-plane packets (PACKET_OUT probes) bypass the command queue: the ASIC
+// forwards regardless of what the management CPU is doing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "openflow/codec.h"
+#include "openflow/packet.h"
+#include "sim/event_queue.h"
+#include "switchsim/switch_model.h"
+
+namespace tango::net {
+
+struct ChannelStats {
+  std::uint64_t messages_to_switch = 0;
+  std::uint64_t bytes_to_switch = 0;
+  std::uint64_t messages_to_controller = 0;
+  std::uint64_t bytes_to_controller = 0;
+  std::uint64_t flow_mods = 0;
+  std::uint64_t packets_out = 0;
+};
+
+class ControlChannel {
+ public:
+  /// Fires when the switch finishes a flow_mod this controller sent.
+  using FlowModHandler =
+      std::function<void(std::uint32_t xid, bool accepted, SimTime completed_at)>;
+  /// Fires for any message the switch sends up (errors, packet_in, replies).
+  using MessageHandler = std::function<void(const of::Message&)>;
+  /// Fires when a probe packet completes its data-plane trip.
+  using ProbeHandler = std::function<void(std::uint32_t xid,
+                                          const switchsim::ForwardOutcome&)>;
+
+  ControlChannel(sim::EventQueue& events, switchsim::SimulatedSwitch& sw,
+                 SimDuration one_way_latency = micros(100));
+
+  /// Send a controller->switch message; it is encoded, delayed by the
+  /// channel latency, decoded, and handled by the switch agent.
+  void send(of::Message msg);
+
+  void set_flow_mod_handler(FlowModHandler h) { on_flow_mod_ = std::move(h); }
+  void set_message_handler(MessageHandler h) { on_message_ = std::move(h); }
+  void set_probe_handler(ProbeHandler h) { on_probe_ = std::move(h); }
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] SimTime agent_busy_until() const { return busy_until_; }
+  [[nodiscard]] switchsim::SimulatedSwitch& switch_model() { return switch_; }
+
+ private:
+  void on_arrival(const of::Message& msg);
+  void handle(const of::Message& msg);
+  void reply(of::Message msg, SimTime at);
+
+  sim::EventQueue& events_;
+  switchsim::SimulatedSwitch& switch_;
+  SimDuration latency_;
+  SimTime busy_until_{};
+  ChannelStats stats_;
+  FlowModHandler on_flow_mod_;
+  MessageHandler on_message_;
+  ProbeHandler on_probe_;
+};
+
+}  // namespace tango::net

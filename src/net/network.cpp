@@ -1,0 +1,211 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace tango::net {
+
+Network::Network(SimDuration control_latency)
+    : control_latency_(control_latency) {}
+
+SwitchId Network::add_switch(const switchsim::SwitchProfile& profile,
+                             std::uint64_t seed) {
+  const SwitchId id = static_cast<SwitchId>(endpoints_.size() + 1);
+  if (seed == 0) seed = 0x5eed0000 + id;
+  Endpoint ep;
+  ep.sw = std::make_unique<switchsim::SimulatedSwitch>(id, profile, seed);
+  ep.channel =
+      std::make_unique<ControlChannel>(events_, *ep.sw, control_latency_);
+
+  ep.channel->set_flow_mod_handler(
+      [this](std::uint32_t xid, bool accepted, SimTime completed_at) {
+        auto it = flow_mod_cbs_.find(xid);
+        if (it == flow_mod_cbs_.end()) return;
+        auto cb = std::move(it->second);
+        flow_mod_cbs_.erase(it);
+        cb(accepted, completed_at);
+      });
+  ep.channel->set_probe_handler(
+      [this](std::uint32_t xid, const switchsim::ForwardOutcome& outcome) {
+        auto it = probe_cbs_.find(xid);
+        if (it == probe_cbs_.end()) return;
+        auto cb = std::move(it->second);
+        probe_cbs_.erase(it);
+        cb(outcome);
+      });
+  ep.channel->set_message_handler([this, id](const of::Message& msg) {
+    auto it = reply_cbs_.find(msg.xid);
+    if (it == reply_cbs_.end()) {
+      if (unsolicited_) unsolicited_(id, msg);
+      return;
+    }
+    auto cb = std::move(it->second);
+    reply_cbs_.erase(it);
+    cb(msg);
+  });
+
+  endpoints_.push_back(std::move(ep));
+  topo_.add_node(profile.name + "#" + std::to_string(id));
+  return id;
+}
+
+Network::Endpoint& Network::endpoint(SwitchId id) {
+  assert(id >= 1 && id <= endpoints_.size());
+  return endpoints_[id - 1];
+}
+
+switchsim::SimulatedSwitch& Network::sw(SwitchId id) { return *endpoint(id).sw; }
+
+ControlChannel& Network::channel(SwitchId id) { return *endpoint(id).channel; }
+
+const ChannelStats& Network::stats(SwitchId id) const {
+  assert(id >= 1 && id <= endpoints_.size());
+  return endpoints_[id - 1].channel->stats();
+}
+
+Network::InstallResult Network::install(SwitchId id, const of::FlowMod& fm) {
+  InstallResult result;
+  bool done = false;
+  post_flow_mod(id, fm, [&](bool accepted, SimTime completed_at) {
+    result.accepted = accepted;
+    result.completed_at = completed_at;
+    done = true;
+  });
+  while (!done && events_.step()) {
+  }
+  assert(done);
+  return result;
+}
+
+void Network::post_flow_mod(SwitchId id, const of::FlowMod& fm, Completion done) {
+  const std::uint32_t xid = next_xid();
+  flow_mod_cbs_[xid] = std::move(done);
+  endpoint(id).channel->send(of::Message{xid, fm});
+}
+
+SimTime Network::barrier_sync(SwitchId id) {
+  const std::uint32_t xid = next_xid();
+  bool done = false;
+  SimTime arrival{};
+  reply_cbs_[xid] = [&](const of::Message& msg) {
+    assert(std::holds_alternative<of::BarrierReply>(msg.body));
+    arrival = events_.now();
+    done = true;
+  };
+  endpoint(id).channel->send(of::Message{xid, of::BarrierRequest{}});
+  while (!done && events_.step()) {
+  }
+  assert(done);
+  return arrival;
+}
+
+namespace {
+
+/// Send a request and synchronously wait for the typed reply.
+template <typename Reply, typename Request>
+Reply request_reply(Network& net, sim::EventQueue& events,
+                    std::unordered_map<std::uint32_t,
+                                       std::function<void(const of::Message&)>>& cbs,
+                    std::uint32_t xid, ControlChannel& channel, Request req) {
+  (void)net;
+  Reply out{};
+  bool done = false;
+  cbs[xid] = [&](const of::Message& msg) {
+    if (const auto* typed = std::get_if<Reply>(&msg.body)) out = *typed;
+    done = true;
+  };
+  channel.send(of::Message{xid, std::move(req)});
+  while (!done && events.step()) {
+  }
+  assert(done);
+  return out;
+}
+
+}  // namespace
+
+of::FlowStatsReply Network::flow_stats_sync(SwitchId id, const of::Match& filter) {
+  of::FlowStatsRequest req;
+  req.match = filter;
+  return request_reply<of::FlowStatsReply>(*this, events_, reply_cbs_, next_xid(),
+                                           *endpoint(id).channel, std::move(req));
+}
+
+of::TableStatsReply Network::table_stats_sync(SwitchId id) {
+  return request_reply<of::TableStatsReply>(*this, events_, reply_cbs_, next_xid(),
+                                            *endpoint(id).channel,
+                                            of::TableStatsRequest{});
+}
+
+of::FeaturesReply Network::features_sync(SwitchId id) {
+  return request_reply<of::FeaturesReply>(*this, events_, reply_cbs_, next_xid(),
+                                          *endpoint(id).channel,
+                                          of::FeaturesRequest{});
+}
+
+of::AggregateStatsReply Network::aggregate_stats_sync(SwitchId id,
+                                                      const of::Match& filter) {
+  of::AggregateStatsRequest req;
+  req.match = filter;
+  return request_reply<of::AggregateStatsReply>(*this, events_, reply_cbs_,
+                                                next_xid(), *endpoint(id).channel,
+                                                std::move(req));
+}
+
+of::DescStatsReply Network::description_sync(SwitchId id) {
+  return request_reply<of::DescStatsReply>(*this, events_, reply_cbs_, next_xid(),
+                                           *endpoint(id).channel,
+                                           of::DescStatsRequest{});
+}
+
+of::PortStatsReply Network::port_stats_sync(SwitchId id, std::uint16_t port_no) {
+  of::PortStatsRequest req;
+  req.port_no = port_no;
+  return request_reply<of::PortStatsReply>(*this, events_, reply_cbs_, next_xid(),
+                                           *endpoint(id).channel, std::move(req));
+}
+
+of::GetConfigReply Network::get_config_sync(SwitchId id) {
+  return request_reply<of::GetConfigReply>(*this, events_, reply_cbs_, next_xid(),
+                                           *endpoint(id).channel,
+                                           of::GetConfigRequest{});
+}
+
+void Network::set_link_state(std::size_t link_index, bool up) {
+  topo_.set_link_state(link_index, up);
+  const auto& link = topo_.link(link_index);
+  const auto port = port_for_link(link_index);
+  for (const NodeId node : {link.a, link.b}) {
+    const SwitchId id = switch_of(node);
+    if (id >= 1 && id <= endpoints_.size()) {
+      sw(id).set_port_link(port, up);
+      // Deliver the queued PORT_STATUS through the channel (a no-op
+      // message arrival triggers the drain).
+      endpoint(id).channel->send(of::Message{next_xid(), of::EchoRequest{}});
+    }
+  }
+}
+
+Network::ProbeResult Network::probe(SwitchId id, const of::PacketHeader& header) {
+  const std::uint32_t xid = next_xid();
+  of::Packet pkt;
+  pkt.header = header;
+
+  of::PacketOut po;
+  po.in_port = header.in_port;
+  po.actions = of::output_to(of::kPortTable);  // run through the flow tables
+  po.data = pkt.encode();
+
+  ProbeResult result;
+  bool done = false;
+  probe_cbs_[xid] = [&](const switchsim::ForwardOutcome& outcome) {
+    result.outcome = outcome;
+    result.rtt = outcome.delay;
+    done = true;
+  };
+  endpoint(id).channel->send(of::Message{xid, po});
+  while (!done && events_.step()) {
+  }
+  assert(done);
+  return result;
+}
+
+}  // namespace tango::net

@@ -1,0 +1,132 @@
+// Network facade: the simulated controller's view of a set of diverse
+// switches connected by a topology.
+//
+// Two styles of use:
+//  * synchronous — install()/probe()/barrier_sync() advance the event queue
+//    until the operation completes; this is how the inference algorithms
+//    (which are sequential by nature) run.
+//  * asynchronous — post_flow_mod() with a completion callback; this is how
+//    the schedulers issue concurrent updates across switches and measure
+//    makespan over simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/topology.h"
+#include "openflow/packet.h"
+#include "sim/event_queue.h"
+#include "switchsim/switch_model.h"
+
+namespace tango::net {
+
+class Network {
+ public:
+  explicit Network(SimDuration control_latency = micros(100));
+
+  /// Add a switch; returns its datapath id (1-based). A topology node with
+  /// the profile's name is created alongside (node id = switch id - 1).
+  SwitchId add_switch(const switchsim::SwitchProfile& profile,
+                      std::uint64_t seed = 0);
+
+  [[nodiscard]] std::size_t switch_count() const { return endpoints_.size(); }
+  switchsim::SimulatedSwitch& sw(SwitchId id);
+  ControlChannel& channel(SwitchId id);
+  Topology& topology() { return topo_; }
+  sim::EventQueue& events() { return events_; }
+  [[nodiscard]] SimTime now() const { return events_.now(); }
+
+  static NodeId node_of(SwitchId id) { return static_cast<NodeId>(id - 1); }
+  static SwitchId switch_of(NodeId n) { return static_cast<SwitchId>(n + 1); }
+
+  // --- synchronous controller operations ----------------------------------
+  struct InstallResult {
+    bool accepted = false;
+    SimTime completed_at{};
+  };
+  /// Send one flow_mod and run the simulation until it completes.
+  InstallResult install(SwitchId id, const of::FlowMod& fm);
+
+  /// Send a barrier and run until the reply arrives; returns arrival time.
+  SimTime barrier_sync(SwitchId id);
+
+  struct ProbeResult {
+    switchsim::ForwardOutcome outcome;
+    SimDuration rtt{};
+  };
+  /// Inject a data-plane probe (as a PACKET_OUT) and run until it finishes
+  /// its trip. rtt is the measured data-path round trip.
+  ProbeResult probe(SwitchId id, const of::PacketHeader& header);
+
+  /// Fetch flow statistics matching `filter` (synchronous).
+  of::FlowStatsReply flow_stats_sync(SwitchId id, const of::Match& filter);
+
+  /// Fetch per-table statistics (synchronous).
+  of::TableStatsReply table_stats_sync(SwitchId id);
+
+  /// OpenFlow handshake: FEATURES_REQUEST/REPLY (synchronous).
+  of::FeaturesReply features_sync(SwitchId id);
+
+  /// Aggregate flow statistics (synchronous).
+  of::AggregateStatsReply aggregate_stats_sync(SwitchId id, const of::Match& filter);
+
+  /// Switch description strings (synchronous).
+  of::DescStatsReply description_sync(SwitchId id);
+
+  /// Per-port counters (synchronous); kPortNone = all ports.
+  of::PortStatsReply port_stats_sync(SwitchId id, std::uint16_t port_no = of::kPortNone);
+
+  /// Switch configuration (synchronous GET_CONFIG).
+  of::GetConfigReply get_config_sync(SwitchId id);
+
+  /// Fail or restore a topology link. Both endpoint switches observe the
+  /// transition on their connected port and emit PORT_STATUS notifications
+  /// to the controller (delivered via the unsolicited handler).
+  void set_link_state(std::size_t link_index, bool up);
+
+  // --- asynchronous controller operations ----------------------------------
+  using Completion = std::function<void(bool accepted, SimTime completed_at)>;
+  /// Queue a flow_mod; `done` fires (in simulated time) when the switch
+  /// agent finishes it.
+  void post_flow_mod(SwitchId id, const of::FlowMod& fm, Completion done);
+
+  /// Handler for unsolicited switch->controller messages (FLOW_REMOVED,
+  /// asynchronous PACKET_INs) that match no outstanding xid.
+  using UnsolicitedHandler = std::function<void(SwitchId, const of::Message&)>;
+  void set_unsolicited_handler(UnsolicitedHandler h) {
+    unsolicited_ = std::move(h);
+  }
+
+  /// Drain all pending events.
+  void run_all() { events_.run(); }
+
+  [[nodiscard]] const ChannelStats& stats(SwitchId id) const;
+
+ private:
+  struct Endpoint {
+    std::unique_ptr<switchsim::SimulatedSwitch> sw;
+    std::unique_ptr<ControlChannel> channel;
+  };
+
+  std::uint32_t next_xid() { return xid_++; }
+  Endpoint& endpoint(SwitchId id);
+
+  sim::EventQueue events_;
+  Topology topo_;
+  SimDuration control_latency_;
+  std::vector<Endpoint> endpoints_;
+  std::uint32_t xid_ = 1;
+
+  // Dispatch tables keyed by xid.
+  std::unordered_map<std::uint32_t, Completion> flow_mod_cbs_;
+  std::unordered_map<std::uint32_t, std::function<void(const switchsim::ForwardOutcome&)>>
+      probe_cbs_;
+  std::unordered_map<std::uint32_t, std::function<void(const of::Message&)>> reply_cbs_;
+  UnsolicitedHandler unsolicited_;
+};
+
+}  // namespace tango::net

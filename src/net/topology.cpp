@@ -1,0 +1,125 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace tango::net {
+
+NodeId Topology::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  return names_.size() - 1;
+}
+
+std::size_t Topology::add_link(NodeId a, NodeId b, SimDuration latency,
+                               double capacity_gbps) {
+  links_.push_back(Link{a, b, latency, capacity_gbps, true});
+  return links_.size() - 1;
+}
+
+void Topology::set_link_state(std::size_t link_index, bool up) {
+  links_[link_index].up = up;
+}
+
+std::optional<std::size_t> Topology::fail_link_between(NodeId a, NodeId b) {
+  auto idx = link_between(a, b);
+  if (idx) links_[*idx].up = false;
+  return idx;
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  for (const auto& l : links_) {
+    if (!l.up) continue;
+    if (l.a == n) out.push_back(l.b);
+    if (l.b == n) out.push_back(l.a);
+  }
+  return out;
+}
+
+std::optional<std::size_t> Topology::link_between(NodeId a, NodeId b) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const auto& l = links_[i];
+    if (!l.up) continue;
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return i;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::vector<NodeId> dijkstra(std::size_t n, const std::vector<Link>& links,
+                             const std::set<std::size_t>& excluded, NodeId src,
+                             NodeId dst) {
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> dist(n, kInf);
+  std::vector<NodeId> prev(n, n);
+  using Item = std::pair<std::int64_t, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[src] = 0;
+  heap.emplace(0, src);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (!links[i].up || excluded.count(i) != 0) continue;
+      const auto& l = links[i];
+      NodeId v;
+      if (l.a == u) {
+        v = l.b;
+      } else if (l.b == u) {
+        v = l.a;
+      } else {
+        continue;
+      }
+      const std::int64_t nd = d + l.latency.ns();
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (dist[dst] == kInf) return {};
+  std::vector<NodeId> path;
+  for (NodeId cur = dst; cur != src; cur = prev[cur]) {
+    path.push_back(cur);
+    if (prev[cur] == n) return {};
+  }
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<NodeId> Topology::shortest_path(NodeId src, NodeId dst) const {
+  if (src == dst) return {src};
+  return dijkstra(names_.size(), links_, {}, src, dst);
+}
+
+std::vector<std::vector<NodeId>> Topology::disjoint_paths(NodeId src, NodeId dst,
+                                                          std::size_t k) const {
+  std::vector<std::vector<NodeId>> out;
+  std::set<std::size_t> used;
+  for (std::size_t round = 0; round < k; ++round) {
+    auto path = dijkstra(names_.size(), links_, used, src, dst);
+    if (path.empty()) break;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      for (std::size_t li = 0; li < links_.size(); ++li) {
+        const auto& l = links_[li];
+        if ((l.a == path[i] && l.b == path[i + 1]) ||
+            (l.b == path[i] && l.a == path[i + 1])) {
+          used.insert(li);
+        }
+      }
+    }
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace tango::net

@@ -1,0 +1,58 @@
+#include "openflow/actions.h"
+
+namespace tango::of {
+
+namespace {
+
+struct ApplyVisitor {
+  PacketHeader& pkt;
+  void operator()(const ActionOutput&) const {}
+  void operator()(const ActionSetVlanVid& a) const { pkt.dl_vlan = a.vlan_vid; }
+  void operator()(const ActionStripVlan&) const { pkt.dl_vlan = 0xffff; }
+  void operator()(const ActionSetDlSrc& a) const { pkt.dl_src = a.addr; }
+  void operator()(const ActionSetDlDst& a) const { pkt.dl_dst = a.addr; }
+  void operator()(const ActionSetNwSrc& a) const { pkt.nw_src = a.addr; }
+  void operator()(const ActionSetNwDst& a) const { pkt.nw_dst = a.addr; }
+};
+
+}  // namespace
+
+void apply_action(const Action& action, PacketHeader& pkt) {
+  std::visit(ApplyVisitor{pkt}, action);
+}
+
+std::uint16_t output_port(const ActionList& actions) {
+  for (const auto& a : actions) {
+    if (const auto* out = std::get_if<ActionOutput>(&a)) return out->port;
+  }
+  return kPortNone;
+}
+
+ActionList output_to(std::uint16_t port) { return {ActionOutput{port, 0xffff}}; }
+
+std::string to_string(const Action& action) {
+  struct Visitor {
+    std::string operator()(const ActionOutput& a) const {
+      return "output:" + std::to_string(a.port);
+    }
+    std::string operator()(const ActionSetVlanVid& a) const {
+      return "set_vlan:" + std::to_string(a.vlan_vid);
+    }
+    std::string operator()(const ActionStripVlan&) const { return "strip_vlan"; }
+    std::string operator()(const ActionSetDlSrc& a) const {
+      return "set_dl_src:" + format_mac(a.addr);
+    }
+    std::string operator()(const ActionSetDlDst& a) const {
+      return "set_dl_dst:" + format_mac(a.addr);
+    }
+    std::string operator()(const ActionSetNwSrc& a) const {
+      return "set_nw_src:" + format_ipv4(a.addr);
+    }
+    std::string operator()(const ActionSetNwDst& a) const {
+      return "set_nw_dst:" + format_ipv4(a.addr);
+    }
+  };
+  return std::visit(Visitor{}, action);
+}
+
+}  // namespace tango::of

@@ -1,0 +1,47 @@
+// OpenFlow 1.0 binary codec: Message <-> network-byte-order wire frames.
+//
+// encode() always produces a frame whose length field equals the byte count;
+// decode() validates version, length, and bounds and returns an error string
+// for malformed input instead of crashing. FrameAssembler reassembles
+// messages from a byte stream (frames may arrive split or coalesced).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "openflow/messages.h"
+
+namespace tango::of {
+
+std::vector<std::uint8_t> encode(const Message& msg);
+
+Result<Message> decode(std::span<const std::uint8_t> frame);
+
+/// Standalone ofp_match wire form (40 bytes) — used by tooling that stores
+/// matches outside full messages (e.g. trace files).
+std::vector<std::uint8_t> encode_match_bytes(const Match& match);
+Result<Match> decode_match_bytes(std::span<const std::uint8_t> bytes);
+
+/// Serialized length of an encoded action (wire bytes).
+std::size_t wire_size(const Action& action);
+
+/// Serialized length of a whole message.
+std::size_t wire_size(const Message& msg);
+
+/// Accumulates stream bytes and yields complete frames.
+class FrameAssembler {
+ public:
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Pop the next complete frame, or empty if none is buffered yet.
+  std::vector<std::uint8_t> next_frame();
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace tango::of

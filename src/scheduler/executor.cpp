@@ -1,0 +1,166 @@
+#include "scheduler/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace tango::sched {
+
+of::FlowMod to_flow_mod(const SwitchRequest& request,
+                        std::uint16_t default_priority) {
+  of::FlowMod fm;
+  fm.command = to_command(request.type);
+  fm.match = request.match;
+  fm.priority = request.priority.value_or(default_priority);
+  fm.actions = request.actions;
+  return fm;
+}
+
+ExecutionReport execute(net::Network& network, const RequestDag& dag,
+                        UpdateScheduler& scheduler,
+                        const ExecutorOptions& options) {
+  ExecutionReport report;
+  const std::size_t n = dag.size();
+  if (n == 0) return report;
+  assert(dag.is_acyclic());
+
+  std::vector<std::size_t> remaining_preds(n, 0);
+  std::vector<bool> issued(n, false);
+  std::vector<bool> completed(n, false);
+  for (std::size_t id = 0; id < n; ++id) {
+    remaining_preds[id] = dag.predecessors(id).size();
+  }
+
+  // Ready-but-unsent requests. The scheduler re-orders this pool whenever
+  // it changes; per-switch dispatch windows keep each agent fed while the
+  // backlog stays reorderable (this is Algorithm 3's continuous loop: the
+  // independent set is re-extracted and re-ordered as requests finish).
+  std::vector<std::size_t> pending;
+  bool pending_dirty = true;
+  std::vector<std::size_t> ordered;
+  std::map<SwitchId, std::size_t> in_flight;
+
+  for (std::size_t id = 0; id < n; ++id) {
+    if (remaining_preds[id] == 0) pending.push_back(id);
+  }
+
+  const SimTime start = network.now();
+  std::size_t done_count = 0;
+
+  std::function<void()> dispatch;
+
+  auto send = [&](std::size_t id) {
+    issued[id] = true;
+    ++report.issued;
+    const auto& req = dag.request(id);
+    ++in_flight[req.location];
+    network.post_flow_mod(
+        req.location, to_flow_mod(req, options.default_priority),
+        [&, id](bool accepted, SimTime at) {
+          completed[id] = true;
+          ++done_count;
+          if (!accepted) ++report.rejected;
+          const auto& done_req = dag.request(id);
+          --in_flight[done_req.location];
+          if (done_req.deadline.has_value() && at - start > *done_req.deadline) {
+            ++report.deadline_misses;
+          }
+          for (std::size_t succ : dag.successors(id)) {
+            if (remaining_preds[succ] > 0 && --remaining_preds[succ] == 0 &&
+                !issued[succ]) {
+              pending.push_back(succ);
+              pending_dirty = true;
+            }
+          }
+          dispatch();
+        });
+  };
+
+  dispatch = [&]() {
+    if (pending_dirty) {
+      ++report.scheduling_rounds;
+      ordered = scheduler.order(dag, pending);
+      pending_dirty = false;
+    }
+    bool sent_any = false;
+    for (std::size_t& id : ordered) {
+      if (id == SIZE_MAX) continue;  // tombstone: already sent
+      if (issued[id]) {
+        id = SIZE_MAX;
+        continue;
+      }
+      const SwitchId loc = dag.request(id).location;
+      if (in_flight[loc] >= options.per_switch_window) continue;
+      const std::size_t to_send = id;
+      id = SIZE_MAX;
+      std::erase(pending, to_send);
+      send(to_send);
+      sent_any = true;
+    }
+
+    if (options.speculative_dependents) {
+      // Concurrent-dependent extension (§6): a blocked request may be
+      // issued alongside its predecessors when every predecessor is
+      // estimated to *finish* at least `guard` before this request would —
+      // estimated finish = the target agent's current backlog plus the
+      // measured cost of the operation itself.
+      auto est_duration = [&](std::size_t id) {
+        const auto& req = dag.request(id);
+        const auto it = options.cost_hints.find(req.location);
+        if (it == options.cost_hints.end()) return options.default_op_estimate;
+        switch (req.type) {
+          case RequestType::kAdd:
+            return millis(it->second.add_ascending_ms);
+          case RequestType::kMod:
+            return millis(it->second.mod_ms);
+          case RequestType::kDel:
+            return millis(it->second.del_ms);
+        }
+        return options.default_op_estimate;
+      };
+      auto est_finish = [&](std::size_t id) {
+        const SimTime backlog =
+            network.channel(dag.request(id).location).agent_busy_until();
+        return std::max(backlog, network.now()) + est_duration(id);
+      };
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (std::size_t id = 0; id < n; ++id) {
+          if (issued[id] || remaining_preds[id] == 0) continue;
+          const auto& preds = dag.predecessors(id);
+          bool eligible = true;
+          SimTime latest_pred_finish{};
+          for (std::size_t p : preds) {
+            if (!issued[p]) {
+              eligible = false;
+              break;
+            }
+            if (!completed[p]) {
+              latest_pred_finish = std::max(latest_pred_finish, est_finish(p));
+            }
+          }
+          if (!eligible) continue;
+          if (latest_pred_finish + options.guard <= est_finish(id)) {
+            remaining_preds[id] = 0;  // commit to early issue
+            send(id);
+            progress = true;
+          }
+        }
+      }
+    }
+    (void)sent_any;
+  };
+
+  dispatch();
+  while (done_count < n && network.events().step()) {
+  }
+  assert(done_count == n);
+
+  report.makespan = network.now() - start;
+  return report;
+}
+
+}  // namespace tango::sched

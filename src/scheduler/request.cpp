@@ -1,0 +1,115 @@
+#include "scheduler/request.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace tango::sched {
+
+std::string to_string(RequestType t) {
+  switch (t) {
+    case RequestType::kAdd: return "ADD";
+    case RequestType::kMod: return "MOD";
+    case RequestType::kDel: return "DEL";
+  }
+  return "?";
+}
+
+of::FlowModCommand to_command(RequestType t) {
+  switch (t) {
+    case RequestType::kAdd: return of::FlowModCommand::kAdd;
+    case RequestType::kMod: return of::FlowModCommand::kModify;
+    case RequestType::kDel: return of::FlowModCommand::kDelete;
+  }
+  return of::FlowModCommand::kAdd;
+}
+
+std::size_t RequestDag::add(SwitchRequest request) {
+  requests_.push_back(std::move(request));
+  succs_.emplace_back();
+  preds_.emplace_back();
+  depth_cache_valid_ = false;
+  return requests_.size() - 1;
+}
+
+void RequestDag::add_dependency(std::size_t before, std::size_t after) {
+  assert(before < requests_.size() && after < requests_.size());
+  succs_[before].push_back(after);
+  preds_[after].push_back(before);
+  depth_cache_valid_ = false;
+}
+
+std::size_t RequestDag::downstream_depth(std::size_t id) const {
+  if (!depth_cache_valid_) {
+    depth_cache_.assign(requests_.size(), 0);
+    // Memoized DFS.
+    std::vector<int> state(requests_.size(), 0);
+    std::function<std::size_t(std::size_t)> dfs = [&](std::size_t u) -> std::size_t {
+      if (state[u] == 2) return depth_cache_[u];
+      assert(state[u] != 1 && "cycle in request DAG");
+      state[u] = 1;
+      std::size_t best = 0;
+      for (std::size_t v : succs_[u]) best = std::max(best, dfs(v));
+      depth_cache_[u] = best + 1;
+      state[u] = 2;
+      return depth_cache_[u];
+    };
+    for (std::size_t u = 0; u < requests_.size(); ++u) dfs(u);
+    depth_cache_valid_ = true;
+  }
+  return depth_cache_[id];
+}
+
+std::size_t RequestDag::depth() const {
+  std::size_t best = 0;
+  for (std::size_t u = 0; u < requests_.size(); ++u) {
+    best = std::max(best, downstream_depth(u));
+  }
+  return best;
+}
+
+std::vector<std::size_t> RequestDag::levels() const {
+  std::vector<std::size_t> level(requests_.size(), 0);
+  // Kahn order, level = 1 + max pred level.
+  std::vector<std::size_t> indeg(requests_.size(), 0);
+  for (std::size_t u = 0; u < requests_.size(); ++u) indeg[u] = preds_[u].size();
+  std::vector<std::size_t> queue;
+  for (std::size_t u = 0; u < requests_.size(); ++u) {
+    if (indeg[u] == 0) queue.push_back(u);
+  }
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::size_t u = queue[qi];
+    for (std::size_t v : succs_[u]) {
+      level[v] = std::max(level[v], level[u] + 1);
+      if (--indeg[v] == 0) queue.push_back(v);
+    }
+  }
+  return level;
+}
+
+bool RequestDag::is_acyclic() const {
+  std::vector<std::size_t> indeg(requests_.size(), 0);
+  for (std::size_t u = 0; u < requests_.size(); ++u) indeg[u] = preds_[u].size();
+  std::vector<std::size_t> queue;
+  for (std::size_t u = 0; u < requests_.size(); ++u) {
+    if (indeg[u] == 0) queue.push_back(u);
+  }
+  std::size_t seen = 0;
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    ++seen;
+    for (std::size_t v : succs_[queue[qi]]) {
+      if (--indeg[v] == 0) queue.push_back(v);
+    }
+  }
+  return seen == requests_.size();
+}
+
+std::vector<std::size_t> RequestDag::roots() const {
+  std::vector<std::size_t> out;
+  for (std::size_t u = 0; u < requests_.size(); ++u) {
+    if (preds_[u].empty()) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace tango::sched

@@ -1,0 +1,81 @@
+// Switch-request DAG (paper §6).
+//
+// A switch request is one rule operation at one switch (the paper's
+// req_elem: location, type, priority, rule parameters, install_by). Edges
+// encode "must complete before" constraints (consistent-update ordering,
+// priority-barrier ordering); the graph must be acyclic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "openflow/messages.h"
+
+namespace tango::sched {
+
+enum class RequestType { kAdd, kMod, kDel };
+
+std::string to_string(RequestType t);
+
+of::FlowModCommand to_command(RequestType t);
+
+struct SwitchRequest {
+  SwitchId location = 0;
+  RequestType type = RequestType::kAdd;
+  /// Empty when the application leaves priority assignment to Tango
+  /// ("priority enforcement", §7.2).
+  std::optional<std::uint16_t> priority;
+  of::Match match;
+  of::ActionList actions;
+  /// install_by deadline (best effort when empty).
+  std::optional<SimDuration> deadline;
+};
+
+class RequestDag {
+ public:
+  /// Add a request; returns its node id.
+  std::size_t add(SwitchRequest request);
+
+  /// `before` must complete before `after` may be issued.
+  void add_dependency(std::size_t before, std::size_t after);
+
+  [[nodiscard]] std::size_t size() const { return requests_.size(); }
+  [[nodiscard]] const SwitchRequest& request(std::size_t id) const {
+    return requests_[id];
+  }
+  [[nodiscard]] SwitchRequest& request(std::size_t id) { return requests_[id]; }
+  [[nodiscard]] const std::vector<std::size_t>& successors(std::size_t id) const {
+    return succs_[id];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& predecessors(std::size_t id) const {
+    return preds_[id];
+  }
+
+  /// Longest path (in nodes) from `id` downward — Dionysus's critical-path
+  /// metric. Cached; invalidated on mutation.
+  [[nodiscard]] std::size_t downstream_depth(std::size_t id) const;
+
+  /// Number of levels in the DAG (longest chain).
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Level of each node = longest chain of predecessors above it (0-based).
+  [[nodiscard]] std::vector<std::size_t> levels() const;
+
+  /// True if the graph has no cycles (sanity check for scenario builders).
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Ids with no predecessors.
+  [[nodiscard]] std::vector<std::size_t> roots() const;
+
+ private:
+  std::vector<SwitchRequest> requests_;
+  std::vector<std::vector<std::size_t>> succs_;
+  std::vector<std::vector<std::size_t>> preds_;
+  mutable std::vector<std::size_t> depth_cache_;
+  mutable bool depth_cache_valid_ = false;
+};
+
+}  // namespace tango::sched

@@ -1,0 +1,208 @@
+#include "scheduler/schedulers.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tango::sched {
+
+std::vector<std::size_t> DionysusScheduler::order(const RequestDag& dag,
+                                                  std::vector<std::size_t> ready) {
+  std::stable_sort(ready.begin(), ready.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return dag.downstream_depth(a) > dag.downstream_depth(b);
+                   });
+  return ready;
+}
+
+BasicTangoScheduler::BasicTangoScheduler(
+    std::map<SwitchId, core::OpCostEstimate> costs, TangoSchedulerOptions options)
+    : costs_(std::move(costs)), options_(options) {
+  using RT = RequestType;
+  // The candidate rewrite patterns from the TangoPatterns table of
+  // Algorithm 3, extended with the remaining type permutations.
+  patterns_ = {
+      {"DEL MOD ASCEND_ADD", {RT::kDel, RT::kMod, RT::kAdd}, true},
+      {"DEL MOD DESCEND_ADD", {RT::kDel, RT::kMod, RT::kAdd}, false},
+      {"DEL ASCEND_ADD MOD", {RT::kDel, RT::kAdd, RT::kMod}, true},
+      {"MOD DEL ASCEND_ADD", {RT::kMod, RT::kDel, RT::kAdd}, true},
+      {"MOD ASCEND_ADD DEL", {RT::kMod, RT::kAdd, RT::kDel}, true},
+      {"ASCEND_ADD DEL MOD", {RT::kAdd, RT::kDel, RT::kMod}, true},
+      {"ASCEND_ADD MOD DEL", {RT::kAdd, RT::kMod, RT::kDel}, true},
+  };
+}
+
+double BasicTangoScheduler::op_cost_ms(SwitchId sw, RequestType type,
+                                       bool adds_ascending) const {
+  const auto it = costs_.find(sw);
+  if (it == costs_.end()) {
+    // Unprofiled switch: neutral weights (the paper's static fallback).
+    switch (type) {
+      case RequestType::kDel: return 10;
+      case RequestType::kMod: return 1;
+      case RequestType::kAdd: return adds_ascending ? 20 : 40;
+    }
+  }
+  const auto& c = it->second;
+  switch (type) {
+    case RequestType::kDel: return c.del_ms;
+    case RequestType::kMod: return c.mod_ms;
+    case RequestType::kAdd: return adds_ascending ? c.add_ascending_ms : c.add_descending_ms;
+  }
+  return 1;
+}
+
+double BasicTangoScheduler::pattern_score(const RequestDag& dag,
+                                          const std::vector<std::size_t>& ready,
+                                          const OrderingPattern& pattern) const {
+  // Score = negated estimated cost; per-switch queues run in parallel, so
+  // the estimate is the max over switches of their serial cost.
+  std::map<SwitchId, double> per_switch;
+  for (std::size_t id : ready) {
+    const auto& req = dag.request(id);
+    per_switch[req.location] +=
+        op_cost_ms(req.location, req.type, pattern.adds_ascending);
+  }
+  double worst = 0;
+  for (const auto& [sw, ms] : per_switch) worst = std::max(worst, ms);
+  return -worst;
+}
+
+std::vector<std::size_t> BasicTangoScheduler::apply_pattern(
+    const RequestDag& dag, std::vector<std::size_t> ready,
+    const OrderingPattern& pattern) const {
+  auto type_rank = [&](RequestType t) {
+    for (int i = 0; i < 3; ++i) {
+      if (pattern.sequence[i] == t) return i;
+    }
+    return 3;
+  };
+  std::stable_sort(ready.begin(), ready.end(), [&](std::size_t a, std::size_t b) {
+    const auto& ra = dag.request(a);
+    const auto& rb = dag.request(b);
+    const int ta = type_rank(ra.type);
+    const int tb = type_rank(rb.type);
+    if (ta != tb) return ta < tb;
+    if (options_.sort_priorities && ra.type == RequestType::kAdd &&
+        ra.priority.has_value() && rb.priority.has_value() &&
+        *ra.priority != *rb.priority) {
+      return pattern.adds_ascending ? *ra.priority < *rb.priority
+                                    : *ra.priority > *rb.priority;
+    }
+    return false;
+  });
+  return ready;
+}
+
+std::vector<std::size_t> BasicTangoScheduler::order(const RequestDag& dag,
+                                                    std::vector<std::size_t> ready) {
+  if (!options_.reorder_types) {
+    // Priority sorting only.
+    if (options_.sort_priorities) {
+      std::stable_sort(ready.begin(), ready.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         const auto& ra = dag.request(a);
+                         const auto& rb = dag.request(b);
+                         if (ra.type != RequestType::kAdd ||
+                             rb.type != RequestType::kAdd) {
+                           return false;
+                         }
+                         if (!ra.priority || !rb.priority) return false;
+                         return *ra.priority < *rb.priority;
+                       });
+    }
+    return ready;
+  }
+
+  // orderingTangoOracle: pick the best-scoring pattern.
+  double best_score = -1e300;
+  const OrderingPattern* best = nullptr;
+  for (const auto& pattern : patterns_) {
+    const double score = pattern_score(dag, ready, pattern);
+    if (score > best_score) {
+      best_score = score;
+      best = &pattern;
+    }
+  }
+  assert(best != nullptr);
+  auto ordered = apply_pattern(dag, std::move(ready), *best);
+
+  if (options_.deadline_first) {
+    // Deadline-carrying requests jump the pattern order, earliest first;
+    // the pattern still governs everything behind them.
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const auto& da = dag.request(a).deadline;
+                       const auto& db = dag.request(b).deadline;
+                       if (da.has_value() != db.has_value()) return da.has_value();
+                       if (da && db) return *da < *db;
+                       return false;
+                     });
+  }
+
+  if (options_.prefix_lookahead && ordered.size() > 4) {
+    // Non-greedy batching extension: compare "issue everything" against
+    // "issue a prefix, then the batch its completion unlocks". We estimate
+    // with serial per-switch costs; the executor re-invokes order() when
+    // the prefix completes, so truncating here is sufficient.
+    const double full_cost = estimate_makespan_ms(dag, ordered);
+    for (const std::size_t prefix_len : {ordered.size() / 4, ordered.size() / 2}) {
+      if (prefix_len == 0) continue;
+      std::vector<std::size_t> prefix(ordered.begin(),
+                                      ordered.begin() + static_cast<long>(prefix_len));
+      // Requests unlocked once the prefix completes (all preds inside).
+      std::vector<std::size_t> unlocked;
+      for (std::size_t id : prefix) {
+        for (std::size_t succ : dag.successors(id)) {
+          const auto& preds = dag.predecessors(succ);
+          const bool all_in_prefix = std::all_of(
+              preds.begin(), preds.end(), [&](std::size_t p) {
+                return std::find(prefix.begin(), prefix.end(), p) != prefix.end();
+              });
+          if (all_in_prefix) unlocked.push_back(succ);
+        }
+      }
+      if (unlocked.empty()) continue;
+      std::vector<std::size_t> combined = prefix;
+      combined.insert(combined.end(), unlocked.begin(), unlocked.end());
+      const double staged_cost = estimate_makespan_ms(dag, combined);
+      if (staged_cost < full_cost * 0.9) {
+        return prefix;  // issue only the prefix; executor will call again
+      }
+    }
+  }
+  return ordered;
+}
+
+double BasicTangoScheduler::estimate_makespan_ms(
+    const RequestDag& dag, const std::vector<std::size_t>& order) const {
+  std::map<SwitchId, double> per_switch;
+  for (std::size_t id : order) {
+    const auto& req = dag.request(id);
+    per_switch[req.location] += op_cost_ms(req.location, req.type, true);
+  }
+  double worst = 0;
+  for (const auto& [sw, ms] : per_switch) worst = std::max(worst, ms);
+  return worst;
+}
+
+std::size_t BasicTangoScheduler::enforce_priorities(RequestDag& dag,
+                                                    std::uint16_t base_priority,
+                                                    std::uint16_t step) {
+  const auto levels = dag.levels();
+  std::size_t assigned = 0;
+  for (std::size_t id = 0; id < dag.size(); ++id) {
+    auto& req = dag.request(id);
+    if (req.priority.has_value()) continue;
+    // Requests at the same DAG level share one priority (same-priority
+    // appends — the cheapest add), and later levels get strictly higher
+    // values, so the per-switch installation sequence is ascending and
+    // never shifts existing TCAM entries.
+    const std::uint16_t priority =
+        static_cast<std::uint16_t>(base_priority + step * levels[id]);
+    req.priority = priority;
+    ++assigned;
+  }
+  return assigned;
+}
+
+}  // namespace tango::sched

@@ -1,0 +1,111 @@
+// Update schedulers: the Dionysus-style critical-path baseline and the
+// Basic Tango Scheduler (paper Algorithm 3) with its extensions.
+//
+// Both operate round-by-round: the executor presents the set of currently
+// ready (dependency-free) requests; the scheduler returns them in issue
+// order. Per-switch command queues are FIFO, so issue order *is* execution
+// order on each switch.
+//
+// The Tango scheduler's orderingTangoOracle scores candidate rewrite
+// patterns — permutations of {DEL, MOD, ADD} with an add-priority ordering —
+// using the per-op costs measured by the latency profiler, and issues the
+// ready set in the best pattern's order. With priority enforcement enabled
+// it additionally overwrites application-unspecified priorities with
+// DAG-level-derived ones so that adds become same-priority appends.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scheduler/request.h"
+#include "tango/latency_profiler.h"
+
+namespace tango::sched {
+
+class UpdateScheduler {
+ public:
+  virtual ~UpdateScheduler() = default;
+
+  /// Order the ready set for issue. Called once per scheduling round.
+  virtual std::vector<std::size_t> order(const RequestDag& dag,
+                                         std::vector<std::size_t> ready) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Dionysus: schedule the independent request on the longest remaining
+/// dependency path first; oblivious to op-type and priority diversity.
+class DionysusScheduler : public UpdateScheduler {
+ public:
+  std::vector<std::size_t> order(const RequestDag& dag,
+                                 std::vector<std::size_t> ready) override;
+  [[nodiscard]] std::string name() const override { return "Dionysus"; }
+};
+
+struct TangoSchedulerOptions {
+  /// Group ready requests by op type per the best-scoring pattern.
+  bool reorder_types = true;
+  /// Sort the ADD group by ascending priority when the target switch is
+  /// measured to be priority-sensitive.
+  bool sort_priorities = true;
+  /// Evaluate issuing a prefix of the batch first (non-greedy batching
+  /// extension): prefixes that unlock cheaper successors can win.
+  bool prefix_lookahead = false;
+  /// Hoist requests that carry install_by deadlines to the front of the
+  /// batch (earliest-deadline-first among themselves). Trades some pattern
+  /// efficiency for deadline compliance.
+  bool deadline_first = false;
+};
+
+/// One candidate rewrite pattern: an op-type permutation plus add ordering.
+struct OrderingPattern {
+  std::string name;
+  RequestType sequence[3];
+  bool adds_ascending = true;
+};
+
+class BasicTangoScheduler : public UpdateScheduler {
+ public:
+  BasicTangoScheduler(std::map<SwitchId, core::OpCostEstimate> costs,
+                      TangoSchedulerOptions options = {});
+
+  std::vector<std::size_t> order(const RequestDag& dag,
+                                 std::vector<std::size_t> ready) override;
+  [[nodiscard]] std::string name() const override { return "Tango"; }
+
+  /// Estimated makespan (max over switches of serial cost) of issuing the
+  /// given requests in order. Exposed for the lookahead extension & tests.
+  [[nodiscard]] double estimate_makespan_ms(const RequestDag& dag,
+                                            const std::vector<std::size_t>& order) const;
+
+  /// computePatternScore (Algorithm 3): higher is better.
+  [[nodiscard]] double pattern_score(const RequestDag& dag,
+                                     const std::vector<std::size_t>& ready,
+                                     const OrderingPattern& pattern) const;
+
+  /// Overwrite unspecified priorities from DAG levels: requests at the same
+  /// level share one priority, deeper (must-install-first) levels get
+  /// higher values, so per-level installation is same-priority appends in
+  /// ascending order ("priority enforcement", §7.2).
+  static std::size_t enforce_priorities(RequestDag& dag,
+                                        std::uint16_t base_priority = 1000,
+                                        std::uint16_t step = 10);
+
+  [[nodiscard]] const std::vector<OrderingPattern>& patterns() const {
+    return patterns_;
+  }
+
+ private:
+  [[nodiscard]] double op_cost_ms(SwitchId sw, RequestType type,
+                                  bool adds_ascending) const;
+  std::vector<std::size_t> apply_pattern(const RequestDag& dag,
+                                         std::vector<std::size_t> ready,
+                                         const OrderingPattern& pattern) const;
+
+  std::map<SwitchId, core::OpCostEstimate> costs_;
+  TangoSchedulerOptions options_;
+  std::vector<OrderingPattern> patterns_;
+};
+
+}  // namespace tango::sched

@@ -1,0 +1,53 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace tango::sim {
+
+void EventQueue::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) at = now_;
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventQueue::run() {
+  std::size_t count = 0;
+  while (!heap_.empty()) {
+    // Copy out before pop: the callback may schedule more events.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++count;
+  }
+  return count;
+}
+
+std::size_t EventQueue::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!heap_.empty() && heap_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::reset() {
+  heap_ = {};
+  now_ = SimTime{};
+  next_seq_ = 0;
+}
+
+}  // namespace tango::sim

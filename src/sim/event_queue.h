@@ -1,0 +1,65 @@
+// Deterministic discrete-event simulation core.
+//
+// The network executor, control channels, and switch models all advance a
+// shared EventQueue; ties in time are broken by insertion sequence so runs
+// are bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tango::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Only advances inside run()/run_until().
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (clamped to now if in past).
+  void schedule_at(SimTime at, Callback fn);
+
+  /// Schedule `fn` to run `delay` after the current time.
+  void schedule_after(SimDuration delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run events until the queue drains. Returns the number of events run.
+  std::size_t run();
+
+  /// Run events with time <= deadline. Events scheduled beyond stay queued.
+  std::size_t run_until(SimTime deadline);
+
+  /// Run exactly one event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Drop all pending events and reset the clock to zero.
+  void reset();
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{};
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace tango::sim

@@ -1,0 +1,30 @@
+// Descriptive statistics used by the inference engine and bench reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tango::stats {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population variance
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double max = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace tango::stats

@@ -1,0 +1,18 @@
+#include "stats/estimators.h"
+
+namespace tango::stats {
+
+double negative_binomial_p_mle(std::span<const std::size_t> hit_runs) {
+  if (hit_runs.empty()) return 0;
+  double total = 0;
+  for (std::size_t x : hit_runs) total += static_cast<double>(x);
+  const double k = static_cast<double>(hit_runs.size());
+  return total / (k + total);
+}
+
+double estimate_layer_size(std::size_t installed_flows,
+                           std::span<const std::size_t> hit_runs) {
+  return static_cast<double>(installed_flows) * negative_binomial_p_mle(hit_runs);
+}
+
+}  // namespace tango::stats

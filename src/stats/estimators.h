@@ -1,0 +1,23 @@
+// Statistical estimators for the size-probing algorithm (paper §5.2).
+//
+// Sampling a uniformly random installed flow and probing until the first
+// miss of a given cache layer yields a Negative-Binomial(r=1, p) run length,
+// with p = n_layer / m (m = installed flows). The maximum-likelihood
+// estimator over k trials is p_hat = sum(X) / (k + sum(X)); the layer size
+// estimate is n_hat = m * p_hat.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace tango::stats {
+
+/// MLE of the per-draw hit probability from k geometric trial run lengths
+/// (X_i = number of consecutive hits before the first miss).
+double negative_binomial_p_mle(std::span<const std::size_t> hit_runs);
+
+/// Layer-size estimate n_hat = m * p_hat.
+double estimate_layer_size(std::size_t installed_flows,
+                           std::span<const std::size_t> hit_runs);
+
+}  // namespace tango::stats

@@ -1,0 +1,74 @@
+#include "switchsim/latency_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tango::switchsim {
+
+OpKind op_kind(of::FlowModCommand cmd) {
+  switch (cmd) {
+    case of::FlowModCommand::kAdd:
+      return OpKind::kAdd;
+    case of::FlowModCommand::kModify:
+    case of::FlowModCommand::kModifyStrict:
+      return OpKind::kMod;
+    case of::FlowModCommand::kDelete:
+    case of::FlowModCommand::kDeleteStrict:
+      return OpKind::kDel;
+  }
+  return OpKind::kAdd;
+}
+
+LatencyModel::LatencyModel(OpCostModel costs, PathDelayModel paths,
+                           std::uint64_t jitter_seed)
+    : costs_(costs), paths_(std::move(paths)), rng_(jitter_seed) {}
+
+SimDuration LatencyModel::flow_mod_cost(OpKind op, std::size_t shifts,
+                                        bool same_priority, bool software) {
+  SimDuration base{};
+  switch (op) {
+    case OpKind::kAdd:
+      if (software) {
+        base = costs_.add_software;
+      } else if (same_priority) {
+        base = costs_.add_same_priority;
+      } else {
+        base = costs_.add_base;
+      }
+      break;
+    case OpKind::kMod:
+      base = costs_.mod_base;
+      break;
+    case OpKind::kDel:
+      base = costs_.del_base;
+      break;
+  }
+  base += costs_.per_shift * static_cast<std::int64_t>(shifts);
+
+  const bool batched = has_prev_ && prev_op_ == op;
+  const double overhead_scale = batched ? costs_.batch_factor : 1.0;
+  base += SimDuration{static_cast<std::int64_t>(
+      static_cast<double>(costs_.msg_overhead.ns()) * overhead_scale)};
+  has_prev_ = true;
+  prev_op_ = op;
+
+  return jitter(base, costs_.jitter_frac);
+}
+
+SimDuration LatencyModel::path_delay(std::size_t level) {
+  assert(level < paths_.level_delay.size());
+  return jitter(paths_.level_delay[level], paths_.jitter_frac);
+}
+
+SimDuration LatencyModel::control_delay() {
+  return jitter(paths_.control_path, paths_.jitter_frac);
+}
+
+SimDuration LatencyModel::jitter(SimDuration mean, double frac) {
+  if (frac <= 0) return mean;
+  const double factor = std::max(0.2, rng_.normal(1.0, frac));
+  return SimDuration{static_cast<std::int64_t>(
+      static_cast<double>(mean.ns()) * factor)};
+}
+
+}  // namespace tango::switchsim

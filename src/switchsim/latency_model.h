@@ -1,0 +1,97 @@
+// Latency models calibrated against the paper's Section 3 measurements.
+//
+// Control-plane cost of a flow_mod =
+//     base(op, placement) + shifts * per_shift + message overhead,
+// where `shifts` counts TCAM entries physically moved (the mechanism behind
+// the ascending-vs-descending priority asymmetry of Fig 3(c)) and the
+// message overhead is discounted for runs of same-type commands (vendor
+// agents batch same-type ops; this is what makes op-type grouping pay off
+// even on OVS, Fig 12).
+//
+// Data-plane delay is a per-level constant plus multiplicative jitter
+// (Fig 2's fast/slow/control tiers).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "openflow/constants.h"
+
+namespace tango::switchsim {
+
+struct OpCostModel {
+  /// Add at a fresh (strictly highest) priority position — pure append.
+  SimDuration add_base = millis(0.7);
+  /// Add appended after entries of equal priority (cheapest: no priority
+  /// bookkeeping at all).
+  SimDuration add_same_priority = millis(0.4);
+  /// Add that lands in a software table instead of TCAM.
+  SimDuration add_software = millis(0.25);
+  SimDuration mod_base = millis(3.0);
+  SimDuration del_base = millis(2.0);
+  /// Cost of physically moving one TCAM entry.
+  SimDuration per_shift = micros(12.0);
+  /// Per-message channel/agent overhead...
+  SimDuration msg_overhead = micros(60.0);
+  /// ...multiplied by this factor when the previous command had the same
+  /// type (same-type batching discount).
+  double batch_factor = 0.35;
+  /// Multiplicative gaussian jitter (stddev as a fraction of the mean).
+  double jitter_frac = 0.03;
+};
+
+struct PathDelayModel {
+  /// Data-plane forwarding delay per flow-table level (level 0 fastest).
+  std::vector<SimDuration> level_delay;
+  /// Delay when the packet must be punted to the controller.
+  SimDuration control_path = millis(8.0);
+  double jitter_frac = 0.05;
+};
+
+/// Which flow_mod operation a cost is charged for.
+enum class OpKind { kAdd, kMod, kDel };
+
+OpKind op_kind(of::FlowModCommand cmd);
+
+/// Stateful cost calculator; remembers the previous op type for the
+/// batching discount.
+class LatencyModel {
+ public:
+  LatencyModel(OpCostModel costs, PathDelayModel paths, std::uint64_t jitter_seed);
+
+  /// Cost of one flow_mod. `shifts` = TCAM entries moved; `same_priority` =
+  /// append after equal-priority entries; `software` = landed in a software
+  /// table.
+  SimDuration flow_mod_cost(OpKind op, std::size_t shifts, bool same_priority,
+                            bool software);
+
+  /// Data-plane delay for a hit at `level` (jittered).
+  SimDuration path_delay(std::size_t level);
+
+  /// Data-plane delay for a controller punt (jittered).
+  SimDuration control_delay();
+
+  [[nodiscard]] const OpCostModel& costs() const { return costs_; }
+  [[nodiscard]] const PathDelayModel& paths() const { return paths_; }
+  [[nodiscard]] std::size_t levels() const { return paths_.level_delay.size(); }
+
+  /// Forget the previous op type (e.g. after an idle period).
+  void reset_batch_state() { has_prev_ = false; }
+
+  /// Replace the cost model (simulates a firmware update / config change —
+  /// used to exercise Tango's drift detection).
+  void set_costs(const OpCostModel& costs) { costs_ = costs; }
+
+ private:
+  SimDuration jitter(SimDuration mean, double frac);
+
+  OpCostModel costs_;
+  PathDelayModel paths_;
+  Rng rng_;
+  bool has_prev_ = false;
+  OpKind prev_op_ = OpKind::kAdd;
+};
+
+}  // namespace tango::switchsim

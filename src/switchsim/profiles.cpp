@@ -1,0 +1,156 @@
+#include "switchsim/profiles.h"
+
+namespace tango::switchsim::profiles {
+
+SwitchProfile ovs() {
+  SwitchProfile p;
+  p.name = "OVS";
+  p.vendor = "open-vswitch";
+  p.arch = Architecture::kOvsMicroflow;
+  p.software_backing = true;  // the user-space table is the rule store
+  p.paths.level_delay = {millis(3.0), millis(4.5)};  // kernel, user space
+  p.paths.control_path = millis(4.65);
+  p.paths.jitter_frac = 0.06;
+  p.costs.add_base = micros(50);
+  p.costs.add_same_priority = micros(50);
+  p.costs.add_software = micros(50);
+  p.costs.mod_base = micros(45);
+  p.costs.del_base = micros(35);
+  p.costs.per_shift = nanos(0);  // software tables: no physical ordering
+  p.costs.msg_overhead = micros(40);
+  p.costs.batch_factor = 0.15;
+  p.costs.jitter_frac = 0.04;
+  p.install_default_route = false;
+  return p;
+}
+
+SwitchProfile switch1(tables::TcamMode mode) {
+  SwitchProfile p;
+  p.name = "HW Switch #1";
+  p.vendor = "vendor1";
+  p.arch = Architecture::kFifoTwoLevel;
+  p.cache_levels = {tables::TcamConfig{4096, mode}};
+  p.software_backing = true;  // 256 virtual tables in user space
+  p.paths.level_delay = {micros(665), millis(3.7)};
+  p.paths.control_path = millis(7.5);
+  p.paths.jitter_frac = 0.05;
+  p.costs.add_base = micros(700);
+  p.costs.add_same_priority = micros(400);
+  p.costs.add_software = micros(250);
+  p.costs.mod_base = millis(3.0);
+  p.costs.del_base = millis(2.0);
+  p.costs.per_shift = micros(20);
+  // Vendor agents commit same-type runs of commands as one hardware
+  // transaction; switching op type flushes the pipeline. This is the
+  // batching effect the Tango type-grouping patterns exploit (Fig 10's
+  // TE gains).
+  p.costs.msg_overhead = micros(400);
+  p.costs.batch_factor = 0.15;
+  p.costs.jitter_frac = 0.03;
+  p.install_default_route = true;
+  return p;
+}
+
+SwitchProfile switch2() {
+  SwitchProfile p;
+  p.name = "HW Switch #2";
+  p.vendor = "vendor2";
+  p.arch = Architecture::kTcamOnly;
+  p.cache_levels = {tables::TcamConfig{5120, tables::TcamMode::kDoubleWide}};
+  p.software_backing = false;
+  p.paths.level_delay = {micros(400)};
+  p.paths.control_path = millis(8.0);
+  p.paths.jitter_frac = 0.05;
+  p.costs.add_base = millis(1.0);
+  p.costs.add_same_priority = micros(550);
+  p.costs.add_software = micros(300);
+  p.costs.mod_base = millis(2.5);
+  p.costs.del_base = millis(1.8);
+  p.costs.per_shift = micros(10);
+  p.costs.msg_overhead = micros(500);
+  p.costs.batch_factor = 0.15;
+  p.costs.jitter_frac = 0.03;
+  p.install_default_route = true;
+  return p;
+}
+
+SwitchProfile switch3() {
+  SwitchProfile p;
+  p.name = "HW Switch #3";
+  p.vendor = "vendor3";
+  p.arch = Architecture::kTcamOnly;
+  p.cache_levels = {tables::TcamConfig{767, tables::TcamMode::kAdaptive}};
+  p.software_backing = false;
+  p.paths.level_delay = {micros(500)};
+  p.paths.control_path = millis(9.0);
+  p.paths.jitter_frac = 0.05;
+  // Slower control CPU than Vendor #1, and strongly order-sensitive: TCAM
+  // management dominates, so shift costs dwarf the base cost (this is what
+  // gives the Fig 10 LF scenario its ~70% headroom for priority sorting).
+  p.costs.add_base = millis(2.2);
+  p.costs.add_same_priority = millis(1.4);
+  p.costs.add_software = millis(1.0);
+  p.costs.mod_base = millis(3.5);
+  p.costs.del_base = millis(3.0);
+  p.costs.per_shift = micros(95);
+  p.costs.msg_overhead = micros(800);
+  p.costs.batch_factor = 0.15;
+  p.costs.jitter_frac = 0.04;
+  p.install_default_route = true;
+  return p;
+}
+
+SwitchProfile switch2_multilevel() {
+  SwitchProfile p;
+  p.name = "HW Switch #2 (multilevel)";
+  p.vendor = "vendor2";
+  p.arch = Architecture::kPolicyCache;
+  p.cache_levels = {tables::TcamConfig{750, tables::TcamMode::kSingleWide},
+                    tables::TcamConfig{750, tables::TcamMode::kSingleWide}};
+  p.software_backing = true;
+  p.policy = tables::LexCachePolicy::lru();
+  // Fig 5's three bands, in 1e-2 ms units roughly 20 / 60 / 140.
+  p.paths.level_delay = {micros(200), micros(600), millis(1.4)};
+  p.paths.control_path = millis(8.0);
+  p.paths.jitter_frac = 0.07;
+  p.costs = switch2().costs;
+  p.install_default_route = false;
+  return p;
+}
+
+SwitchProfile policy_cache(std::string name, std::vector<std::size_t> level_sizes,
+                           tables::LexCachePolicy policy, bool software_backing) {
+  SwitchProfile p;
+  p.name = std::move(name);
+  p.vendor = "synthetic";
+  p.arch = Architecture::kPolicyCache;
+  p.software_backing = software_backing;
+  p.policy = std::move(policy);
+  double delay_us = 200;
+  for (std::size_t size : level_sizes) {
+    p.cache_levels.push_back(
+        tables::TcamConfig{size, tables::TcamMode::kSingleWide});
+    p.paths.level_delay.push_back(micros(delay_us));
+    delay_us *= 5;  // well-separated latency bands
+  }
+  if (software_backing) p.paths.level_delay.push_back(micros(delay_us));
+  p.paths.control_path = millis(8.0) + micros(delay_us);
+  p.paths.jitter_frac = 0.05;
+  p.costs.add_base = micros(700);
+  p.costs.add_same_priority = micros(400);
+  p.costs.add_software = micros(250);
+  p.costs.mod_base = millis(3.0);
+  p.costs.del_base = millis(2.0);
+  p.costs.per_shift = micros(12);
+  p.costs.msg_overhead = micros(60);
+  p.costs.batch_factor = 0.35;
+  p.costs.jitter_frac = 0.03;
+  p.install_default_route = false;
+  return p;
+}
+
+std::vector<SwitchProfile> paper_fleet() {
+  return {ovs(), switch1(), switch2(), switch3()};
+}
+
+}  // namespace tango::switchsim::profiles

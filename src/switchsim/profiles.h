@@ -1,0 +1,51 @@
+// Vendor profiles calibrated against the paper's Section 3 measurements.
+//
+// | profile   | tables                     | Table 1 sizes        | Fig 2 delays (fast/slow/ctrl) |
+// |-----------|----------------------------|----------------------|-------------------------------|
+// | ovs       | user space + kernel cache  | unbounded            | 3 / 4.5 / 4.65 ms             |
+// | switch1   | TCAM + user space (FIFO)   | 4K L2|L3, 2K L2+L3   | 0.665 / 3.7 / 7.5 ms          |
+// | switch2   | TCAM only (double-wide)    | 2560 any shape       | 0.4 / - / 8 ms                |
+// | switch3   | TCAM only (adaptive)       | 767 L2|L3, 383 L2+L3 | 0.5 / - / 9 ms                |
+//
+// (Switch #3's paper value for L2+L3 is 369; an integral-slot adaptive TCAM
+// of 767 slots yields 383 — the 4% gap is documented in EXPERIMENTS.md.)
+//
+// Control-plane cost constants are chosen so the Fig 3 shapes reproduce:
+// same-priority < ascending << random << descending on hardware, flat on
+// OVS, and modify ~6x cheaper than (shift-heavy) adds at n = 5000.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "switchsim/switch_model.h"
+
+namespace tango::switchsim::profiles {
+
+SwitchProfile ovs();
+
+/// Vendor #1: TCAM backed by user-space virtual tables with FIFO promotion.
+/// The TCAM mode is configurable exactly as Table 1 describes.
+SwitchProfile switch1(tables::TcamMode mode = tables::TcamMode::kDoubleWide);
+
+/// Vendor #2: TCAM-only, hardwired double-wide (2560 entries of any shape).
+SwitchProfile switch2();
+
+/// Vendor #3: TCAM-only, adaptive entry widths (slower control CPU).
+SwitchProfile switch3();
+
+/// The three-latency-band configuration behind Fig 5: two hardware banks
+/// plus a software tier, managed by an LRU policy.
+SwitchProfile switch2_multilevel();
+
+/// Synthetic policy-cache switch for inference experiments: bounded levels
+/// of the given entry capacities (fastest first) over an unbounded software
+/// tier, managed by `policy`.
+SwitchProfile policy_cache(std::string name, std::vector<std::size_t> level_sizes,
+                           tables::LexCachePolicy policy,
+                           bool software_backing = true);
+
+/// All four paper switches, for fleet-style examples and benches.
+std::vector<SwitchProfile> paper_fleet();
+
+}  // namespace tango::switchsim::profiles

@@ -1,0 +1,808 @@
+#include "switchsim/switch_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tango::switchsim {
+
+namespace {
+
+/// Remove an entry from a TCAM by id and return it (plus compaction shifts).
+std::optional<tables::FlowEntry> take_entry(tables::Tcam& tcam, FlowId id,
+                                            std::size_t* shifts = nullptr) {
+  for (const auto& e : tcam.entries()) {
+    if (e.id == id) {
+      tables::FlowEntry copy = e;
+      const auto out = tcam.erase(id);
+      if (shifts != nullptr) *shifts += out.shifts;
+      return copy;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string to_string(Architecture arch) {
+  switch (arch) {
+    case Architecture::kOvsMicroflow: return "ovs-microflow";
+    case Architecture::kFifoTwoLevel: return "fifo-two-level";
+    case Architecture::kTcamOnly: return "tcam-only";
+    case Architecture::kPolicyCache: return "policy-cache";
+  }
+  return "?";
+}
+
+SimulatedSwitch::SimulatedSwitch(SwitchId id, SwitchProfile profile,
+                                 std::uint64_t seed)
+    : id_(id),
+      profile_(std::move(profile)),
+      latency_(profile_.costs, profile_.paths, seed),
+      software_(0),
+      microflow_(profile_.microflow_capacity) {
+  for (const auto& cfg : profile_.cache_levels) levels_.emplace_back(cfg);
+  assert(profile_.paths.level_delay.size() >=
+         levels_.size() + (profile_.software_backing ||
+                                   profile_.arch == Architecture::kOvsMicroflow
+                               ? 1
+                               : 0));
+  if (profile_.install_default_route) install_default_route();
+}
+
+void SimulatedSwitch::install_default_route() {
+  tables::FlowEntry def;
+  def.id = next_flow_id_++;
+  def.match = of::Match::any();
+  def.priority = 0;
+  def.actions = of::output_to(of::kPortController);
+  if (!levels_.empty()) {
+    levels_[0].insert(std::move(def));
+  } else {
+    software_.insert(std::move(def));
+  }
+}
+
+void SimulatedSwitch::reset() {
+  for (auto& level : levels_) level.clear();
+  software_.clear();
+  microflow_.clear();
+  lookup_count_ = 0;
+  matched_count_ = 0;
+  latency_.reset_batch_state();
+  if (profile_.install_default_route) install_default_route();
+}
+
+FlowModOutcome SimulatedSwitch::reject(const std::string& reason,
+                                       of::FlowModFailedCode code) {
+  FlowModOutcome out;
+  out.accepted = false;
+  out.processing_time =
+      latency_.flow_mod_cost(OpKind::kAdd, 0, /*same_priority=*/false,
+                             /*software=*/false);
+  of::ErrorMsg err;
+  err.type = of::ErrorType::kFlowModFailed;
+  err.code = static_cast<std::uint16_t>(code);
+  err.data.assign(reason.begin(), reason.end());
+  out.error = std::move(err);
+  return out;
+}
+
+FlowModOutcome SimulatedSwitch::apply_flow_mod(const of::FlowMod& fm, SimTime now) {
+  last_now_ = now;
+  sweep_timeouts(now);
+  switch (fm.command) {
+    case of::FlowModCommand::kAdd: {
+      tables::FlowEntry entry;
+      entry.id = next_flow_id_++;
+      entry.match = fm.match;
+      entry.priority = fm.priority;
+      entry.cookie = fm.cookie;
+      entry.actions = fm.actions;
+      entry.idle_timeout = fm.idle_timeout;
+      entry.hard_timeout = fm.hard_timeout;
+      entry.send_flow_removed = (fm.flags & 1) != 0;
+      entry.attrs.insert_time = now;
+      entry.attrs.last_use_time = now;
+      return do_add(std::move(entry), now);
+    }
+    case of::FlowModCommand::kModify:
+      return do_modify(fm, now, /*strict=*/false);
+    case of::FlowModCommand::kModifyStrict:
+      return do_modify(fm, now, /*strict=*/true);
+    case of::FlowModCommand::kDelete:
+      return do_delete(fm, now, /*strict=*/false);
+    case of::FlowModCommand::kDeleteStrict:
+      return do_delete(fm, now, /*strict=*/true);
+  }
+  return reject("bad command", of::FlowModFailedCode::kBadCommand);
+}
+
+tables::FlowEntry* SimulatedSwitch::find_strict_anywhere(
+    const of::Match& match, std::uint16_t priority, std::size_t* level_out) {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (auto* e = levels_[i].find_strict(match, priority)) {
+      if (level_out != nullptr) *level_out = i;
+      return e;
+    }
+  }
+  if (auto* e = software_.find_strict(match, priority)) {
+    if (level_out != nullptr) *level_out = levels_.size();
+    return e;
+  }
+  return nullptr;
+}
+
+FlowModOutcome SimulatedSwitch::do_add(tables::FlowEntry entry, SimTime now) {
+  (void)now;
+  if (profile_.max_total_rules != 0 && total_rules() >= profile_.max_total_rules) {
+    return reject("switch rule limit", of::FlowModFailedCode::kAllTablesFull);
+  }
+
+  // OpenFlow 1.0: an ADD with an identical match+priority replaces the
+  // existing entry in place (counters reset) — no physical movement.
+  std::size_t existing_level = 0;
+  if (auto* existing = find_strict_anywhere(entry.match, entry.priority,
+                                            &existing_level)) {
+    entry.id = existing->id;
+    *existing = std::move(entry);
+    microflow_.invalidate_rule(existing->id);
+    FlowModOutcome out;
+    out.processing_time = latency_.flow_mod_cost(
+        OpKind::kAdd, 0, /*same_priority=*/true,
+        /*software=*/existing_level >= levels_.size());
+    return out;
+  }
+
+  FlowModOutcome out;
+  std::size_t shifts = 0;
+  bool landed_software = false;
+  bool same_priority = false;
+
+  switch (profile_.arch) {
+    case Architecture::kOvsMicroflow: {
+      software_.insert(std::move(entry));
+      landed_software = true;
+      break;
+    }
+    case Architecture::kTcamOnly: {
+      auto& tcam = levels_[0];
+      same_priority = !tcam.entries().empty() &&
+                      tcam.entries().back().priority == entry.priority;
+      auto res = tcam.insert(std::move(entry));
+      if (!res.accepted) {
+        return reject(res.reject_reason, of::FlowModFailedCode::kAllTablesFull);
+      }
+      shifts = res.shifts;
+      break;
+    }
+    case Architecture::kFifoTwoLevel: {
+      auto& tcam = levels_[0];
+      if (tcam.can_fit(entry.match)) {
+        same_priority = !tcam.entries().empty() &&
+                        tcam.entries().back().priority == entry.priority;
+        auto res = tcam.insert(std::move(entry));
+        assert(res.accepted);
+        shifts = res.shifts;
+      } else {
+        software_.insert(std::move(entry));
+        landed_software = true;
+      }
+      break;
+    }
+    case Architecture::kPolicyCache: {
+      if (!cascade_insert(std::move(entry), &shifts, &landed_software)) {
+        return reject("all tables full", of::FlowModFailedCode::kAllTablesFull);
+      }
+      break;
+    }
+  }
+
+  out.shifts = shifts;
+  out.processing_time =
+      latency_.flow_mod_cost(OpKind::kAdd, shifts, same_priority, landed_software);
+  return out;
+}
+
+bool SimulatedSwitch::cascade_insert(tables::FlowEntry entry, std::size_t* shifts,
+                                     bool* landed_software) {
+  if (!profile_.software_backing) {
+    // Without a backing store an eviction would silently drop an installed
+    // rule (an OpenFlow semantics violation), so a full cache rejects.
+    for (auto& level : levels_) {
+      if (level.can_fit(entry.match)) {
+        auto res = level.insert(std::move(entry));
+        assert(res.accepted);
+        *shifts += res.shifts;
+        return true;
+      }
+    }
+    return false;
+  }
+  tables::FlowEntry pending = std::move(entry);
+  for (auto& level : levels_) {
+    if (level.can_fit(pending.match)) {
+      auto res = level.insert(std::move(pending));
+      assert(res.accepted);
+      *shifts += res.shifts;
+      return true;
+    }
+    // Level is full: the policy decides whether the newcomer displaces the
+    // level's lowest-ordered entry (which then cascades down) or sinks.
+    auto resident = level_entries(static_cast<std::size_t>(&level - levels_.data()));
+    if (resident.empty()) {
+      continue;  // entry shape doesn't fit this level at all
+    }
+    const std::size_t worst =
+        profile_.policy.victim_index({resident.data(), resident.size()});
+    const tables::FlowEntry& victim_ref = *resident[worst];
+    if (profile_.policy.prefers(pending, victim_ref)) {
+      auto victim = take_entry(level, victim_ref.id, shifts);
+      assert(victim.has_value());
+      auto res = level.insert(std::move(pending));
+      assert(res.accepted);
+      *shifts += res.shifts;
+      pending = std::move(*victim);
+    }
+  }
+  if (profile_.software_backing) {
+    software_.insert(std::move(pending));
+    *landed_software = true;
+    return true;
+  }
+  return false;
+}
+
+FlowModOutcome SimulatedSwitch::do_modify(const of::FlowMod& fm, SimTime now,
+                                          bool strict) {
+  std::size_t updated = 0;
+  auto touch = [&](tables::FlowEntry& e) {
+    e.actions = fm.actions;
+    e.cookie = fm.cookie;
+    microflow_.invalidate_rule(e.id);
+    ++updated;
+  };
+
+  if (strict) {
+    if (auto* e = find_strict_anywhere(fm.match, fm.priority, nullptr)) touch(*e);
+  } else {
+    for (auto& level : levels_) {
+      for (auto& e : level.entries()) {
+        if (fm.match.subsumes(e.match)) touch(e);
+      }
+    }
+    for (auto& e : software_.entries()) {
+      if (fm.match.subsumes(e.match)) touch(e);
+    }
+  }
+
+  if (updated == 0) {
+    // Per OpenFlow 1.0, MODIFY with no matching entry behaves like ADD.
+    tables::FlowEntry entry;
+    entry.id = next_flow_id_++;
+    entry.match = fm.match;
+    entry.priority = fm.priority;
+    entry.cookie = fm.cookie;
+    entry.actions = fm.actions;
+    entry.attrs.insert_time = now;
+    entry.attrs.last_use_time = now;
+    return do_add(std::move(entry), now);
+  }
+
+  FlowModOutcome out;
+  out.processing_time = latency_.flow_mod_cost(OpKind::kMod, 0, false, false);
+  return out;
+}
+
+FlowModOutcome SimulatedSwitch::do_delete(const of::FlowMod& fm, SimTime now,
+                                          bool strict) {
+  (void)now;
+  std::size_t shifts = 0;
+  std::vector<tables::FlowEntry> removed;
+
+  if (strict) {
+    std::size_t level = 0;
+    if (auto* e = find_strict_anywhere(fm.match, fm.priority, &level)) {
+      const FlowId id = e->id;
+      if (level < levels_.size()) {
+        auto taken = take_entry(levels_[level], id, &shifts);
+        if (taken) removed.push_back(std::move(*taken));
+      } else if (auto taken = software_.erase(id)) {
+        removed.push_back(std::move(*taken));
+      }
+    }
+  } else {
+    for (auto& level : levels_) {
+      std::size_t level_shifts = 0;
+      auto taken = level.erase_matching(fm.match, &level_shifts);
+      shifts += level_shifts;
+      for (auto& e : taken) removed.push_back(std::move(e));
+    }
+    auto taken = software_.erase_matching(fm.match);
+    for (auto& e : taken) removed.push_back(std::move(e));
+  }
+
+  for (const auto& e : removed) microflow_.invalidate_rule(e.id);
+  rebalance();
+
+  FlowModOutcome out;
+  out.shifts = shifts;
+  out.processing_time = latency_.flow_mod_cost(OpKind::kDel, shifts, false, false);
+  return out;
+}
+
+void SimulatedSwitch::rebalance() {
+  if (profile_.arch == Architecture::kFifoTwoLevel) {
+    // Oldest software entry is promoted whenever the TCAM has room (§3).
+    auto& tcam = levels_[0];
+    while (software_.size() > 0) {
+      // Peek the oldest; stop if it cannot fit.
+      auto oldest = software_.pop_oldest();
+      if (!oldest) break;
+      if (!tcam.can_fit(oldest->match)) {
+        software_.insert(std::move(*oldest));  // put it back
+        break;
+      }
+      tcam.insert(std::move(*oldest));
+    }
+    return;
+  }
+  if (profile_.arch != Architecture::kPolicyCache) return;
+
+  // Pull the policy-best entries upward into freed slots, deepest first.
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    auto& upper = levels_[i];
+    auto candidates = [&]() -> std::vector<const tables::FlowEntry*> {
+      if (i + 1 < levels_.size()) return level_entries(i + 1);
+      std::vector<const tables::FlowEntry*> out;
+      out.reserve(software_.entries().size());
+      for (const auto& e : software_.entries()) out.push_back(&e);
+      return out;
+    };
+    for (auto pool = candidates(); !pool.empty(); pool = candidates()) {
+      // Best = the entry the policy would evict last.
+      const tables::FlowEntry* best = pool[0];
+      for (const auto* e : pool) {
+        if (profile_.policy.prefers(*e, *best)) best = e;
+      }
+      if (!upper.can_fit(best->match)) break;
+      std::optional<tables::FlowEntry> moved;
+      if (i + 1 < levels_.size()) {
+        moved = take_entry(levels_[i + 1], best->id);
+      } else {
+        moved = software_.erase(best->id);
+      }
+      if (!moved) break;
+      upper.insert(std::move(*moved));
+    }
+  }
+}
+
+void SimulatedSwitch::sweep_timeouts(SimTime now) {
+  std::vector<tables::FlowEntry> expired;
+  auto sweep_tcam = [&](tables::Tcam& tcam) {
+    for (std::size_t i = tcam.entries().size(); i-- > 0;) {
+      if (tcam.entries()[i].expired(now)) {
+        tables::FlowEntry copy = tcam.entries()[i];
+        tcam.erase(copy.id);
+        expired.push_back(std::move(copy));
+      }
+    }
+  };
+  for (auto& level : levels_) sweep_tcam(level);
+  for (std::size_t i = software_.entries().size(); i-- > 0;) {
+    if (software_.entries()[i].expired(now)) {
+      tables::FlowEntry copy = software_.entries()[i];
+      software_.erase(copy.id);
+      expired.push_back(std::move(copy));
+    }
+  }
+  if (expired.empty()) return;
+
+  for (const auto& e : expired) {
+    microflow_.invalidate_rule(e.id);
+    if (!e.send_flow_removed) continue;
+    of::FlowRemoved fr;
+    fr.match = e.match;
+    fr.cookie = e.cookie;
+    fr.priority = e.priority;
+    fr.reason = e.expiry_reason(now);
+    const SimDuration age = now - e.attrs.insert_time;
+    fr.duration_sec = static_cast<std::uint32_t>(age.ns() / 1000000000);
+    fr.duration_nsec = static_cast<std::uint32_t>(age.ns() % 1000000000);
+    fr.idle_timeout = e.idle_timeout;
+    fr.packet_count = e.attrs.traffic_count;
+    fr.byte_count = e.byte_count;
+    pending_removals_.push_back(std::move(fr));
+  }
+  rebalance();
+}
+
+std::vector<of::FlowRemoved> SimulatedSwitch::drain_removals() {
+  return std::exchange(pending_removals_, {});
+}
+
+ForwardOutcome SimulatedSwitch::forward(const of::Packet& pkt, SimTime now) {
+  last_now_ = now;
+  sweep_timeouts(now);
+  ++lookup_count_;
+  ForwardOutcome out;
+
+  // Ingress port accounting; downed ports drop on the floor.
+  {
+    auto& ingress = port(pkt.header.in_port);
+    if (!port_forwarding(pkt.header.in_port)) {
+      ++ingress.counters.rx_dropped;
+      out.kind = ForwardOutcome::Kind::kDropped;
+      return out;
+    }
+    ingress.counters.rx_packets += 1;
+    ingress.counters.rx_bytes += pkt.total_len();
+  }
+
+  // Egress accounting, applied to every forwarded outcome on return.
+  auto account_tx = [&]() {
+    if (out.kind != ForwardOutcome::Kind::kForwarded) return;
+    auto& egress = port(out.out_port);
+    if (!port_forwarding(out.out_port)) {
+      ++egress.counters.tx_dropped;
+      out.kind = ForwardOutcome::Kind::kDropped;
+      return;
+    }
+    egress.counters.tx_packets += 1;
+    egress.counters.tx_bytes += pkt.total_len();
+  };
+
+  auto hit_at = [&](tables::FlowEntry& e, std::size_t level) {
+    ++matched_count_;
+    e.record_hit(now, pkt.total_len());
+    out.kind = ForwardOutcome::Kind::kForwarded;
+    out.level = level;
+    out.delay = latency_.path_delay(level);
+    out.out_port = of::output_port(e.actions);
+    if (out.out_port == of::kPortController) {
+      out.kind = ForwardOutcome::Kind::kToController;
+      out.delay = latency_.control_delay();
+    }
+  };
+
+  if (profile_.arch == Architecture::kOvsMicroflow) {
+    if (auto hit = microflow_.lookup(pkt.header, now)) {
+      ++matched_count_;
+      // Attribute the hit to the wildcard rule that spawned the microflow.
+      for (auto& e : software_.entries()) {
+        if (e.id == hit->source_rule) {
+          e.record_hit(now, pkt.total_len());
+          break;
+        }
+      }
+      out.kind = ForwardOutcome::Kind::kForwarded;
+      out.level = 0;
+      out.delay = latency_.path_delay(0);
+      out.out_port = of::output_port(*hit->actions);
+      account_tx();
+      return out;
+    }
+    if (auto* e = software_.lookup(pkt.header)) {
+      hit_at(*e, 1);
+      if (out.kind == ForwardOutcome::Kind::kForwarded) {
+        // Traffic-triggered 1-to-N mapping: cache the exact flow in kernel.
+        microflow_.insert(pkt.header, e->id, e->actions, now);
+      }
+      account_tx();
+      return out;
+    }
+    out.kind = ForwardOutcome::Kind::kToController;
+    out.delay = latency_.control_delay();
+    return out;
+  }
+
+  // The flow-table layers implement ONE logical OpenFlow table: the rule
+  // that wins is the highest-priority match across every layer, and the
+  // packet is served at the speed of the layer holding it. (A lower layer
+  // can hold a higher-priority rule than a TCAM match — e.g. a wildcard
+  // default route resident in TCAM must not shadow specific software
+  // rules.)
+  tables::FlowEntry* best = nullptr;
+  std::size_t best_level = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (auto* e = levels_[i].lookup(pkt.header)) {
+      if (best == nullptr || e->priority > best->priority) {
+        best = e;
+        best_level = i;
+      }
+    }
+  }
+  if (profile_.software_backing) {
+    if (auto* e = software_.lookup(pkt.header)) {
+      if (best == nullptr || e->priority > best->priority) {
+        best = e;
+        best_level = levels_.size();
+      }
+    }
+  }
+
+  if (best == nullptr) {
+    out.kind = ForwardOutcome::Kind::kToController;
+    out.delay = latency_.control_delay();
+    return out;
+  }
+
+  hit_at(*best, best_level);
+
+  if (profile_.arch == Architecture::kPolicyCache && best_level > 0 &&
+      out.kind == ForwardOutcome::Kind::kForwarded) {
+    // Hit below the top: the (now-updated) entry may outrank the level
+    // above's victim; if so they swap residences.
+    const FlowId id = best->id;
+    const std::size_t above = best_level - 1;
+    auto take_hit = [&]() -> std::optional<tables::FlowEntry> {
+      if (best_level < levels_.size()) return take_entry(levels_[best_level], id);
+      return software_.erase(id);
+    };
+    auto put_back_down = [&](tables::FlowEntry entry) {
+      if (best_level < levels_.size()) {
+        levels_[best_level].insert(std::move(entry));
+      } else {
+        software_.insert(std::move(entry));
+      }
+    };
+    auto above_entries = level_entries(above);
+    if (levels_[above].can_fit(best->match)) {
+      auto moved = take_hit();
+      levels_[above].insert(std::move(*moved));
+    } else if (!above_entries.empty()) {
+      const std::size_t worst = profile_.policy.victim_index(
+          {above_entries.data(), above_entries.size()});
+      const tables::FlowEntry& victim_ref = *above_entries[worst];
+      if (profile_.policy.prefers(*best, victim_ref)) {
+        auto victim = take_entry(levels_[above], victim_ref.id);
+        auto moved = take_hit();
+        levels_[above].insert(std::move(*moved));
+        put_back_down(std::move(*victim));
+      }
+    }
+  }
+  account_tx();
+  return out;
+}
+
+of::FeaturesReply SimulatedSwitch::features() const {
+  of::FeaturesReply reply;
+  reply.datapath_id = id_;
+  reply.n_buffers = 256;
+  reply.n_tables = static_cast<std::uint8_t>(
+      levels_.size() + (profile_.software_backing ||
+                                profile_.arch == Architecture::kOvsMicroflow
+                            ? 1
+                            : 0));
+  reply.capabilities = 0x1;  // FLOW_STATS
+  reply.actions = 0xfff;
+  for (std::size_t p = 1; p <= profile_.n_ports; ++p) {
+    of::PhyPort port;
+    port.port_no = static_cast<std::uint16_t>(p);
+    port.hw_addr = {0x02, 0x00, 0x00, 0x00,
+                    static_cast<std::uint8_t>(id_ & 0xff),
+                    static_cast<std::uint8_t>(p)};
+    port.name = "port" + std::to_string(p);
+    reply.ports.push_back(std::move(port));
+  }
+  return reply;
+}
+
+of::TableStatsReply SimulatedSwitch::table_stats() const {
+  of::TableStatsReply reply;
+  std::uint8_t table_id = 0;
+  for (const auto& level : levels_) {
+    of::TableStatsEntry e;
+    e.table_id = table_id++;
+    e.name = "hw" + std::to_string(e.table_id);
+    e.wildcards = of::kWildcardAll;
+    // NOTE: deliberately approximate, per the paper's observation that
+    // feature reports are unreliable — the real capacity depends on entry
+    // shapes. We report raw slots.
+    e.max_entries = static_cast<std::uint32_t>(level.slots_total());
+    e.active_count = static_cast<std::uint32_t>(level.size());
+    e.lookup_count = lookup_count_;
+    e.matched_count = matched_count_;
+    reply.entries.push_back(std::move(e));
+  }
+  if (profile_.software_backing || profile_.arch == Architecture::kOvsMicroflow) {
+    of::TableStatsEntry e;
+    e.table_id = table_id++;
+    e.name = "software";
+    e.wildcards = of::kWildcardAll;
+    e.max_entries = 1u << 20;
+    e.active_count = static_cast<std::uint32_t>(software_.size());
+    e.lookup_count = lookup_count_;
+    e.matched_count = matched_count_;
+    reply.entries.push_back(std::move(e));
+  }
+  return reply;
+}
+
+of::FlowStatsReply SimulatedSwitch::flow_stats(const of::Match& filter) const {
+  of::FlowStatsReply reply;
+  auto add_entry = [&](const tables::FlowEntry& e, std::uint8_t table_id) {
+    if (!filter.subsumes(e.match)) return;
+    of::FlowStatsEntry s;
+    s.table_id = table_id;
+    s.match = e.match;
+    const SimDuration age = last_now_ - e.attrs.insert_time;
+    s.duration_sec = static_cast<std::uint32_t>(age.ns() / 1000000000);
+    s.duration_nsec = static_cast<std::uint32_t>(age.ns() % 1000000000);
+    s.priority = e.priority;
+    s.idle_timeout = e.idle_timeout;
+    s.hard_timeout = e.hard_timeout;
+    s.cookie = e.cookie;
+    s.packet_count = e.attrs.traffic_count;
+    s.byte_count = e.byte_count;
+    s.actions = e.actions;
+    reply.entries.push_back(std::move(s));
+  };
+  std::uint8_t table_id = 0;
+  for (const auto& level : levels_) {
+    for (const auto& e : level.entries()) add_entry(e, table_id);
+    ++table_id;
+  }
+  for (const auto& e : software_.entries()) add_entry(e, table_id);
+  return reply;
+}
+
+of::AggregateStatsReply SimulatedSwitch::aggregate_stats(
+    const of::Match& filter) const {
+  of::AggregateStatsReply reply;
+  const auto stats = flow_stats(filter);
+  for (const auto& e : stats.entries) {
+    reply.packet_count += e.packet_count;
+    reply.byte_count += e.byte_count;
+    ++reply.flow_count;
+  }
+  return reply;
+}
+
+of::DescStatsReply SimulatedSwitch::description() const {
+  of::DescStatsReply reply;
+  reply.mfr_desc = profile_.vendor;
+  reply.hw_desc = profile_.name;
+  reply.sw_desc = "tango-switchsim " + to_string(profile_.arch);
+  reply.serial_num = "sim-" + std::to_string(id_);
+  reply.dp_desc = profile_.name + " (datapath " + std::to_string(id_) + ")";
+  return reply;
+}
+
+SimulatedSwitch::PortState& SimulatedSwitch::port(std::uint16_t port_no) {
+  auto [it, inserted] = ports_.try_emplace(port_no);
+  if (inserted) it->second.counters.port_no = port_no;
+  return it->second;
+}
+
+of::PhyPort SimulatedSwitch::phy_port(std::uint16_t port_no) const {
+  of::PhyPort p;
+  p.port_no = port_no;
+  p.hw_addr = {0x02, 0x00, 0x00, 0x00, static_cast<std::uint8_t>(id_ & 0xff),
+               static_cast<std::uint8_t>(port_no)};
+  p.name = "port" + std::to_string(port_no);
+  const auto it = ports_.find(port_no);
+  if (it != ports_.end()) {
+    p.config = it->second.config;
+    p.state = it->second.state;
+  }
+  return p;
+}
+
+of::PortStatsReply SimulatedSwitch::port_stats(std::uint16_t port_no) const {
+  of::PortStatsReply reply;
+  if (port_no != of::kPortNone) {
+    const auto it = ports_.find(port_no);
+    of::PortStatsEntry e;
+    e.port_no = port_no;
+    if (it != ports_.end()) e = it->second.counters;
+    reply.entries.push_back(e);
+    return reply;
+  }
+  for (std::uint16_t p = 1; p <= profile_.n_ports; ++p) {
+    const auto it = ports_.find(p);
+    of::PortStatsEntry e;
+    e.port_no = p;
+    if (it != ports_.end()) e = it->second.counters;
+    reply.entries.push_back(e);
+  }
+  return reply;
+}
+
+of::GetConfigReply SimulatedSwitch::config() const {
+  of::GetConfigReply reply;
+  reply.flags = config_flags_;
+  reply.miss_send_len = miss_send_len_;
+  return reply;
+}
+
+void SimulatedSwitch::set_config(const of::SetConfig& cfg) {
+  config_flags_ = cfg.flags;
+  miss_send_len_ = cfg.miss_send_len;
+}
+
+void SimulatedSwitch::apply_port_mod(const of::PortMod& pm) {
+  auto& state = port(pm.port_no);
+  state.config = (state.config & ~pm.mask) | (pm.config & pm.mask);
+  of::PortStatus status;
+  status.reason = of::PortReason::kModify;
+  status.port = phy_port(pm.port_no);
+  pending_port_status_.push_back(std::move(status));
+}
+
+void SimulatedSwitch::set_port_link(std::uint16_t port_no, bool up) {
+  auto& state = port(port_no);
+  const std::uint32_t before = state.state;
+  if (up) {
+    state.state &= ~of::kPortStateLinkDown;
+  } else {
+    state.state |= of::kPortStateLinkDown;
+  }
+  if (state.state == before) return;  // no transition: no notification
+  of::PortStatus status;
+  status.reason = of::PortReason::kModify;
+  status.port = phy_port(port_no);
+  pending_port_status_.push_back(std::move(status));
+}
+
+bool SimulatedSwitch::port_forwarding(std::uint16_t port_no) const {
+  const auto it = ports_.find(port_no);
+  if (it == ports_.end()) return true;
+  return (it->second.state & of::kPortStateLinkDown) == 0 &&
+         (it->second.config & of::kPortConfigDown) == 0;
+}
+
+std::vector<of::PortStatus> SimulatedSwitch::drain_port_status() {
+  return std::exchange(pending_port_status_, {});
+}
+
+std::size_t SimulatedSwitch::total_rules() const {
+  std::size_t n = software_.size();
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+std::size_t SimulatedSwitch::level_size(std::size_t level) const {
+  if (level < levels_.size()) return levels_[level].size();
+  return software_.size();
+}
+
+std::vector<const tables::FlowEntry*> SimulatedSwitch::level_entries(
+    std::size_t level) const {
+  std::vector<const tables::FlowEntry*> out;
+  if (level < levels_.size()) {
+    out.reserve(levels_[level].size());
+    for (const auto& e : levels_[level].entries()) out.push_back(&e);
+  } else {
+    out.reserve(software_.size());
+    for (const auto& e : software_.entries()) out.push_back(&e);
+  }
+  return out;
+}
+
+bool SimulatedSwitch::resident_at_level(const of::Match& match,
+                                        std::uint16_t priority,
+                                        std::size_t level) const {
+  auto entries = level_entries(level);
+  for (const auto* e : entries) {
+    if (e->priority == priority && e->match == match) return true;
+  }
+  return false;
+}
+
+std::size_t SimulatedSwitch::level_capacity(std::size_t level) const {
+  if (level >= levels_.size()) return 0;
+  const auto& cfg = levels_[level].config();
+  switch (cfg.mode) {
+    case tables::TcamMode::kSingleWide:
+    case tables::TcamMode::kAdaptive:
+      return cfg.capacity_slots;
+    case tables::TcamMode::kDoubleWide:
+      return cfg.capacity_slots / 2;
+  }
+  return cfg.capacity_slots;
+}
+
+}  // namespace tango::switchsim

@@ -1,0 +1,89 @@
+#include "tables/cache_policy.h"
+
+#include <cassert>
+
+namespace tango::tables {
+
+double attribute_value(const FlowEntry& e, Attribute attr) {
+  switch (attr) {
+    case Attribute::kInsertionTime:
+      return static_cast<double>(e.attrs.insert_time.ns());
+    case Attribute::kUseTime:
+      return static_cast<double>(e.attrs.last_use_time.ns());
+    case Attribute::kTrafficCount:
+      return static_cast<double>(e.attrs.traffic_count);
+    case Attribute::kPriority:
+      return static_cast<double>(e.priority);
+  }
+  return 0;
+}
+
+std::string attribute_name(Attribute attr) {
+  switch (attr) {
+    case Attribute::kInsertionTime: return "insertion_time";
+    case Attribute::kUseTime: return "use_time";
+    case Attribute::kTrafficCount: return "traffic_count";
+    case Attribute::kPriority: return "priority";
+  }
+  return "?";
+}
+
+bool is_serial_attribute(Attribute attr) {
+  return attr == Attribute::kInsertionTime || attr == Attribute::kUseTime;
+}
+
+bool LexCachePolicy::prefers(const FlowEntry& a, const FlowEntry& b) const {
+  for (const auto& key : keys_) {
+    const double va = attribute_value(a, key.attr);
+    const double vb = attribute_value(b, key.attr);
+    if (va == vb) continue;
+    const bool a_higher = va > vb;
+    return key.dir == Direction::kPreferHigh ? a_higher : !a_higher;
+  }
+  // Fully tied under the policy: arbitrary but deterministic (older id wins,
+  // mirroring hardware that keeps the incumbent on ties).
+  return a.id < b.id;
+}
+
+std::size_t LexCachePolicy::victim_index(
+    std::span<const FlowEntry* const> entries) const {
+  assert(!entries.empty());
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (prefers(*entries[worst], *entries[i])) worst = i;
+  }
+  return worst;
+}
+
+std::string LexCachePolicy::describe() const {
+  if (keys_.empty()) return "(ties only)";
+  std::string out;
+  for (const auto& key : keys_) {
+    if (!out.empty()) out += ", ";
+    out += attribute_name(key.attr);
+    out += key.dir == Direction::kPreferHigh ? "(high stays)" : "(low stays)";
+  }
+  return out;
+}
+
+LexCachePolicy LexCachePolicy::fifo() {
+  return LexCachePolicy{{PolicyKey{Attribute::kInsertionTime, Direction::kPreferHigh}}};
+}
+
+LexCachePolicy LexCachePolicy::lru() {
+  return LexCachePolicy{{PolicyKey{Attribute::kUseTime, Direction::kPreferHigh}}};
+}
+
+LexCachePolicy LexCachePolicy::lfu() {
+  return LexCachePolicy{{PolicyKey{Attribute::kTrafficCount, Direction::kPreferHigh}}};
+}
+
+LexCachePolicy LexCachePolicy::priority_based() {
+  return LexCachePolicy{{PolicyKey{Attribute::kPriority, Direction::kPreferHigh}}};
+}
+
+LexCachePolicy LexCachePolicy::lex(std::vector<PolicyKey> keys) {
+  return LexCachePolicy{std::move(keys)};
+}
+
+}  // namespace tango::tables

@@ -1,0 +1,79 @@
+// The paper's formal cache-policy model (§5.1):
+//
+//   [ATTRIB]   a policy examines a subset of {insertion time, use time,
+//              traffic count, priority},
+//   [MONOTONE] each attribute is compared by a monotone (increasing or
+//              decreasing) function, and
+//   [LEX]      flows are totally ordered lexicographically under some
+//              permutation of those attributes; the lowest-ordered flow is
+//              the eviction victim.
+//
+// One LexCachePolicy therefore expresses FIFO, LRU, LFU, priority-based
+// caching and their compositions — and is exactly the object the Tango
+// policy-inference algorithm (Algorithm 2) reconstructs from probes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tables/flow_entry.h"
+
+namespace tango::tables {
+
+enum class Attribute {
+  kInsertionTime,
+  kUseTime,
+  kTrafficCount,
+  kPriority,
+};
+
+/// Whether larger attribute values make a flow *more* likely to stay cached.
+enum class Direction { kPreferHigh, kPreferLow };
+
+struct PolicyKey {
+  Attribute attr = Attribute::kInsertionTime;
+  Direction dir = Direction::kPreferHigh;
+
+  bool operator==(const PolicyKey&) const = default;
+};
+
+double attribute_value(const FlowEntry& e, Attribute attr);
+std::string attribute_name(Attribute attr);
+
+/// True for attributes whose values are unique by construction (strictly
+/// serial timestamps); once such an attribute appears in the order, no
+/// deeper key can ever be consulted (Algorithm 2's termination condition).
+bool is_serial_attribute(Attribute attr);
+
+class LexCachePolicy {
+ public:
+  LexCachePolicy() = default;
+  explicit LexCachePolicy(std::vector<PolicyKey> keys) : keys_(std::move(keys)) {}
+
+  /// True if `a` outranks `b` (i.e. `b` would be evicted before `a`).
+  [[nodiscard]] bool prefers(const FlowEntry& a, const FlowEntry& b) const;
+
+  /// Index of the eviction victim: the lowest-ordered entry. `candidate`
+  /// may be compared too by callers that model "new element loses" cases.
+  [[nodiscard]] std::size_t victim_index(std::span<const FlowEntry* const> entries) const;
+
+  [[nodiscard]] const std::vector<PolicyKey>& keys() const { return keys_; }
+  [[nodiscard]] std::string describe() const;
+
+  bool operator==(const LexCachePolicy&) const = default;
+
+  // --- classic policies expressed in the lex model -------------------------
+  static LexCachePolicy fifo();            ///< evict oldest insertion
+  static LexCachePolicy lru();             ///< evict least recently used
+  static LexCachePolicy lfu();             ///< evict smallest traffic count
+  static LexCachePolicy priority_based();  ///< evict lowest priority
+  /// e.g. traffic first, priority tie-break, use-time final tie-break.
+  static LexCachePolicy lex(std::vector<PolicyKey> keys);
+
+ private:
+  std::vector<PolicyKey> keys_;
+};
+
+}  // namespace tango::tables

@@ -1,0 +1,62 @@
+// A flow-table entry plus the per-flow attributes the paper's switch model
+// says cache policies may examine (§5.1 ATTRIB): time since insertion, time
+// since last use, traffic count, and rule priority.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "openflow/actions.h"
+#include "openflow/match.h"
+
+namespace tango::tables {
+
+struct FlowAttributes {
+  SimTime insert_time{};
+  SimTime last_use_time{};
+  std::uint64_t traffic_count = 0;
+};
+
+struct FlowEntry {
+  FlowId id = 0;
+  of::Match match;
+  std::uint16_t priority = 0x8000;
+  std::uint64_t cookie = 0;
+  of::ActionList actions;
+  std::uint16_t idle_timeout = 0;  ///< seconds; 0 = never idles out
+  std::uint16_t hard_timeout = 0;  ///< seconds; 0 = permanent
+  /// OFPFF_SEND_FLOW_REM: notify the controller on expiry/eviction.
+  bool send_flow_removed = false;
+  FlowAttributes attrs;
+  std::uint64_t byte_count = 0;
+
+  /// Record a data-plane hit at simulated time `now`.
+  void record_hit(SimTime now, std::uint32_t bytes) {
+    attrs.last_use_time = now;
+    attrs.traffic_count += 1;
+    byte_count += bytes;
+  }
+
+  /// True once either timeout has elapsed at `now`.
+  [[nodiscard]] bool expired(SimTime now) const {
+    if (hard_timeout > 0 &&
+        now - attrs.insert_time >= seconds(hard_timeout)) {
+      return true;
+    }
+    if (idle_timeout > 0 &&
+        now - attrs.last_use_time >= seconds(idle_timeout)) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Which timeout fired (valid when expired()).
+  [[nodiscard]] of::FlowRemovedReason expiry_reason(SimTime now) const {
+    if (hard_timeout > 0 && now - attrs.insert_time >= seconds(hard_timeout)) {
+      return of::FlowRemovedReason::kHardTimeout;
+    }
+    return of::FlowRemovedReason::kIdleTimeout;
+  }
+};
+
+}  // namespace tango::tables

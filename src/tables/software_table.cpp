@@ -1,0 +1,111 @@
+#include "tables/software_table.h"
+
+#include <algorithm>
+
+namespace tango::tables {
+
+bool SoftwareTable::insert(FlowEntry entry) {
+  if (capacity_ != 0 && entries_.size() >= capacity_) return false;
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+std::optional<FlowEntry> SoftwareTable::erase(FlowId id) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const FlowEntry& e) { return e.id == id; });
+  if (it == entries_.end()) return std::nullopt;
+  FlowEntry out = std::move(*it);
+  entries_.erase(it);
+  return out;
+}
+
+std::vector<FlowEntry> SoftwareTable::erase_matching(const of::Match& filter) {
+  std::vector<FlowEntry> removed;
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (filter.subsumes(entries_[i].match)) {
+      removed.push_back(std::move(entries_[i]));
+      entries_.erase(entries_.begin() + static_cast<long>(i));
+    }
+  }
+  return removed;
+}
+
+std::optional<FlowEntry> SoftwareTable::pop_oldest() {
+  if (entries_.empty()) return std::nullopt;
+  auto oldest = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->attrs.insert_time < oldest->attrs.insert_time) oldest = it;
+  }
+  FlowEntry out = std::move(*oldest);
+  entries_.erase(oldest);
+  return out;
+}
+
+FlowEntry* SoftwareTable::lookup(const of::PacketHeader& pkt) {
+  FlowEntry* best = nullptr;
+  for (auto& e : entries_) {
+    if (!e.match.matches(pkt)) continue;
+    if (best == nullptr || e.priority > best->priority) best = &e;
+  }
+  return best;
+}
+
+FlowEntry* SoftwareTable::find_strict(const of::Match& match, std::uint16_t priority) {
+  for (auto& e : entries_) {
+    if (e.priority == priority && e.match == match) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t SoftwareTable::modify_matching(const of::Match& filter,
+                                           const of::ActionList& actions) {
+  std::size_t updated = 0;
+  for (auto& e : entries_) {
+    if (filter.subsumes(e.match)) {
+      e.actions = actions;
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+void MicroflowCache::insert(const of::PacketHeader& key, FlowId source_rule,
+                            const of::ActionList& actions, SimTime now) {
+  if (map_.find(key) == map_.end()) {
+    while (capacity_ != 0 && map_.size() >= capacity_ && !fifo_.empty()) {
+      map_.erase(fifo_.front());
+      fifo_.pop_front();
+    }
+    fifo_.push_back(key);
+  }
+  map_[key] = Entry{source_rule, actions, now};
+}
+
+std::optional<MicroflowCache::Hit> MicroflowCache::lookup(
+    const of::PacketHeader& key, SimTime now) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  it->second.last_use = now;
+  return Hit{it->second.source_rule, &it->second.actions};
+}
+
+void MicroflowCache::invalidate_rule(FlowId source_rule) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->second.source_rule == source_rule) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // fifo_ may keep stale keys; they are skipped lazily on eviction.
+  std::erase_if(fifo_, [this](const of::PacketHeader& k) {
+    return map_.find(k) == map_.end();
+  });
+}
+
+void MicroflowCache::clear() {
+  map_.clear();
+  fifo_.clear();
+}
+
+}  // namespace tango::tables

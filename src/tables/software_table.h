@@ -1,0 +1,86 @@
+// Software flow tables: the user-space wildcard table (virtually unbounded,
+// slow linear match) and the kernel exact-match microflow cache that OVS
+// populates from data-plane traffic (§3 "Diverse flow installation
+// behaviors": one user-space entry can map to many kernel microflows).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "tables/flow_entry.h"
+
+namespace tango::tables {
+
+/// Priority-ordered wildcard table. Lookup is linear (that is what makes the
+/// slow path slow); capacity 0 means unbounded.
+class SoftwareTable {
+ public:
+  explicit SoftwareTable(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Insert; fails only when a finite capacity is exhausted.
+  bool insert(FlowEntry entry);
+
+  /// Remove by id; returns the removed entry if present.
+  std::optional<FlowEntry> erase(FlowId id);
+
+  /// Remove all entries subsumed by `filter`.
+  std::vector<FlowEntry> erase_matching(const of::Match& filter);
+
+  /// Pop the oldest-inserted entry (Switch #1's FIFO promotion source).
+  std::optional<FlowEntry> pop_oldest();
+
+  FlowEntry* lookup(const of::PacketHeader& pkt);
+  FlowEntry* find_strict(const of::Match& match, std::uint16_t priority);
+  std::size_t modify_matching(const of::Match& filter, const of::ActionList& actions);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool unbounded() const { return capacity_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::vector<FlowEntry>& entries() { return entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<FlowEntry> entries_;  // insertion order
+};
+
+/// Exact-match cache keyed by full packet header. FIFO-evicting, like the
+/// bounded kernel flow cache in OVS.
+class MicroflowCache {
+ public:
+  explicit MicroflowCache(std::size_t capacity = 200000) : capacity_(capacity) {}
+
+  /// Cache the forwarding decision for this exact header. The entry
+  /// remembers which wildcard rule produced it so stats can be attributed.
+  void insert(const of::PacketHeader& key, FlowId source_rule,
+              const of::ActionList& actions, SimTime now);
+
+  struct Hit {
+    FlowId source_rule;
+    const of::ActionList* actions;
+  };
+  std::optional<Hit> lookup(const of::PacketHeader& key, SimTime now);
+
+  /// Drop every microflow derived from the given wildcard rule (rule
+  /// deletion/modification must invalidate its microflows).
+  void invalidate_rule(FlowId source_rule);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  void clear();
+
+ private:
+  struct Entry {
+    FlowId source_rule;
+    of::ActionList actions;
+    SimTime last_use;
+  };
+  std::size_t capacity_;
+  std::unordered_map<of::PacketHeader, Entry, of::PacketHeaderHash> map_;
+  std::deque<of::PacketHeader> fifo_;
+};
+
+}  // namespace tango::tables

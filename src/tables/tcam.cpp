@@ -1,0 +1,119 @@
+#include "tables/tcam.h"
+
+#include <algorithm>
+
+namespace tango::tables {
+
+std::string to_string(TcamMode mode) {
+  switch (mode) {
+    case TcamMode::kSingleWide: return "single-wide";
+    case TcamMode::kDoubleWide: return "double-wide";
+    case TcamMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::optional<std::size_t> Tcam::slots_for(const of::Match& match) const {
+  const of::MatchLayer layer = match.layer();
+  switch (config_.mode) {
+    case TcamMode::kSingleWide:
+      if (layer == of::MatchLayer::kL2AndL3) return std::nullopt;
+      return 1;
+    case TcamMode::kDoubleWide:
+      return 2;
+    case TcamMode::kAdaptive:
+      return layer == of::MatchLayer::kL2AndL3 ? 2 : 1;
+  }
+  return std::nullopt;
+}
+
+bool Tcam::can_fit(const of::Match& match) const {
+  const auto slots = slots_for(match);
+  return slots.has_value() && slots_used_ + *slots <= config_.capacity_slots;
+}
+
+TcamInsertOutcome Tcam::insert(FlowEntry entry) {
+  TcamInsertOutcome out;
+  const auto slots = slots_for(entry.match);
+  if (!slots) {
+    out.reject_reason = "entry shape unsupported in " + to_string(config_.mode) + " mode";
+    return out;
+  }
+  if (slots_used_ + *slots > config_.capacity_slots) {
+    out.reject_reason = "TCAM full";
+    return out;
+  }
+  // Physical array is ascending by priority; insert after any equal-priority
+  // entries so equal-priority appends cost zero shifts.
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), entry.priority,
+      [](std::uint16_t p, const FlowEntry& e) { return p < e.priority; });
+  out.shifts = static_cast<std::size_t>(entries_.end() - pos);
+  entries_.insert(pos, std::move(entry));
+  slots_used_ += *slots;
+  out.accepted = true;
+  return out;
+}
+
+TcamEraseOutcome Tcam::erase(FlowId id) {
+  TcamEraseOutcome out;
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const FlowEntry& e) { return e.id == id; });
+  if (it == entries_.end()) return out;
+  const auto slots = slots_for(it->match);
+  slots_used_ -= slots.value_or(0);
+  out.shifts = static_cast<std::size_t>(entries_.end() - it) - 1;
+  entries_.erase(it);
+  out.removed = 1;
+  return out;
+}
+
+std::vector<FlowEntry> Tcam::erase_matching(const of::Match& filter,
+                                            std::size_t* shifts_out) {
+  std::vector<FlowEntry> removed;
+  std::size_t shifts = 0;
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (filter.subsumes(entries_[i].match)) {
+      const auto slots = slots_for(entries_[i].match);
+      slots_used_ -= slots.value_or(0);
+      shifts += entries_.size() - i - 1;
+      removed.push_back(std::move(entries_[i]));
+      entries_.erase(entries_.begin() + static_cast<long>(i));
+    }
+  }
+  if (shifts_out != nullptr) *shifts_out = shifts;
+  return removed;
+}
+
+FlowEntry* Tcam::lookup(const of::PacketHeader& pkt) {
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].match.matches(pkt)) return &entries_[i];
+  }
+  return nullptr;
+}
+
+FlowEntry* Tcam::find_strict(const of::Match& match, std::uint16_t priority) {
+  for (auto& e : entries_) {
+    if (e.priority == priority && e.match == match) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t Tcam::modify_matching(const of::Match& filter,
+                                  const of::ActionList& actions) {
+  std::size_t updated = 0;
+  for (auto& e : entries_) {
+    if (filter.subsumes(e.match)) {
+      e.actions = actions;
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+void Tcam::clear() {
+  entries_.clear();
+  slots_used_ = 0;
+}
+
+}  // namespace tango::tables

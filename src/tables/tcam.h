@@ -1,0 +1,95 @@
+// TCAM model with physical-ordering (shift) accounting.
+//
+// Hardware TCAMs resolve priority by physical position: the entry array is
+// kept sorted by rule priority, and inserting a rule "between" existing
+// entries forces the switch software to shift entries to open a slot. That
+// shifting is what makes descending-priority installation dramatically
+// slower than ascending on real switches (paper §3, Fig 3(c)); this model
+// counts the shifts so the latency model can charge for them.
+//
+// Capacity accounting follows §3's Table 1 discussion: a TCAM operates in
+// single-wide mode (entries match only L2 *or* only L3 headers, 1 slot
+// each), double-wide mode (every entry occupies 2 slots, any layer mix), or
+// adaptive mode (L2-only/L3-only cost 1 slot, L2+L3 cost 2 — Switch #3).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tables/flow_entry.h"
+
+namespace tango::tables {
+
+enum class TcamMode { kSingleWide, kDoubleWide, kAdaptive };
+
+std::string to_string(TcamMode mode);
+
+struct TcamConfig {
+  std::size_t capacity_slots = 4096;
+  TcamMode mode = TcamMode::kSingleWide;
+};
+
+struct TcamInsertOutcome {
+  bool accepted = false;
+  std::size_t shifts = 0;        ///< entries physically moved to open the slot
+  std::string reject_reason;     ///< set when !accepted
+};
+
+struct TcamEraseOutcome {
+  std::size_t removed = 0;
+  std::size_t shifts = 0;        ///< compaction moves
+};
+
+class Tcam {
+ public:
+  explicit Tcam(TcamConfig config) : config_(config) {}
+
+  /// Slots an entry of this shape occupies, or nullopt if the mode cannot
+  /// hold it at all (e.g. L2+L3 in single-wide mode).
+  [[nodiscard]] std::optional<std::size_t> slots_for(const of::Match& match) const;
+
+  [[nodiscard]] bool can_fit(const of::Match& match) const;
+
+  /// Insert keeping priority order. Rejects when slots are exhausted or the
+  /// entry shape is unsupported; never evicts (eviction is the owning
+  /// switch's cache-policy decision).
+  TcamInsertOutcome insert(FlowEntry entry);
+
+  /// Remove by flow id. Counts compaction shifts.
+  TcamEraseOutcome erase(FlowId id);
+
+  /// Remove all entries whose match is subsumed by `filter` (non-strict
+  /// OpenFlow delete). Returns removed entries.
+  std::vector<FlowEntry> erase_matching(const of::Match& filter,
+                                        std::size_t* shifts_out = nullptr);
+
+  /// Highest-priority entry matching the packet (ties: most recent insert).
+  FlowEntry* lookup(const of::PacketHeader& pkt);
+
+  /// Exact (match, priority) find, nullptr if absent.
+  FlowEntry* find_strict(const of::Match& match, std::uint16_t priority);
+
+  /// In-place modification of actions for all entries subsumed by `filter`
+  /// (OpenFlow MODIFY). Returns number updated; no shifts are incurred.
+  std::size_t modify_matching(const of::Match& filter, const of::ActionList& actions);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t slots_used() const { return slots_used_; }
+  [[nodiscard]] std::size_t slots_total() const { return config_.capacity_slots; }
+  [[nodiscard]] const TcamConfig& config() const { return config_; }
+
+  /// Entries in physical (ascending-priority) order.
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::vector<FlowEntry>& entries() { return entries_; }
+
+  void clear();
+
+ private:
+  TcamConfig config_;
+  std::vector<FlowEntry> entries_;  // ascending priority; equal-priority FIFO
+  std::size_t slots_used_ = 0;
+};
+
+}  // namespace tango::tables

@@ -1,0 +1,187 @@
+#include "tango/knowledge_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tango::core {
+
+namespace {
+
+using tables::Attribute;
+using tables::Direction;
+
+std::string attr_token(Attribute attr) {
+  switch (attr) {
+    case Attribute::kInsertionTime: return "insertion";
+    case Attribute::kUseTime: return "use_time";
+    case Attribute::kTrafficCount: return "traffic";
+    case Attribute::kPriority: return "priority";
+  }
+  return "?";
+}
+
+bool parse_attr(const std::string& token, Attribute* out) {
+  if (token == "insertion") { *out = Attribute::kInsertionTime; return true; }
+  if (token == "use_time") { *out = Attribute::kUseTime; return true; }
+  if (token == "traffic") { *out = Attribute::kTrafficCount; return true; }
+  if (token == "priority") { *out = Attribute::kPriority; return true; }
+  return false;
+}
+
+std::string mode_token(tables::TcamMode mode) { return tables::to_string(mode); }
+
+bool parse_mode(const std::string& token, tables::TcamMode* out) {
+  if (token == "single-wide") { *out = tables::TcamMode::kSingleWide; return true; }
+  if (token == "double-wide") { *out = tables::TcamMode::kDoubleWide; return true; }
+  if (token == "adaptive") { *out = tables::TcamMode::kAdaptive; return true; }
+  return false;
+}
+
+}  // namespace
+
+void write_knowledge(std::ostream& out, const std::string& key,
+                     const SwitchKnowledge& knowledge) {
+  out << "[switch " << key << "]\n";
+  out << "layer_sizes =";
+  for (double v : knowledge.sizes.layer_sizes) out << ' ' << v;
+  out << "\n";
+  out << "hit_rule_cap = " << (knowledge.sizes.hit_rule_cap ? 1 : 0) << "\n";
+  out << "installed = " << knowledge.sizes.installed << "\n";
+  out << "cluster_centers_ms =";
+  for (const auto& c : knowledge.sizes.clusters) out << ' ' << c.center;
+  out << "\n";
+  if (knowledge.policy.has_value()) {
+    out << "policy =";
+    for (const auto& k : knowledge.policy->policy.keys()) {
+      out << ' ' << attr_token(k.attr) << ':'
+          << (k.dir == Direction::kPreferHigh ? "high" : "low");
+    }
+    out << "\n";
+  }
+  if (knowledge.width.has_value() && !knowledge.width->unbounded) {
+    out << "tcam_mode = " << mode_token(knowledge.width->mode) << "\n";
+    out << "shape_capacities = " << knowledge.width->capacity_l2 << ' '
+        << knowledge.width->capacity_l3 << ' ' << knowledge.width->capacity_wide
+        << "\n";
+  }
+  out << "costs = " << knowledge.costs.add_ascending_ms << ' '
+      << knowledge.costs.add_descending_ms << ' '
+      << knowledge.costs.add_same_priority_ms << ' '
+      << knowledge.costs.add_random_ms << ' ' << knowledge.costs.mod_ms << ' '
+      << knowledge.costs.del_ms << "\n\n";
+}
+
+Result<std::map<std::string, SwitchKnowledge>> read_knowledge(std::istream& in) {
+  std::map<std::string, SwitchKnowledge> records;
+  SwitchKnowledge* current = nullptr;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.front() == '[') {
+      const auto close = line.find(']');
+      if (close == std::string::npos || line.rfind("[switch ", 0) != 0) {
+        return Error{"bad section header at line " + std::to_string(line_no)};
+      }
+      const std::string key = line.substr(8, close - 8);
+      current = &records[key];
+      current->name = key;
+      continue;
+    }
+    if (current == nullptr) {
+      return Error{"data before any [switch] section at line " +
+                   std::to_string(line_no)};
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Error{"missing '=' at line " + std::to_string(line_no)};
+    }
+    std::string field = line.substr(0, eq);
+    while (!field.empty() && field.back() == ' ') field.pop_back();
+    std::istringstream values(line.substr(eq + 1));
+
+    if (field == "layer_sizes") {
+      double v;
+      while (values >> v) current->sizes.layer_sizes.push_back(v);
+    } else if (field == "hit_rule_cap") {
+      int v = 0;
+      values >> v;
+      current->sizes.hit_rule_cap = v != 0;
+    } else if (field == "installed") {
+      values >> current->sizes.installed;
+    } else if (field == "cluster_centers_ms") {
+      double v;
+      while (values >> v) {
+        stats::Cluster c;
+        c.center = v;
+        c.lo = v;
+        c.hi = v;
+        current->sizes.clusters.push_back(c);
+      }
+    } else if (field == "policy") {
+      std::vector<tables::PolicyKey> keys;
+      std::string token;
+      while (values >> token) {
+        const auto colon = token.find(':');
+        if (colon == std::string::npos) {
+          return Error{"bad policy token at line " + std::to_string(line_no)};
+        }
+        tables::PolicyKey key;
+        if (!parse_attr(token.substr(0, colon), &key.attr)) {
+          return Error{"unknown attribute at line " + std::to_string(line_no)};
+        }
+        key.dir = token.substr(colon + 1) == "high" ? Direction::kPreferHigh
+                                                    : Direction::kPreferLow;
+        keys.push_back(key);
+      }
+      PolicyInferenceResult policy;
+      policy.policy = tables::LexCachePolicy::lex(std::move(keys));
+      current->policy = std::move(policy);
+    } else if (field == "tcam_mode") {
+      std::string token;
+      values >> token;
+      WidthInferenceResult width = current->width.value_or(WidthInferenceResult{});
+      if (!parse_mode(token, &width.mode)) {
+        return Error{"unknown tcam mode at line " + std::to_string(line_no)};
+      }
+      current->width = width;
+    } else if (field == "shape_capacities") {
+      WidthInferenceResult width = current->width.value_or(WidthInferenceResult{});
+      values >> width.capacity_l2 >> width.capacity_l3 >> width.capacity_wide;
+      current->width = width;
+    } else if (field == "costs") {
+      values >> current->costs.add_ascending_ms >>
+          current->costs.add_descending_ms >>
+          current->costs.add_same_priority_ms >> current->costs.add_random_ms >>
+          current->costs.mod_ms >> current->costs.del_ms;
+    } else {
+      return Error{"unknown field '" + field + "' at line " +
+                   std::to_string(line_no)};
+    }
+    if (values.fail() && !values.eof()) {
+      return Error{"unparsable values at line " + std::to_string(line_no)};
+    }
+  }
+  return records;
+}
+
+bool save_knowledge_file(const std::string& path,
+                         const std::map<std::string, SwitchKnowledge>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# Tango knowledge base (learned switch properties)\n";
+  for (const auto& [key, knowledge] : records) {
+    write_knowledge(out, key, knowledge);
+  }
+  return static_cast<bool>(out);
+}
+
+Result<std::map<std::string, SwitchKnowledge>> load_knowledge_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{"cannot open " + path};
+  return read_knowledge(in);
+}
+
+}  // namespace tango::core

@@ -1,0 +1,43 @@
+// Persistence for the Tango knowledge base.
+//
+// The paper's architecture (§4) keeps inference results in a central Score
+// Database precisely so they can be collected *offline* — "before the
+// switch is plugged in the network" — and shared across components. This
+// module serializes SwitchKnowledge records to a line-oriented text format
+// so a fleet can be probed once in a lab and the learned properties shipped
+// with the controller.
+//
+// Format (one record per switch, human-diffable):
+//
+//   [switch <name>]
+//   layer_sizes = 2047.0 1953.0
+//   hit_rule_cap = 1
+//   cluster_centers_ms = 0.665 3.7
+//   policy = use_time:high priority:low        (optional)
+//   tcam_mode = double-wide                     (optional)
+//   costs = asc desc same rand mod del          (ms per rule)
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "tango/tango.h"
+
+namespace tango::core {
+
+/// Serialize one knowledge record (append-friendly).
+void write_knowledge(std::ostream& out, const std::string& key,
+                     const SwitchKnowledge& knowledge);
+
+/// Parse every record in the stream; returns records keyed by name.
+Result<std::map<std::string, SwitchKnowledge>> read_knowledge(std::istream& in);
+
+/// File-level convenience wrappers.
+bool save_knowledge_file(const std::string& path,
+                         const std::map<std::string, SwitchKnowledge>& records);
+Result<std::map<std::string, SwitchKnowledge>> load_knowledge_file(
+    const std::string& path);
+
+}  // namespace tango::core

@@ -1,0 +1,145 @@
+#include "tango/latency_profiler.h"
+
+#include <algorithm>
+
+namespace tango::core {
+
+double OpCostEstimate::best_add_ms() const {
+  return std::min({add_ascending_ms, add_same_priority_ms});
+}
+
+bool OpCostEstimate::priority_sensitive(double threshold) const {
+  if (add_ascending_ms <= 0) return false;
+  return add_descending_ms / add_ascending_ms >= threshold;
+}
+
+std::vector<of::FlowMod> make_add_batch(std::uint32_t first_index,
+                                        std::size_t count,
+                                        const std::vector<std::uint16_t>& priorities) {
+  std::vector<of::FlowMod> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(ProbeEngine::probe_add(first_index + static_cast<std::uint32_t>(i),
+                                         priorities[i % priorities.size()]));
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> ascending_priorities(std::size_t count,
+                                                std::uint16_t base) {
+  std::vector<std::uint16_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::uint16_t>(base + i);
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> descending_priorities(std::size_t count,
+                                                 std::uint16_t base) {
+  auto out = ascending_priorities(count, base);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint16_t> constant_priorities(std::size_t count, std::uint16_t value) {
+  return std::vector<std::uint16_t>(count, value);
+}
+
+std::vector<std::uint16_t> random_priorities(std::size_t count, Rng& rng,
+                                             std::uint16_t base) {
+  auto out = ascending_priorities(count, base);
+  rng.shuffle(out);
+  return out;
+}
+
+namespace {
+
+/// Time an add batch against a fresh slate with `preinstalled` random-
+/// priority rules in place, then clean up. Returns ms per rule.
+double timed_add_run(ProbeEngine& probe, const LatencyProfileConfig& config,
+                     const std::vector<std::uint16_t>& priorities, Rng& rng,
+                     ScoreDb* scores, const std::string& name) {
+  probe.clear_rules();
+  auto pre = random_priorities(config.preinstalled, rng, config.preinstall_base);
+  probe.timed_batch(make_add_batch(0, config.preinstalled, pre));
+
+  TangoPattern pattern;
+  pattern.name = name;
+  pattern.commands = make_add_batch(static_cast<std::uint32_t>(config.preinstalled),
+                                    config.batch_size, priorities);
+  const auto m = probe.apply(pattern, scores);
+  return m.install_time.ms() / static_cast<double>(config.batch_size);
+}
+
+}  // namespace
+
+OpCostEstimate profile_op_costs(ProbeEngine& probe,
+                                const LatencyProfileConfig& config,
+                                ScoreDb* scores) {
+  OpCostEstimate est;
+  Rng rng(config.seed);
+
+  // Priority ranges relative to the preinstalled rules expose the TCAM
+  // physics: ascending/same-priority batches append above everything (no
+  // shifts); the descending batch sinks below every preinstalled entry
+  // (maximal shifts); the random batch lands amid them (about half).
+  const auto asc_base =
+      static_cast<std::uint16_t>(config.preinstall_base + config.preinstalled + 100);
+  const auto desc_base = static_cast<std::uint16_t>(
+      config.preinstall_base > config.batch_size + 1
+          ? config.preinstall_base - config.batch_size - 1
+          : 1);
+  est.add_ascending_ms =
+      timed_add_run(probe, config,
+                    ascending_priorities(config.batch_size, asc_base), rng,
+                    scores, "add.ascending");
+  est.add_descending_ms =
+      timed_add_run(probe, config,
+                    descending_priorities(config.batch_size, desc_base), rng,
+                    scores, "add.descending");
+  est.add_same_priority_ms = timed_add_run(probe, config,
+                                           constant_priorities(config.batch_size),
+                                           rng, scores, "add.same_priority");
+  est.add_random_ms = timed_add_run(
+      probe, config,
+      random_priorities(config.batch_size, rng, config.preinstall_base), rng,
+      scores, "add.random");
+
+  // Modify / delete: against the random-order table left by the last run.
+  {
+    std::vector<of::FlowMod> mods;
+    mods.reserve(config.batch_size);
+    for (std::size_t i = 0; i < config.batch_size; ++i) {
+      auto fm = ProbeEngine::probe_add(
+          static_cast<std::uint32_t>(config.preinstalled + i), 0x8000);
+      fm.command = of::FlowModCommand::kModify;
+      fm.actions = of::output_to(3);
+      mods.push_back(std::move(fm));
+    }
+    TangoPattern pattern;
+    pattern.name = "mod.existing";
+    pattern.commands = std::move(mods);
+    est.mod_ms = probe.apply(pattern, scores).install_time.ms() /
+                 static_cast<double>(config.batch_size);
+  }
+  {
+    std::vector<of::FlowMod> dels;
+    dels.reserve(config.batch_size);
+    for (std::size_t i = 0; i < config.batch_size; ++i) {
+      auto fm = ProbeEngine::probe_add(
+          static_cast<std::uint32_t>(config.preinstalled + i), 0x8000);
+      fm.command = of::FlowModCommand::kDelete;
+      dels.push_back(std::move(fm));
+    }
+    TangoPattern pattern;
+    pattern.name = "del.existing";
+    pattern.commands = std::move(dels);
+    est.del_ms = probe.apply(pattern, scores).install_time.ms() /
+                 static_cast<double>(config.batch_size);
+  }
+
+  probe.clear_rules();
+  return est;
+}
+
+}  // namespace tango::core

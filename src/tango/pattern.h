@@ -1,0 +1,66 @@
+// Tango patterns and the central pattern/score databases (paper §4).
+//
+// A Tango pattern is "a sequence of standard OpenFlow flow_mod commands and
+// a corresponding data traffic pattern". The Probing Engine applies a
+// pattern to a switch and records a PatternMeasurement into the ScoreDb,
+// which every other component (inference engine, schedulers) reads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "openflow/messages.h"
+#include "openflow/packet.h"
+
+namespace tango::core {
+
+struct TangoPattern {
+  std::string name;
+  /// Control-plane command sequence, issued in order.
+  std::vector<of::FlowMod> commands;
+  /// Data traffic to send after the commands complete (one probe each).
+  std::vector<of::PacketHeader> traffic;
+};
+
+struct PatternMeasurement {
+  std::string pattern;
+  SwitchId switch_id = 0;
+  /// Barrier-to-barrier time for the whole command sequence.
+  SimDuration install_time{};
+  /// Commands that the switch rejected (table full etc.).
+  std::size_t rejected = 0;
+  /// Per-probe data-plane round trips, in traffic order.
+  std::vector<SimDuration> rtts;
+};
+
+/// Extensible registry of named patterns (per §4, components generate the
+/// patterns they need and store them here for reuse).
+class PatternDb {
+ public:
+  void put(TangoPattern pattern);
+  [[nodiscard]] const TangoPattern* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, TangoPattern> patterns_;
+};
+
+/// Measurement results shared across Tango components, keyed by
+/// (switch, pattern name). Later measurements of the same key overwrite.
+class ScoreDb {
+ public:
+  void record(PatternMeasurement m);
+  [[nodiscard]] const PatternMeasurement* find(SwitchId sw,
+                                               const std::string& pattern) const;
+  [[nodiscard]] std::vector<const PatternMeasurement*> for_switch(SwitchId sw) const;
+  [[nodiscard]] std::size_t size() const { return db_.size(); }
+
+ private:
+  std::map<std::pair<SwitchId, std::string>, PatternMeasurement> db_;
+};
+
+}  // namespace tango::core

@@ -1,0 +1,71 @@
+// Cache-replacement-policy inference — the paper's Algorithm 2 (§5.3).
+//
+// The engine installs 2 * cache_size probe flows and initializes each
+// candidate attribute (insertion time, use time, traffic count, priority)
+// to an independent permutation of ranks, so that no attribute's top half
+// coincides with another's. After a measurement pass (probing in
+// most-recently-used-first order, which preserves the relative use-time
+// ordering at every measurement instant), the flows whose RTT falls in the
+// fastest cluster are the cached set; the attribute whose ranks correlate
+// most strongly (positively or negatively) with membership is the policy's
+// primary sort key. Non-serial keys (priority, traffic) are then held
+// constant and the procedure recurses to find tie-break keys; serial keys
+// (insertion, use time) are unique by construction, so recursion stops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "tables/cache_policy.h"
+#include "tango/probe_engine.h"
+
+namespace tango::core {
+
+struct PolicyInferenceConfig {
+  /// Ground cache size (level-0 capacity), usually from size inference.
+  std::size_t cache_size = 100;
+  /// Traffic-count spacing between adjacent ranks (must exceed the number
+  /// of extra probes each flow receives during measurement: MONOTONE makes
+  /// anything >= 2 sufficient; we keep the paper's value 10 configurable).
+  std::size_t traffic_spacing = 4;
+  /// Priority spacing between adjacent ranks.
+  std::uint16_t priority_spacing = 8;
+  /// |correlation| below this is treated as "no further signal". The
+  /// threshold is deliberately high: when a traffic-count key has been
+  /// held constant (equalized), the measurement probes themselves perturb
+  /// the equalized counts, which induces spurious weak correlations on the
+  /// remaining attributes — genuine sort keys show |r| near 0.9 under this
+  /// pattern, so anything far below is noise.
+  double min_correlation = 0.6;
+  /// Number of leading RTT clusters treated as "cached" when computing
+  /// membership. 1 infers the policy at the fastest-table boundary; k > 1
+  /// infers the policy governing the top k tiers of a multi-level cache
+  /// (cache_size must then be the combined capacity of those tiers).
+  std::size_t cached_clusters = 1;
+  std::uint64_t seed = 7;
+};
+
+struct PolicyInferenceResult {
+  tables::LexCachePolicy policy;
+  /// |correlation| achieved per inferred key (diagnostic).
+  std::vector<double> correlations;
+  /// Number of recursion rounds executed.
+  std::size_t rounds = 0;
+};
+
+/// Initialized per-flow attribute ranks for one probing round; exposed so
+/// the Fig 6 bench can visualize the pattern.
+struct AttributeInit {
+  std::vector<std::size_t> insertion_rank;  // position in install order
+  std::vector<std::size_t> use_rank;        // position in use-time order
+  std::vector<std::size_t> traffic_rank;
+  std::vector<std::size_t> priority_rank;
+};
+
+AttributeInit make_attribute_init(std::size_t flows, Rng& rng);
+
+PolicyInferenceResult infer_policy(ProbeEngine& probe,
+                                   const PolicyInferenceConfig& config = {});
+
+}  // namespace tango::core

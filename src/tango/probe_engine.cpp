@@ -1,0 +1,103 @@
+#include "tango/probe_engine.h"
+
+namespace tango::core {
+
+ProbeEngine::ProbeEngine(net::Network& network, SwitchId switch_id)
+    : network_(network), switch_id_(switch_id) {}
+
+namespace {
+
+of::MacAddr probe_mac(std::uint32_t index) {
+  return {0x02, 0x10, static_cast<std::uint8_t>(index >> 16),
+          static_cast<std::uint8_t>(index >> 8),
+          static_cast<std::uint8_t>(index), 0x01};
+}
+
+}  // namespace
+
+of::Match ProbeEngine::probe_match(std::uint32_t index, RuleShape shape) {
+  of::Match m;
+  if (shape != RuleShape::kL2Only) {
+    m.with_dl_type(0x0800);
+    m.set_nw_src_prefix(0x0a000000u + index, 32);   // 10.x.y.z
+    m.set_nw_dst_prefix(0xc0a80000u + index, 32);   // 192.168+ offset
+  }
+  if (shape != RuleShape::kL3Only) {
+    m.with_dl_dst(probe_mac(index));
+  }
+  return m;
+}
+
+of::PacketHeader ProbeEngine::probe_packet(std::uint32_t index, RuleShape shape) {
+  of::PacketHeader h;
+  h.in_port = 1;
+  h.dl_type = 0x0800;
+  h.nw_src = 0x0a000000u + index;
+  h.nw_dst = 0xc0a80000u + index;
+  h.nw_proto = 6;
+  h.tp_src = 10000;
+  h.tp_dst = 80;
+  if (shape != RuleShape::kL3Only) h.dl_dst = probe_mac(index);
+  return h;
+}
+
+of::FlowMod ProbeEngine::probe_add(std::uint32_t index, std::uint16_t priority,
+                                   RuleShape shape) {
+  of::FlowMod fm;
+  fm.command = of::FlowModCommand::kAdd;
+  fm.match = probe_match(index, shape);
+  fm.priority = priority;
+  fm.cookie = index;
+  fm.actions = of::output_to(2);
+  return fm;
+}
+
+bool ProbeEngine::install(std::uint32_t index, std::uint16_t priority,
+                          RuleShape shape) {
+  return network_.install(switch_id_, probe_add(index, priority, shape)).accepted;
+}
+
+void ProbeEngine::clear_rules() {
+  of::FlowMod fm;
+  fm.command = of::FlowModCommand::kDelete;
+  fm.match = of::Match::any();
+  network_.install(switch_id_, fm);
+  network_.barrier_sync(switch_id_);
+}
+
+SimDuration ProbeEngine::probe_flow(std::uint32_t index) {
+  return network_.probe(switch_id_, probe_packet(index)).rtt;
+}
+
+SimDuration ProbeEngine::timed_batch(const std::vector<of::FlowMod>& commands,
+                                     std::size_t* rejected) {
+  const SimTime start = network_.barrier_sync(switch_id_);
+  std::size_t rejections = 0;
+  for (const auto& fm : commands) {
+    network_.post_flow_mod(switch_id_, fm, [&rejections](bool accepted, SimTime) {
+      if (!accepted) ++rejections;
+    });
+  }
+  const SimTime done = network_.barrier_sync(switch_id_);
+  if (rejected != nullptr) *rejected = rejections;
+  return done - start;
+}
+
+PatternMeasurement ProbeEngine::apply(const TangoPattern& pattern, ScoreDb* scores) {
+  PatternMeasurement m;
+  m.pattern = pattern.name;
+  m.switch_id = switch_id_;
+  m.install_time = timed_batch(pattern.commands, &m.rejected);
+  m.rtts.reserve(pattern.traffic.size());
+  for (const auto& header : pattern.traffic) {
+    m.rtts.push_back(network_.probe(switch_id_, header).rtt);
+  }
+  if (scores != nullptr) scores->record(m);
+  return m;
+}
+
+const net::ChannelStats& ProbeEngine::overhead() const {
+  return network_.stats(switch_id_);
+}
+
+}  // namespace tango::core

@@ -1,0 +1,65 @@
+// The Tango Probing Engine (paper §4): applies Tango patterns to a switch
+// over the real OpenFlow channel and collects measurements.
+//
+// Probe flows are indexed 0..N: flow i matches the exact IPv4 pair
+// (10.x.y.z, 192.168+i) so probe rules never overlap each other and are
+// L3-only (single-wide TCAM shape). probe_flow(i) sends a packet matching
+// exactly rule i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "tango/pattern.h"
+
+namespace tango::core {
+
+/// Header layers a probe rule constrains — used by the TCAM-width
+/// inference pattern (§3's single/double-wide capacity differences).
+enum class RuleShape { kL3Only, kL2Only, kL2AndL3 };
+
+class ProbeEngine {
+ public:
+  ProbeEngine(net::Network& network, SwitchId switch_id);
+
+  /// Match/packet construction for probe flow `index`. The default L3-only
+  /// shape is single-wide on every TCAM mode that supports it.
+  [[nodiscard]] static of::Match probe_match(std::uint32_t index,
+                                             RuleShape shape = RuleShape::kL3Only);
+  [[nodiscard]] static of::PacketHeader probe_packet(
+      std::uint32_t index, RuleShape shape = RuleShape::kL3Only);
+  [[nodiscard]] static of::FlowMod probe_add(std::uint32_t index,
+                                             std::uint16_t priority = 0x8000,
+                                             RuleShape shape = RuleShape::kL3Only);
+
+  /// Install one probe rule (synchronous). Returns false on rejection.
+  bool install(std::uint32_t index, std::uint16_t priority = 0x8000,
+               RuleShape shape = RuleShape::kL3Only);
+
+  /// Delete every probe rule (and anything else matching-all).
+  void clear_rules();
+
+  /// Send a probe packet for flow `index`; returns its data-path RTT.
+  SimDuration probe_flow(std::uint32_t index);
+
+  /// Issue a command sequence and time it barrier-to-barrier; then send the
+  /// pattern's traffic, collecting RTTs. Records into `scores` if given.
+  PatternMeasurement apply(const TangoPattern& pattern, ScoreDb* scores = nullptr);
+
+  /// Barrier-timed batch: send all commands, wait for barrier, return span.
+  SimDuration timed_batch(const std::vector<of::FlowMod>& commands,
+                          std::size_t* rejected = nullptr);
+
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] SwitchId switch_id() const { return switch_id_; }
+
+  /// Probing overhead so far (messages/bytes on this switch's channel).
+  [[nodiscard]] const net::ChannelStats& overhead() const;
+
+ private:
+  net::Network& network_;
+  SwitchId switch_id_;
+};
+
+}  // namespace tango::core

@@ -1,0 +1,135 @@
+#include "tango/tango.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tango::core {
+
+std::size_t SwitchKnowledge::fast_table_size() const {
+  if (sizes.layer_sizes.empty()) return 0;
+  if (sizes.clusters.size() == 1 && sizes.hit_rule_cap) return 0;  // unbounded
+  return static_cast<std::size_t>(std::llround(sizes.layer_sizes.front()));
+}
+
+std::string SwitchKnowledge::summary() const {
+  std::string out = name + ": layers=[";
+  for (std::size_t i = 0; i < sizes.layer_sizes.size(); ++i) {
+    if (i > 0) out += ", ";
+    const bool last_unbounded = sizes.hit_rule_cap && i + 1 == sizes.layer_sizes.size();
+    if (last_unbounded) {
+      out += ">" + std::to_string(static_cast<long long>(sizes.layer_sizes[i]));
+    } else {
+      out += std::to_string(static_cast<long long>(std::llround(sizes.layer_sizes[i])));
+    }
+  }
+  out += "]";
+  if (policy.has_value()) {
+    out += " policy={" + policy->policy.describe() + "}";
+  }
+  if (width.has_value() && !width->unbounded) {
+    out += " tcam=" + tables::to_string(width->mode);
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                " add[asc %.3f, desc %.3f, same %.3f, rand %.3f] mod %.3f del "
+                "%.3f (ms/rule)",
+                costs.add_ascending_ms, costs.add_descending_ms,
+                costs.add_same_priority_ms, costs.add_random_ms, costs.mod_ms,
+                costs.del_ms);
+  out += buf;
+  return out;
+}
+
+const SwitchKnowledge& TangoController::learn(SwitchId id,
+                                              const LearnOptions& options) {
+  if (const auto it = knowledge_.find(id); it != knowledge_.end()) {
+    return it->second;
+  }
+  SwitchKnowledge know;
+  know.switch_id = id;
+  know.name = network_.sw(id).profile().name;
+
+  ProbeEngine probe(network_, id);
+  probe.clear_rules();
+  know.sizes = infer_sizes(probe, options.size);
+  probe.clear_rules();
+
+  const std::size_t fast = [&]() -> std::size_t {
+    if (know.sizes.layer_sizes.empty()) return 0;
+    if (know.sizes.clusters.size() <= 1) return 0;
+    return static_cast<std::size_t>(std::llround(know.sizes.layer_sizes.front()));
+  }();
+  if (options.infer_policy && fast > 0 && fast <= options.max_policy_cache_size) {
+    PolicyInferenceConfig pc;
+    pc.cache_size = fast;
+    know.policy = infer_policy(probe, pc);
+  }
+  probe.clear_rules();
+
+  // Size the profiling batches to the switch: the probe workload must fit
+  // inside a bounded table or every measurement would just be rejections.
+  auto latency_config = options.latency;
+  std::size_t total_capacity = 0;
+  if (!know.sizes.hit_rule_cap) {
+    total_capacity = know.sizes.installed;
+  }
+  if (total_capacity > 0) {
+    latency_config.preinstalled =
+        std::min(latency_config.preinstalled, total_capacity / 2);
+    latency_config.batch_size =
+        std::min(latency_config.batch_size,
+                 std::max<std::size_t>(1, total_capacity / 3));
+  }
+  know.costs = profile_op_costs(probe, latency_config, &scores_);
+  probe.clear_rules();
+
+  if (options.infer_width) {
+    WidthInferenceConfig wc;
+    wc.size = options.size;
+    wc.max_rules = std::max<std::size_t>(options.size.max_rules, 256);
+    know.width = infer_width(probe, wc);
+    probe.clear_rules();
+  }
+
+  auto [it, _] = knowledge_.emplace(id, std::move(know));
+  return it->second;
+}
+
+double TangoController::spot_check(SwitchId id, std::size_t batch) {
+  const auto it = knowledge_.find(id);
+  if (it == knowledge_.end()) return -1.0;
+  const double learned_ms = it->second.costs.add_ascending_ms;
+  if (learned_ms <= 0) return -1.0;
+
+  ProbeEngine probe(network_, id);
+  // A fresh high-priority band so the batch appends (ascending regime) and
+  // is trivially removable afterwards.
+  const auto priorities = ascending_priorities(batch, 0x7000);
+  const std::uint32_t first = 0x00f00000;  // away from workload flow ids
+  const auto elapsed = probe.timed_batch(make_add_batch(first, batch, priorities));
+  // Clean up the probe rules only.
+  std::vector<of::FlowMod> dels;
+  for (std::size_t i = 0; i < batch; ++i) {
+    auto fm = ProbeEngine::probe_add(first + static_cast<std::uint32_t>(i));
+    fm.command = of::FlowModCommand::kDelete;
+    dels.push_back(std::move(fm));
+  }
+  probe.timed_batch(dels);
+
+  const double measured_ms = elapsed.ms() / static_cast<double>(batch);
+  return std::abs(measured_ms / learned_ms - 1.0);
+}
+
+const SwitchKnowledge& TangoController::refresh(SwitchId id,
+                                                const LearnOptions& options) {
+  knowledge_.erase(id);
+  return learn(id, options);
+}
+
+const SwitchKnowledge* TangoController::knowledge(SwitchId id) const {
+  const auto it = knowledge_.find(id);
+  return it == knowledge_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tango::core

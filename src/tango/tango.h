@@ -1,0 +1,79 @@
+// TangoController — the facade that ties the framework together (paper
+// Fig 4): pattern & score databases, probing engine, and switch inference
+// engine. learn() runs the full inference pipeline for one switch and
+// caches a SwitchKnowledge record that schedulers and applications consume.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/network.h"
+#include "tables/cache_policy.h"
+#include "tango/latency_profiler.h"
+#include "tango/pattern.h"
+#include "tango/policy_inference.h"
+#include "tango/size_inference.h"
+#include "tango/width_inference.h"
+
+namespace tango::core {
+
+struct SwitchKnowledge {
+  SwitchId switch_id = 0;
+  std::string name;
+  SizeInferenceResult sizes;
+  std::optional<PolicyInferenceResult> policy;
+  std::optional<WidthInferenceResult> width;
+  OpCostEstimate costs;
+
+  /// Inferred fast-table (level 0) capacity, 0 when unbounded/unknown.
+  [[nodiscard]] std::size_t fast_table_size() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+struct LearnOptions {
+  SizeInferenceConfig size;
+  LatencyProfileConfig latency;
+  /// Policy inference needs a bounded fast table and O(cache) probes; it is
+  /// skipped for switches whose fast table looks unbounded or larger than
+  /// this (probing cost guard).
+  std::size_t max_policy_cache_size = 2048;
+  bool infer_policy = true;
+  /// TCAM width/mode probing (three full fills: the most expensive
+  /// pattern, off by default).
+  bool infer_width = false;
+};
+
+class TangoController {
+ public:
+  explicit TangoController(net::Network& network) : network_(network) {}
+
+  /// Run (or return cached) full inference for a switch.
+  const SwitchKnowledge& learn(SwitchId id, const LearnOptions& options = {});
+
+  /// Cheap online drift check (the "online testing when the switch is
+  /// running" mode of §4): time one small ascending-add batch and compare
+  /// against the learned per-rule cost. Returns |measured/learned - 1|, or
+  /// a negative value when the switch has not been learned yet. The probe
+  /// rules are cleaned up afterwards.
+  double spot_check(SwitchId id, std::size_t batch = 50);
+
+  /// Drop cached knowledge and re-run inference (e.g. after spot_check
+  /// reports drift beyond tolerance).
+  const SwitchKnowledge& refresh(SwitchId id, const LearnOptions& options = {});
+
+  [[nodiscard]] const SwitchKnowledge* knowledge(SwitchId id) const;
+  [[nodiscard]] bool knows(SwitchId id) const { return knowledge(id) != nullptr; }
+
+  PatternDb& patterns() { return patterns_; }
+  ScoreDb& scores() { return scores_; }
+  net::Network& network() { return network_; }
+
+ private:
+  net::Network& network_;
+  PatternDb patterns_;
+  ScoreDb scores_;
+  std::map<SwitchId, SwitchKnowledge> knowledge_;
+};
+
+}  // namespace tango::core

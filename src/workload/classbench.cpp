@@ -1,0 +1,123 @@
+#include "workload/classbench.h"
+
+#include <set>
+#include <tuple>
+
+namespace tango::workload {
+
+ClassbenchProfile cb1() {
+  ClassbenchProfile p;
+  p.name = "Classbench1";
+  p.n_rules = 829;
+  p.seed = 0xcb01;
+  p.chain_len = 15;
+  p.n_chains = 3;
+  p.port_prob = 0.68;
+  return p;
+}
+
+ClassbenchProfile cb2() {
+  ClassbenchProfile p;
+  p.name = "Classbench2";
+  p.n_rules = 989;
+  p.seed = 0xcb02;
+  p.chain_len = 9;
+  p.n_chains = 5;
+  p.port_prob = 0.3;
+  return p;
+}
+
+ClassbenchProfile cb3() {
+  ClassbenchProfile p;
+  p.name = "Classbench3";
+  p.n_rules = 972;
+  p.seed = 0xcb03;
+  p.chain_len = 8;
+  p.n_chains = 6;
+  p.port_prob = 0.25;
+  return p;
+}
+
+namespace {
+
+struct PrefixNode {
+  std::uint32_t addr = 0;
+  int len = 0;
+};
+
+// Real ClassBench filter sets reuse a small pool of heavily nested
+// prefixes, which is what creates rule-dependency chains tens of rules
+// deep. We model that pool as a handful of *chains*: each chain is a
+// root-to-leaf sequence of strictly nested prefixes, so any two prefixes
+// drawn from the same chain are ancestor/descendant (guaranteed overlap in
+// that dimension); prefixes from different chains are disjoint.
+std::vector<std::vector<PrefixNode>> make_chains(std::uint32_t root_addr,
+                                                 int root_len,
+                                                 std::size_t n_chains,
+                                                 std::size_t chain_len, Rng& rng) {
+  std::vector<std::vector<PrefixNode>> chains(n_chains);
+  for (std::size_t c = 0; c < n_chains; ++c) {
+    // Distinct subtree per chain: extend the root by enough bits to index
+    // the chain, making chains pairwise disjoint.
+    int bits = 1;
+    while ((1u << bits) < n_chains) ++bits;
+    PrefixNode node;
+    node.len = root_len + bits;
+    node.addr = root_addr | (static_cast<std::uint32_t>(c) << (32 - node.len));
+    chains[c].push_back(node);
+    for (std::size_t d = 1; d < chain_len && node.len < 31; ++d) {
+      const int extra = static_cast<int>(rng.uniform_int(1, 2));
+      node.len = std::min(32, node.len + extra);
+      const std::uint32_t suffix =
+          static_cast<std::uint32_t>(rng.uniform_int(0, (1 << extra) - 1));
+      node.addr |= suffix << (32 - node.len);
+      chains[c].push_back(node);
+    }
+  }
+  return chains;
+}
+
+const PrefixNode& pick(const std::vector<std::vector<PrefixNode>>& chains,
+                       Rng& rng) {
+  const auto& chain = chains[rng.index(chains.size())];
+  return chain[rng.index(chain.size())];
+}
+
+}  // namespace
+
+std::vector<AclRule> generate_classbench(const ClassbenchProfile& profile) {
+  Rng rng(profile.seed);
+  const auto src_chains = make_chains(0x0a000000, 8, profile.n_chains,
+                                      profile.chain_len, rng);  // 10/8
+  const auto dst_chains = make_chains(0xac100000, 12, profile.n_chains,
+                                      profile.chain_len, rng);  // 172.16/12
+
+  std::vector<AclRule> rules;
+  rules.reserve(profile.n_rules);
+  std::set<std::tuple<std::uint32_t, int, std::uint32_t, int, int, int>> seen;
+
+  while (rules.size() < profile.n_rules) {
+    const auto& src = pick(src_chains, rng);
+    const auto& dst = pick(dst_chains, rng);
+    const int proto = rng.chance(profile.proto_prob)
+                          ? (rng.chance(0.7) ? 6 : 17)
+                          : -1;
+    const int port = rng.chance(profile.port_prob)
+                         ? static_cast<int>(rng.uniform_int(1, 1024))
+                         : -1;
+    if (!seen.insert({src.addr, src.len, dst.addr, dst.len, proto, port}).second) {
+      continue;  // duplicate rule — ClassBench files have unique filters
+    }
+    AclRule rule;
+    rule.original_index = rules.size();
+    rule.match.with_dl_type(0x0800);
+    rule.match.set_nw_src_prefix(src.addr, src.len);
+    rule.match.set_nw_dst_prefix(dst.addr, dst.len);
+    if (proto >= 0) rule.match.with_nw_proto(static_cast<std::uint8_t>(proto));
+    if (port >= 0) rule.match.with_tp_dst(static_cast<std::uint16_t>(port));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace tango::workload

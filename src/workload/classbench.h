@@ -1,0 +1,51 @@
+// ClassBench-style synthetic ACL generation.
+//
+// The paper's single-switch evaluation (§7.1, Table 2, Figs 8-9) uses three
+// ClassBench [21] access-control lists to obtain realistic rule sets with
+// overlap-induced dependencies. The real filter sets are not distributed
+// with the paper, so we generate structurally similar ones: 5-tuple rules
+// whose source/destination IPv4 prefixes are drawn from a small pool of
+// nested prefix chains, yielding overlap chains tens of rules deep — the
+// property the priority-assignment experiments exercise.
+// Three seeded profiles (cb1/cb2/cb3) are sized like Table 2's files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "openflow/match.h"
+
+namespace tango::workload {
+
+struct AclRule {
+  of::Match match;
+  /// Position in the original (first-match-wins) ACL ordering.
+  std::size_t original_index = 0;
+};
+
+struct ClassbenchProfile {
+  std::string name = "cb";
+  std::size_t n_rules = 800;
+  std::uint64_t seed = 1;
+  /// Length of each nested-prefix chain (drives dependency-chain depth).
+  std::size_t chain_len = 10;
+  /// Number of disjoint prefix chains per dimension (drives overlap
+  /// density: two rules can only overlap when they draw from the same
+  /// source and destination chains).
+  std::size_t n_chains = 4;
+  /// Probability a rule constrains the transport destination port.
+  double port_prob = 0.35;
+  /// Probability a rule constrains the IP protocol.
+  double proto_prob = 0.5;
+};
+
+/// The three paper-like profiles (sizes match Table 2's "Flows Installed").
+ClassbenchProfile cb1();
+ClassbenchProfile cb2();
+ClassbenchProfile cb3();
+
+std::vector<AclRule> generate_classbench(const ClassbenchProfile& profile);
+
+}  // namespace tango::workload

@@ -1,0 +1,79 @@
+#include "workload/dependency.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace tango::workload {
+
+RuleDag RuleDag::build(const std::vector<AclRule>& rules) {
+  RuleDag dag;
+  const std::size_t n = rules.size();
+  dag.succs_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rules[i].match.overlaps(rules[j].match)) {
+        dag.succs_[i].push_back(j);
+        ++dag.edges_;
+      }
+    }
+  }
+  return dag;
+}
+
+std::vector<std::size_t> RuleDag::layers() const {
+  if (layer_cache_.size() == succs_.size() && !succs_.empty()) return layer_cache_;
+  const std::size_t n = succs_.size();
+  std::vector<std::size_t> layer(n, 0);
+  // Edges always point forward (i < j), so a reverse index scan is a
+  // topological order.
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j : succs_[i]) {
+      layer[i] = std::max(layer[i], layer[j] + 1);
+    }
+  }
+  layer_cache_ = layer;
+  return layer;
+}
+
+std::size_t RuleDag::depth() const {
+  const auto layer = layers();
+  std::size_t best = 0;
+  for (std::size_t v : layer) best = std::max(best, v);
+  return succs_.empty() ? 0 : best + 1;
+}
+
+std::vector<std::uint16_t> RuleDag::topological_priorities(std::uint16_t base,
+                                                           std::uint16_t step) const {
+  const auto layer = layers();
+  std::vector<std::uint16_t> out(layer.size());
+  for (std::size_t i = 0; i < layer.size(); ++i) {
+    out[i] = static_cast<std::uint16_t>(base + step * layer[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> RuleDag::r_priorities(std::uint16_t base) const {
+  const auto layer = layers();
+  const std::size_t n = layer.size();
+  // Sort by (layer, index); assign increasing distinct values. If layer(i)
+  // > layer(j) then value(i) > value(j); an edge i->j implies
+  // layer(i) >= layer(j)+1, so all constraints hold.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (layer[a] != layer[b]) return layer[a] < layer[b];
+    return a < b;
+  });
+  std::vector<std::uint16_t> out(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    out[order[rank]] = static_cast<std::uint16_t>(base + rank);
+  }
+  return out;
+}
+
+std::size_t RuleDag::distinct_count(const std::vector<std::uint16_t>& priorities) {
+  return std::set<std::uint16_t>(priorities.begin(), priorities.end()).size();
+}
+
+}  // namespace tango::workload

@@ -1,0 +1,57 @@
+// Rule-dependency analysis and priority assignment (Maple-style, paper [23]).
+//
+// In a first-match-wins ACL, whenever two rules overlap, the earlier-listed
+// rule must carry strictly higher priority in an OpenFlow table. The
+// dependency graph has an edge i -> j for every overlapping pair with
+// i earlier than j. From it we derive:
+//
+//  * Topological priorities — the minimum number of distinct priority
+//    values: rules on the same layer of the longest-path layering share one
+//    value (Table 2's "Topological Priorities" column), and
+//  * R priorities — a 1-1 assignment (one distinct value per rule) that
+//    still satisfies every constraint (Table 2's "R Priorities").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/classbench.h"
+
+namespace tango::workload {
+
+class RuleDag {
+ public:
+  /// Build the overlap-dependency DAG of an ACL (O(n^2) overlap tests).
+  static RuleDag build(const std::vector<AclRule>& rules);
+
+  [[nodiscard]] std::size_t size() const { return succs_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& successors(std::size_t i) const {
+    return succs_[i];
+  }
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+
+  /// Longest-chain length == number of distinct topological priorities.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Per-rule layer: layer(i) = longest overlap chain starting at i going
+  /// toward later rules. priority(i) = layer(i) satisfies all constraints
+  /// with depth() distinct values.
+  [[nodiscard]] std::vector<std::size_t> layers() const;
+
+  /// Topological priorities: value = base + step * layer.
+  [[nodiscard]] std::vector<std::uint16_t> topological_priorities(
+      std::uint16_t base = 100, std::uint16_t step = 1) const;
+
+  /// R priorities: distinct value per rule, constraint-consistent.
+  [[nodiscard]] std::vector<std::uint16_t> r_priorities(std::uint16_t base = 100) const;
+
+  /// Count of distinct values in an assignment (Table 2 columns).
+  static std::size_t distinct_count(const std::vector<std::uint16_t>& priorities);
+
+ private:
+  std::vector<std::vector<std::size_t>> succs_;
+  std::size_t edges_ = 0;
+  mutable std::vector<std::size_t> layer_cache_;
+};
+
+}  // namespace tango::workload

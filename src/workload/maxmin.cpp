@@ -1,0 +1,183 @@
+#include "workload/maxmin.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "tango/probe_engine.h"
+
+namespace tango::workload {
+
+std::vector<Allocation> maxmin_allocate(const net::Topology& topo,
+                                        std::vector<Demand> demands) {
+  std::vector<Allocation> out;
+  out.reserve(demands.size());
+  // Fixed single-path routing (latency-shortest), like B4's tunnel set
+  // restricted to the preferred tunnel.
+  std::vector<std::vector<std::size_t>> links_of(demands.size());
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    Allocation a;
+    a.demand = demands[d];
+    a.path = topo.shortest_path(demands[d].src, demands[d].dst);
+    out.push_back(std::move(a));
+    auto& links = links_of[d];
+    const auto& path = out[d].path;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (auto li = topo.link_between(path[i], path[i + 1])) links.push_back(*li);
+    }
+  }
+
+  std::vector<double> residual(topo.link_count());
+  for (std::size_t li = 0; li < topo.link_count(); ++li) {
+    residual[li] = topo.link(li).capacity_gbps;
+  }
+
+  std::vector<bool> frozen(demands.size(), false);
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    if (out[d].path.size() < 2) frozen[d] = true;  // unroutable or local
+  }
+
+  while (true) {
+    // Demands per link among unfrozen.
+    std::map<std::size_t, std::size_t> users;
+    std::size_t active = 0;
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      if (frozen[d]) continue;
+      ++active;
+      for (std::size_t li : links_of[d]) ++users[li];
+    }
+    if (active == 0) break;
+
+    // The water level can rise until the tightest link saturates or a
+    // demand reaches its requested rate.
+    double step = std::numeric_limits<double>::max();
+    for (const auto& [li, cnt] : users) {
+      step = std::min(step, residual[li] / static_cast<double>(cnt));
+    }
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      if (!frozen[d]) {
+        step = std::min(step, demands[d].requested_gbps - out[d].rate_gbps);
+      }
+    }
+    if (step <= 1e-12) step = 0;
+
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      if (frozen[d]) continue;
+      out[d].rate_gbps += step;
+      for (std::size_t li : links_of[d]) residual[li] -= step;
+    }
+    // Freeze satisfied demands and demands on saturated links.
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      if (frozen[d]) continue;
+      if (out[d].rate_gbps >= demands[d].requested_gbps - 1e-12) {
+        frozen[d] = true;
+        continue;
+      }
+      for (std::size_t li : links_of[d]) {
+        if (residual[li] <= 1e-9) {
+          frozen[d] = true;
+          break;
+        }
+      }
+    }
+    if (step == 0) {
+      // No progress possible: freeze everything still active.
+      for (std::size_t d = 0; d < demands.size(); ++d) frozen[d] = true;
+    }
+  }
+  return out;
+}
+
+std::vector<Demand> random_demands(const net::Topology& topo, std::size_t count,
+                                   Rng& rng) {
+  std::vector<Demand> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Demand d;
+    d.src = rng.index(topo.node_count());
+    do {
+      d.dst = rng.index(topo.node_count());
+    } while (d.dst == d.src);
+    d.requested_gbps = rng.uniform_real(0.05, 1.0);
+    d.flow_id = static_cast<std::uint32_t>(i);
+    out.push_back(d);
+  }
+  return out;
+}
+
+sched::RequestDag te_update_dag(const std::vector<Allocation>& before,
+                                const std::vector<Allocation>& after,
+                                const std::vector<SwitchId>& site_switch,
+                                Rng& rng) {
+  sched::RequestDag dag;
+
+  std::map<std::uint32_t, const Allocation*> old_by_id;
+  for (const auto& a : before) old_by_id[a.demand.flow_id] = &a;
+  std::map<std::uint32_t, const Allocation*> new_by_id;
+  for (const auto& a : after) new_by_id[a.demand.flow_id] = &a;
+
+  auto make = [&](net::NodeId node, sched::RequestType type, std::uint32_t flow) {
+    sched::SwitchRequest req;
+    req.location = site_switch[node];
+    req.type = type;
+    req.priority = static_cast<std::uint16_t>(rng.uniform_int(1000, 9000));
+    req.match = core::ProbeEngine::probe_match(flow);
+    req.actions = of::output_to(2);
+    return req;
+  };
+
+  // Chain a demand's requests destination-first.
+  auto add_chain = [&](const std::vector<std::pair<net::NodeId, sched::RequestType>>&
+                           hops,
+                       std::uint32_t flow) {
+    std::size_t prev = SIZE_MAX;
+    for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+      const std::size_t id = dag.add(make(it->first, it->second, flow));
+      if (prev != SIZE_MAX) dag.add_dependency(prev, id);
+      prev = id;
+    }
+  };
+
+  for (const auto& [flow, alloc_new] : new_by_id) {
+    const auto it_old = old_by_id.find(flow);
+    std::vector<std::pair<net::NodeId, sched::RequestType>> hops;
+    if (it_old == old_by_id.end()) {
+      for (net::NodeId n : alloc_new->path) hops.emplace_back(n, sched::RequestType::kAdd);
+    } else {
+      const auto& old_path = it_old->second->path;
+      const std::set<net::NodeId> old_nodes(old_path.begin(), old_path.end());
+      const std::set<net::NodeId> new_nodes(alloc_new->path.begin(),
+                                            alloc_new->path.end());
+      const bool path_changed = old_path != alloc_new->path;
+      const bool rate_changed =
+          std::abs(it_old->second->rate_gbps - alloc_new->rate_gbps) > 1e-9;
+      if (!path_changed && !rate_changed) continue;
+      if (!path_changed) {
+        for (net::NodeId n : alloc_new->path) hops.emplace_back(n, sched::RequestType::kMod);
+      } else {
+        for (net::NodeId n : alloc_new->path) {
+          hops.emplace_back(n, old_nodes.count(n) != 0 ? sched::RequestType::kMod
+                                                       : sched::RequestType::kAdd);
+        }
+        for (net::NodeId n : old_path) {
+          if (new_nodes.count(n) == 0) hops.emplace_back(n, sched::RequestType::kDel);
+        }
+      }
+    }
+    if (!hops.empty()) add_chain(hops, flow);
+  }
+
+  // Demands that disappeared: delete along the old path, source-first.
+  for (const auto& [flow, alloc_old] : old_by_id) {
+    if (new_by_id.count(flow) != 0) continue;
+    std::vector<std::pair<net::NodeId, sched::RequestType>> hops;
+    for (net::NodeId n : alloc_old->path) hops.emplace_back(n, sched::RequestType::kDel);
+    std::reverse(hops.begin(), hops.end());  // add_chain reverses again -> source first
+    if (!hops.empty()) add_chain(hops, flow);
+  }
+
+  return dag;
+}
+
+}  // namespace tango::workload

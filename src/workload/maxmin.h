@@ -1,0 +1,55 @@
+// Max-min fair traffic-engineering allocation over a WAN topology, in the
+// style of B4's bandwidth allocator (paper [5]), plus the rule-update diff
+// that a traffic-matrix change produces (Fig 12's workload).
+//
+// Water-filling: all unfrozen demands grow at the same rate; when a link
+// saturates, every demand crossing it freezes at the current level; repeat
+// until all demands are frozen.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/topology.h"
+#include "scheduler/request.h"
+
+namespace tango::workload {
+
+struct Demand {
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  double requested_gbps = 1.0;
+  /// Stable id: matches are derived from it, so a demand keeps its rules
+  /// across reallocations.
+  std::uint32_t flow_id = 0;
+};
+
+struct Allocation {
+  Demand demand;
+  std::vector<net::NodeId> path;  // empty when unroutable
+  double rate_gbps = 0;
+};
+
+std::vector<Allocation> maxmin_allocate(const net::Topology& topo,
+                                        std::vector<Demand> demands);
+
+/// Random all-pairs demand set of the given size.
+std::vector<Demand> random_demands(const net::Topology& topo, std::size_t count,
+                                   Rng& rng);
+
+/// Diff two allocations into a switch-request DAG:
+///  * new demand            -> ADD along the new path,
+///  * removed demand        -> DEL along the old path,
+///  * path change           -> ADD on new-only switches, MOD on shared,
+///                             DEL on old-only switches,
+///  * rate-only change      -> MOD along the path.
+/// Per-demand requests are chained in reverse path order (destination
+/// first) for update consistency. `site_switch[n]` maps topology node n to
+/// its switch id.
+sched::RequestDag te_update_dag(const std::vector<Allocation>& before,
+                                const std::vector<Allocation>& after,
+                                const std::vector<SwitchId>& site_switch,
+                                Rng& rng);
+
+}  // namespace tango::workload

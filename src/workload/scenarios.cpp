@@ -1,0 +1,115 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+
+#include "tango/probe_engine.h"
+
+namespace tango::workload {
+
+namespace {
+
+using sched::RequestDag;
+using sched::RequestType;
+using sched::SwitchRequest;
+
+SwitchRequest make_request(SwitchId where, RequestType type, std::uint32_t index,
+                           std::optional<std::uint16_t> priority) {
+  SwitchRequest req;
+  req.location = where;
+  req.type = type;
+  req.priority = priority;
+  req.match = core::ProbeEngine::probe_match(index);
+  req.actions = of::output_to(2);
+  return req;
+}
+
+/// Scattered, mostly-distinct priorities so priority sorting has room to win.
+std::uint16_t scattered_priority(Rng& rng) {
+  return static_cast<std::uint16_t>(rng.uniform_int(1000, 9000));
+}
+
+}  // namespace
+
+RequestDag link_failure_scenario(const TestbedIds& tb, std::size_t n_flows,
+                                 Rng& rng, std::uint32_t first_index) {
+  RequestDag dag;
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    const auto index = first_index + static_cast<std::uint32_t>(i);
+    // New path segment on s3 first (destination side), then repoint s1.
+    const std::size_t add_s3 = dag.add(
+        make_request(tb.s3, RequestType::kAdd, index, scattered_priority(rng)));
+    const std::size_t mod_s1 = dag.add(
+        make_request(tb.s1, RequestType::kMod, index, scattered_priority(rng)));
+    dag.add_dependency(add_s3, mod_s1);
+  }
+  return dag;
+}
+
+RequestDag traffic_engineering_scenario(const TestbedIds& tb,
+                                        std::size_t n_requests, double add_weight,
+                                        double del_weight, double mod_weight,
+                                        Rng& rng, std::uint32_t first_index,
+                                        std::size_t existing_flows) {
+  RequestDag dag;
+  const SwitchId switches[3] = {tb.s1, tb.s2, tb.s3};
+  const double total = add_weight + del_weight + mod_weight;
+  std::uint32_t next_index = first_index;
+  std::size_t next_existing = 0;
+  while (dag.size() < n_requests) {
+    // Each end-to-end flow update touches a 1-3 switch sub-path, applied in
+    // reverse path order.
+    const std::size_t chain = 1 + rng.index(3);
+    std::size_t prev = SIZE_MAX;
+    for (std::size_t h = 0; h < chain && dag.size() < n_requests; ++h) {
+      const double roll = rng.uniform_real(0, total);
+      RequestType type = RequestType::kAdd;
+      if (roll >= add_weight) {
+        type = roll < add_weight + del_weight ? RequestType::kDel
+                                              : RequestType::kMod;
+      }
+      const SwitchId where = switches[(rng.index(3) + h) % 3];
+      // MOD/DEL act on the pre-change state when one exists; ADDs always
+      // create fresh flows.
+      std::uint32_t index;
+      if (type != RequestType::kAdd && existing_flows > 0) {
+        index = static_cast<std::uint32_t>(next_existing++ % existing_flows);
+      } else {
+        index = next_index++;
+      }
+      const std::size_t id = dag.add(
+          make_request(where, type, index, scattered_priority(rng)));
+      if (prev != SIZE_MAX) dag.add_dependency(prev, id);
+      prev = id;
+    }
+  }
+  return dag;
+}
+
+RequestDag mixed_dag_scenario(const TestbedIds& tb, const MixedScenarioSpec& spec,
+                              Rng& rng, std::uint32_t first_index) {
+  RequestDag dag;
+  const SwitchId switches[3] = {tb.s1, tb.s2, tb.s3};
+  std::uint32_t next_index = first_index;
+  while (dag.size() < spec.n_requests) {
+    std::size_t prev = SIZE_MAX;
+    for (std::size_t level = 0;
+         level < spec.dag_levels && dag.size() < spec.n_requests; ++level) {
+      RequestType type = RequestType::kAdd;
+      if (!spec.adds_only) {
+        const std::size_t roll = rng.index(3);
+        type = roll == 0 ? RequestType::kAdd
+                         : (roll == 1 ? RequestType::kMod : RequestType::kDel);
+      }
+      const SwitchId where = switches[rng.index(3)];
+      std::optional<std::uint16_t> priority;
+      if (spec.with_priorities) priority = scattered_priority(rng);
+      const std::size_t id =
+          dag.add(make_request(where, type, next_index++, priority));
+      if (prev != SIZE_MAX) dag.add_dependency(prev, id);
+      prev = id;
+    }
+  }
+  return dag;
+}
+
+}  // namespace tango::workload

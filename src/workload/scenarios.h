@@ -1,0 +1,60 @@
+// Network-wide update scenarios (paper §7.2).
+//
+// The hardware-testbed scenarios run on a triangle of three switches
+// (s1, s2 from Vendor #1, s3 from Vendor #3):
+//
+//  * Link Failure (LF) — the s1-s2 link fails; every affected flow is
+//    rerouted via s3: one ADD on s3 and one MOD on s1 per flow, with the
+//    downstream ADD required before the upstream MOD (consistent updates
+//    are applied destination-to-source [18]).
+//  * Traffic Engineering (TE) — a traffic-matrix change produces a mix of
+//    ADD/MOD/DEL requests across the triangle with per-flow reverse-path
+//    dependency chains. TE1 uses a 2:1:1 add:del:mod mix, TE2 equal thirds.
+//  * Fig 11 scenarios — parameterized request sets (add-only or mixed,
+//    DAG depth 1 or 2, 2.4K or 3.2K rules) with priorities either drawn
+//    from a scattered range (priority-sorting case) or left unassigned
+//    (priority-enforcement case).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "scheduler/request.h"
+
+namespace tango::workload {
+
+struct TestbedIds {
+  SwitchId s1 = 1;
+  SwitchId s2 = 2;
+  SwitchId s3 = 3;
+};
+
+/// Flow index range [first, first+n) is used for rule matches, so callers
+/// can preinstall the same indices as the "before" state.
+sched::RequestDag link_failure_scenario(const TestbedIds& tb, std::size_t n_flows,
+                                        Rng& rng, std::uint32_t first_index = 0);
+
+/// `existing_flows` > 0 makes MOD/DEL requests target flow indices in
+/// [0, existing_flows) — the pre-change TE state the caller is expected to
+/// have preinstalled — while ADDs use fresh indices from `first_index` up.
+sched::RequestDag traffic_engineering_scenario(const TestbedIds& tb,
+                                               std::size_t n_requests,
+                                               double add_weight, double del_weight,
+                                               double mod_weight, Rng& rng,
+                                               std::uint32_t first_index = 0,
+                                               std::size_t existing_flows = 0);
+
+struct MixedScenarioSpec {
+  std::size_t n_requests = 2400;
+  std::size_t dag_levels = 1;
+  bool adds_only = false;
+  /// true: requests carry scattered priorities (sorting case);
+  /// false: priorities left empty for Tango enforcement.
+  bool with_priorities = true;
+};
+
+sched::RequestDag mixed_dag_scenario(const TestbedIds& tb,
+                                     const MixedScenarioSpec& spec, Rng& rng,
+                                     std::uint32_t first_index = 0);
+
+}  // namespace tango::workload

@@ -1,0 +1,161 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "openflow/codec.h"
+
+namespace tango::workload {
+
+namespace {
+
+constexpr const char* kHeader = "# tango-trace v1";
+
+std::string hex_encode(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> hex_decode(const std::string& text) {
+  if (text.size() % 2 != 0) return Error{"odd hex length"};
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = nibble(text[i]);
+    const int lo = nibble(text[i + 1]);
+    if (hi < 0 || lo < 0) return Error{"bad hex digit"};
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const sched::RequestDag& dag) {
+  out << kHeader << "\n";
+  for (std::size_t id = 0; id < dag.size(); ++id) {
+    const auto& req = dag.request(id);
+    out << "req " << id << ' ' << req.location << ' ' << to_string(req.type)
+        << ' ';
+    if (req.priority.has_value()) {
+      out << *req.priority;
+    } else {
+      out << '-';
+    }
+    out << ' ';
+    if (req.deadline.has_value()) {
+      out << req.deadline->ms();
+    } else {
+      out << '-';
+    }
+    out << ' ' << hex_encode(of::encode_match_bytes(req.match)) << ' '
+        << of::output_port(req.actions) << "\n";
+  }
+  for (std::size_t id = 0; id < dag.size(); ++id) {
+    for (std::size_t succ : dag.successors(id)) {
+      out << "dep " << id << ' ' << succ << "\n";
+    }
+  }
+}
+
+Result<sched::RequestDag> read_trace(std::istream& in) {
+  sched::RequestDag dag;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line == kHeader) saw_header = true;
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "req") {
+      std::size_t id = 0;
+      SwitchId location = 0;
+      std::string type_token, priority_token, deadline_token, match_hex;
+      std::uint16_t out_port = 0;
+      fields >> id >> location >> type_token >> priority_token >>
+          deadline_token >> match_hex >> out_port;
+      if (fields.fail()) {
+        return Error{"bad req line " + std::to_string(line_no)};
+      }
+      if (id != dag.size()) {
+        return Error{"req ids must be dense and ordered at line " +
+                     std::to_string(line_no)};
+      }
+      sched::SwitchRequest req;
+      req.location = location;
+      if (type_token == "ADD") {
+        req.type = sched::RequestType::kAdd;
+      } else if (type_token == "MOD") {
+        req.type = sched::RequestType::kMod;
+      } else if (type_token == "DEL") {
+        req.type = sched::RequestType::kDel;
+      } else {
+        return Error{"bad request type at line " + std::to_string(line_no)};
+      }
+      if (priority_token != "-") {
+        req.priority = static_cast<std::uint16_t>(std::stoul(priority_token));
+      }
+      if (deadline_token != "-") {
+        req.deadline = millis(std::stod(deadline_token));
+      }
+      auto match_bytes = hex_decode(match_hex);
+      if (!match_bytes.ok()) {
+        return Error{match_bytes.error() + " at line " + std::to_string(line_no)};
+      }
+      auto match = of::decode_match_bytes(match_bytes.value());
+      if (!match.ok()) {
+        return Error{match.error() + " at line " + std::to_string(line_no)};
+      }
+      req.match = match.value();
+      if (out_port != of::kPortNone) req.actions = of::output_to(out_port);
+      dag.add(std::move(req));
+    } else if (kind == "dep") {
+      std::size_t before = 0, after = 0;
+      fields >> before >> after;
+      if (fields.fail() || before >= dag.size() || after >= dag.size()) {
+        return Error{"bad dep line " + std::to_string(line_no)};
+      }
+      dag.add_dependency(before, after);
+    } else {
+      return Error{"unknown record '" + kind + "' at line " +
+                   std::to_string(line_no)};
+    }
+  }
+  if (!saw_header) return Error{"missing tango-trace header"};
+  if (!dag.is_acyclic()) return Error{"trace contains a dependency cycle"};
+  return dag;
+}
+
+bool save_trace_file(const std::string& path, const sched::RequestDag& dag) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_trace(out, dag);
+  return static_cast<bool>(out);
+}
+
+Result<sched::RequestDag> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{"cannot open " + path};
+  return read_trace(in);
+}
+
+}  // namespace tango::workload

@@ -1,0 +1,31 @@
+// Request-trace record/replay.
+//
+// A switch-request DAG (one network update: a TE transition, a failure
+// repair, an ACL deployment) serializes to a line-oriented text format so
+// scheduler experiments are reproducible and shareable — the same trace can
+// be replayed under Dionysus and under Tango, or re-run after a scheduler
+// change.
+//
+// Format:
+//
+//   # tango-trace v1
+//   req <id> <switch> <ADD|MOD|DEL> <priority|-> <deadline_ms|-> <match-hex> <out_port>
+//   dep <before> <after>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "scheduler/request.h"
+
+namespace tango::workload {
+
+void write_trace(std::ostream& out, const sched::RequestDag& dag);
+
+Result<sched::RequestDag> read_trace(std::istream& in);
+
+bool save_trace_file(const std::string& path, const sched::RequestDag& dag);
+Result<sched::RequestDag> load_trace_file(const std::string& path);
+
+}  // namespace tango::workload

@@ -1,0 +1,156 @@
+// Tests for the adaptive pieces: deadline-first scheduling and online
+// drift detection / re-learning.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "scheduler/executor.h"
+#include "scheduler/schedulers.h"
+#include "switchsim/profiles.h"
+#include "tango/probe_engine.h"
+#include "tango/tango.h"
+
+namespace tango {
+namespace {
+
+namespace profiles = switchsim::profiles;
+using core::ProbeEngine;
+
+sched::SwitchRequest make_req(SwitchId where, std::uint32_t index,
+                              std::uint16_t priority,
+                              std::optional<SimDuration> deadline = std::nullopt) {
+  sched::SwitchRequest r;
+  r.location = where;
+  r.type = sched::RequestType::kAdd;
+  r.priority = priority;
+  r.match = ProbeEngine::probe_match(index);
+  r.actions = of::output_to(2);
+  r.deadline = deadline;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-first scheduling
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineScheduling, HoistsDeadlineRequestsEarliestFirst) {
+  sched::RequestDag dag;
+  std::vector<std::size_t> ready;
+  ready.push_back(dag.add(make_req(1, 0, 100)));
+  const auto urgent = dag.add(make_req(1, 1, 900, millis(5)));
+  const auto less_urgent = dag.add(make_req(1, 2, 200, millis(50)));
+  ready.push_back(urgent);
+  ready.push_back(less_urgent);
+
+  sched::TangoSchedulerOptions options;
+  options.deadline_first = true;
+  sched::BasicTangoScheduler sched({}, options);
+  const auto order = sched.order(dag, ready);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], urgent);
+  EXPECT_EQ(order[1], less_urgent);
+}
+
+TEST(DeadlineScheduling, ReducesMissesUnderLoad) {
+  auto run = [](bool deadline_first) {
+    net::Network net;
+    const auto id = net.add_switch(profiles::switch3());  // slow adds
+    sched::RequestDag dag;
+    Rng rng(3);
+    // 100 bulk requests plus 10 urgent ones scattered among them.
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      dag.add(make_req(id, i, static_cast<std::uint16_t>(rng.uniform_int(1000, 9000))));
+    }
+    for (std::uint32_t i = 100; i < 110; ++i) {
+      // High priority values: the ascending-add pattern would schedule
+      // these LAST, so only deadline hoisting can save them.
+      dag.add(make_req(id, i, 9500, millis(150)));
+    }
+    sched::TangoSchedulerOptions options;
+    options.deadline_first = deadline_first;
+    sched::BasicTangoScheduler sched({}, options);
+    return sched::execute(net, dag, sched).deadline_misses;
+  };
+  const auto misses_pattern_only = run(false);
+  const auto misses_deadline_first = run(true);
+  EXPECT_LT(misses_deadline_first, misses_pattern_only);
+  EXPECT_EQ(misses_deadline_first, 0u);
+}
+
+TEST(DeadlineScheduling, NoDeadlinesLeavesPatternOrderAlone) {
+  sched::RequestDag dag;
+  std::vector<std::size_t> ready;
+  ready.push_back(dag.add(make_req(1, 0, 300)));
+  ready.push_back(dag.add(make_req(1, 1, 100)));
+  sched::TangoSchedulerOptions with, without;
+  with.deadline_first = true;
+  sched::BasicTangoScheduler a({}, with);
+  sched::BasicTangoScheduler b({}, without);
+  EXPECT_EQ(a.order(dag, ready), b.order(dag, ready));
+}
+
+// ---------------------------------------------------------------------------
+// Drift detection
+// ---------------------------------------------------------------------------
+
+TEST(DriftDetection, StableSwitchShowsLittleDrift) {
+  net::Network net;
+  const auto id = net.add_switch(profiles::switch1());
+  core::TangoController tango(net);
+  core::LearnOptions options;
+  options.size.max_rules = 512;
+  options.infer_policy = false;
+  tango.learn(id, options);
+  ProbeEngine(net, id).clear_rules();
+
+  const double drift = tango.spot_check(id);
+  EXPECT_GE(drift, 0.0);
+  EXPECT_LT(drift, 0.25);
+}
+
+TEST(DriftDetection, DetectsFirmwareSlowdown) {
+  net::Network net;
+  const auto id = net.add_switch(profiles::switch1());
+  core::TangoController tango(net);
+  core::LearnOptions options;
+  options.size.max_rules = 512;
+  options.infer_policy = false;
+  const double before_ms = tango.learn(id, options).costs.add_ascending_ms;
+  ProbeEngine(net, id).clear_rules();
+
+  // "Firmware update": adds get 4x slower.
+  auto slowed = profiles::switch1().costs;
+  slowed.add_base = slowed.add_base * 4;
+  slowed.add_same_priority = slowed.add_same_priority * 4;
+  net.sw(id).latency().set_costs(slowed);
+
+  const double drift = tango.spot_check(id);
+  EXPECT_GT(drift, 1.0);  // way beyond jitter
+
+  // refresh() re-learns the new reality.
+  const double after_ms = tango.refresh(id, options).costs.add_ascending_ms;
+  EXPECT_GT(after_ms, before_ms * 2.5);
+  EXPECT_LT(tango.spot_check(id), 0.25);
+}
+
+TEST(DriftDetection, UnknownSwitchReportsNegative) {
+  net::Network net;
+  const auto id = net.add_switch(profiles::ovs());
+  core::TangoController tango(net);
+  EXPECT_LT(tango.spot_check(id), 0.0);
+}
+
+TEST(DriftDetection, SpotCheckCleansUpProbeRules) {
+  net::Network net;
+  const auto id = net.add_switch(profiles::switch2());
+  core::TangoController tango(net);
+  core::LearnOptions options;
+  options.infer_policy = false;
+  tango.learn(id, options);
+  ProbeEngine(net, id).clear_rules();
+  const auto before = net.sw(id).total_rules();
+  tango.spot_check(id);
+  EXPECT_EQ(net.sw(id).total_rules(), before);
+}
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,218 @@
+// Tests for the application layer: path installation/rerouting, the ACL
+// compiler, and end-to-end execution through the schedulers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/acl_compiler.h"
+#include "apps/path_installer.h"
+#include "net/network.h"
+#include "scheduler/executor.h"
+#include "scheduler/schedulers.h"
+#include "switchsim/profiles.h"
+#include "tango/probe_engine.h"
+
+namespace tango::apps {
+namespace {
+
+namespace profiles = switchsim::profiles;
+using core::ProbeEngine;
+
+/// Line network a - b - c - d with a shortcut a - d (slower).
+struct LineNet {
+  net::Network net;
+  std::vector<SwitchId> ids;
+
+  LineNet() {
+    for (int i = 0; i < 4; ++i) ids.push_back(net.add_switch(profiles::ovs()));
+    auto& topo = net.topology();
+    topo.add_link(0, 1, micros(10));
+    topo.add_link(1, 2, micros(10));
+    topo.add_link(2, 3, micros(10));
+    topo.add_link(0, 3, micros(1000));  // backup
+  }
+};
+
+TEST(PathInstallerTest, CompilesDestinationFirstChain) {
+  LineNet ln;
+  PathInstaller installer(ln.net);
+  sched::RequestDag dag;
+  PathRequest req;
+  req.src = 0;
+  req.dst = 3;
+  req.flow_id = 7;
+  req.priority = 500;
+  const auto ids = installer.compile(req, dag);
+  ASSERT_EQ(ids.size(), 3u);  // rules at a, b, c (not at the destination)
+  EXPECT_EQ(dag.size(), 3u);
+  EXPECT_TRUE(dag.is_acyclic());
+  // Destination-side rule is the root; the source-side rule is the leaf.
+  EXPECT_EQ(dag.predecessors(ids[2]).size(), 0u);  // hop c
+  EXPECT_EQ(dag.predecessors(ids[0]).size(), 1u);  // hop a depends on b
+  EXPECT_EQ(dag.request(ids[0]).location, net::Network::switch_of(0));
+  EXPECT_EQ(dag.request(ids[0]).type, sched::RequestType::kAdd);
+}
+
+TEST(PathInstallerTest, UnroutableYieldsNothing) {
+  LineNet ln;
+  ln.net.topology().fail_link_between(0, 1);
+  ln.net.topology().fail_link_between(0, 3);
+  PathInstaller installer(ln.net);
+  sched::RequestDag dag;
+  PathRequest req;
+  req.src = 0;
+  req.dst = 3;
+  EXPECT_TRUE(installer.compile(req, dag).empty());
+  EXPECT_EQ(dag.size(), 0u);
+}
+
+TEST(PathInstallerTest, InstallAndForwardEndToEnd) {
+  LineNet ln;
+  PathInstaller installer(ln.net);
+  sched::RequestDag dag;
+  PathRequest req;
+  req.src = 0;
+  req.dst = 3;
+  req.flow_id = 9;
+  req.priority = 500;
+  installer.compile(req, dag);
+  sched::DionysusScheduler sched;
+  const auto report = sched::execute(ln.net, dag, sched);
+  EXPECT_EQ(report.rejected, 0u);
+  // Every on-path switch forwards the flow; probe twice (OVS: first packet
+  // warms the microflow via the slow path).
+  for (const SwitchId id : {ln.ids[0], ln.ids[1], ln.ids[2]}) {
+    ln.net.probe(id, ProbeEngine::probe_packet(9));
+    const auto out = ln.net.probe(id, ProbeEngine::probe_packet(9));
+    EXPECT_EQ(out.outcome.kind, switchsim::ForwardOutcome::Kind::kForwarded) << id;
+  }
+}
+
+TEST(PathInstallerTest, RerouteDiffsOldAndNewPaths) {
+  LineNet ln;
+  PathInstaller installer(ln.net);
+  const std::vector<net::NodeId> old_path{0, 1, 2, 3};
+  ln.net.topology().fail_link_between(1, 2);  // forces a-d backup path
+  sched::RequestDag dag;
+  PathRequest req;
+  req.src = 0;
+  req.dst = 3;
+  req.flow_id = 4;
+  req.priority = 500;
+  const auto ids = installer.compile_reroute(req, old_path, dag);
+  ASSERT_FALSE(ids.empty());
+  std::size_t mods = 0, adds = 0, dels = 0;
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    switch (dag.request(i).type) {
+      case sched::RequestType::kMod: ++mods; break;
+      case sched::RequestType::kAdd: ++adds; break;
+      case sched::RequestType::kDel: ++dels; break;
+    }
+  }
+  // New path a-d: a shared with old (MOD); d is destination (no rule);
+  // b and c are old-only: b had a rule (DEL), c had a rule (DEL).
+  EXPECT_EQ(mods, 1u);
+  EXPECT_EQ(adds, 0u);
+  EXPECT_EQ(dels, 2u);
+  EXPECT_TRUE(dag.is_acyclic());
+}
+
+TEST(PathInstallerTest, PortMappingIsStablePerLink) {
+  LineNet ln;
+  PathInstaller installer(ln.net);
+  const auto p1 = installer.port_toward(0, 1);
+  EXPECT_EQ(p1, installer.port_toward(0, 1));
+  EXPECT_NE(installer.port_toward(9, 9), 0);  // no link: kPortNone
+  EXPECT_EQ(installer.port_toward(0, 2), of::kPortNone);
+}
+
+// ---------------------------------------------------------------------------
+// ACL compiler
+// ---------------------------------------------------------------------------
+
+std::vector<workload::AclRule> nested_rules() {
+  std::vector<workload::AclRule> rules(3);
+  rules[0].match.set_nw_src_prefix(0x0a010100, 24);  // most specific, first
+  rules[1].match.set_nw_src_prefix(0x0a010000, 16);
+  rules[2].match.set_nw_src_prefix(0x0a000000, 8);
+  for (std::size_t i = 0; i < 3; ++i) rules[i].original_index = i;
+  return rules;
+}
+
+TEST(AclCompilerTest, TopologicalPrioritiesMinimal) {
+  AclCompileOptions options;
+  options.target = 3;
+  const auto compiled = compile_acl(nested_rules(), options);
+  EXPECT_EQ(compiled.dag.size(), 3u);
+  EXPECT_EQ(compiled.distinct_priorities, 3u);
+  // First (most specific) rule gets the highest priority.
+  EXPECT_GT(compiled.priorities[0], compiled.priorities[1]);
+  EXPECT_GT(compiled.priorities[1], compiled.priorities[2]);
+  EXPECT_EQ(compiled.dependency_edges, 0u);  // fast mode: no constraints
+  EXPECT_EQ(compiled.dag.request(0).location, 3u);
+}
+
+TEST(AclCompilerTest, ConsistentModeAddsBarrierEdges) {
+  AclCompileOptions options;
+  options.consistent = true;
+  const auto compiled = compile_acl(nested_rules(), options);
+  EXPECT_EQ(compiled.dependency_edges, 3u);  // all pairs overlap
+  EXPECT_TRUE(compiled.dag.is_acyclic());
+  EXPECT_EQ(compiled.dag.depth(), 3u);
+  // Roots = highest-priority rule only.
+  EXPECT_EQ(compiled.dag.roots().size(), 1u);
+}
+
+TEST(AclCompilerTest, RPrioritiesAreDistinct) {
+  AclCompileOptions options;
+  options.topological = false;
+  const auto rules = workload::generate_classbench(workload::cb3());
+  const auto compiled = compile_acl(rules, options);
+  EXPECT_EQ(compiled.distinct_priorities, rules.size());
+}
+
+TEST(AclCompilerTest, ConsistentDeploymentCostsMoreThanFast) {
+  // The consistency/speed tension: barrier edges force (partially)
+  // descending-priority installation on TCAM hardware.
+  const auto rules = workload::generate_classbench(workload::cb3());
+
+  auto run = [&](bool consistent) {
+    net::Network net;
+    const auto id = net.add_switch(profiles::switch1());
+    AclCompileOptions options;
+    options.target = id;
+    options.consistent = consistent;
+    auto compiled = compile_acl(rules, options);
+    sched::BasicTangoScheduler sched({});
+    return sched::execute(net, compiled.dag, sched).makespan;
+  };
+
+  const auto fast = run(false);
+  const auto consistent = run(true);
+  EXPECT_LT(fast.ns(), consistent.ns());
+}
+
+TEST(AclCompilerTest, DeployedAclMatchesFirstMatchSemantics) {
+  const auto rules = nested_rules();
+  net::Network net;
+  const auto id = net.add_switch(profiles::switch2());
+  AclCompileOptions options;
+  options.target = id;
+  auto compiled = compile_acl(rules, options);
+  sched::DionysusScheduler sched;
+  sched::execute(net, compiled.dag, sched);
+
+  // A packet inside 10.1.1/24 must match rule 0 (the most specific).
+  of::PacketHeader pkt;
+  pkt.nw_src = 0x0a010105;
+  const auto stats_before = net.flow_stats_sync(id, rules[0].match);
+  const std::uint64_t before =
+      stats_before.entries.empty() ? 0 : stats_before.entries[0].packet_count;
+  net.probe(id, pkt);
+  const auto stats_after = net.flow_stats_sync(id, rules[0].match);
+  ASSERT_FALSE(stats_after.entries.empty());
+  EXPECT_EQ(stats_after.entries[0].packet_count, before + 1);
+}
+
+}  // namespace
+}  // namespace tango::apps

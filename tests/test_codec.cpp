@@ -1,0 +1,331 @@
+// Round-trip and robustness tests for the OpenFlow 1.0 wire codec.
+#include <gtest/gtest.h>
+
+#include "openflow/codec.h"
+#include "openflow/packet.h"
+
+namespace tango::of {
+namespace {
+
+Match sample_match() {
+  Match m;
+  m.with_in_port(7);
+  m.with_dl_src({1, 2, 3, 4, 5, 6});
+  m.with_dl_type(0x0800);
+  m.with_nw_proto(6);
+  m.set_nw_src_prefix(0x0a000000, 24);
+  m.set_nw_dst_prefix(0xc0a80000, 16);
+  m.with_tp_dst(443);
+  return m;
+}
+
+template <typename Body>
+Body roundtrip(const Body& body, std::uint32_t xid = 0x1234) {
+  const auto frame = encode(Message{xid, body});
+  // Header sanity: version, length field == frame size.
+  EXPECT_EQ(frame[0], kVersion);
+  EXPECT_EQ((static_cast<std::size_t>(frame[2]) << 8) | frame[3], frame.size());
+  auto decoded = decode(frame);
+  EXPECT_TRUE(decoded.ok()) << (decoded.ok() ? "" : decoded.error());
+  EXPECT_EQ(decoded.value().xid, xid);
+  const Body* out = std::get_if<Body>(&decoded.value().body);
+  EXPECT_NE(out, nullptr);
+  return out != nullptr ? *out : Body{};
+}
+
+TEST(Codec, Hello) { EXPECT_EQ(roundtrip(Hello{}), Hello{}); }
+
+TEST(Codec, EchoCarriesPayload) {
+  EchoRequest req;
+  req.payload = {1, 2, 3, 4, 5};
+  EXPECT_EQ(roundtrip(req), req);
+  EchoReply rep;
+  rep.payload = {9, 8};
+  EXPECT_EQ(roundtrip(rep), rep);
+}
+
+TEST(Codec, ErrorMessage) {
+  ErrorMsg err;
+  err.type = ErrorType::kFlowModFailed;
+  err.code = static_cast<std::uint16_t>(FlowModFailedCode::kAllTablesFull);
+  err.data = {'f', 'u', 'l', 'l'};
+  EXPECT_EQ(roundtrip(err), err);
+}
+
+TEST(Codec, FeaturesRoundTrip) {
+  EXPECT_EQ(roundtrip(FeaturesRequest{}), FeaturesRequest{});
+  FeaturesReply reply;
+  reply.datapath_id = 0xdeadbeefcafe;
+  reply.n_buffers = 256;
+  reply.n_tables = 3;
+  reply.capabilities = 0xc7;
+  reply.actions = 0xfff;
+  PhyPort port;
+  port.port_no = 4;
+  port.hw_addr = {2, 0, 0, 0, 0, 4};
+  port.name = "port4";
+  port.curr = 0x40;
+  reply.ports = {port, port};
+  EXPECT_EQ(roundtrip(reply), reply);
+}
+
+TEST(Codec, FlowModAllFields) {
+  FlowMod fm;
+  fm.match = sample_match();
+  fm.cookie = 0x1122334455667788ULL;
+  fm.command = FlowModCommand::kModifyStrict;
+  fm.idle_timeout = 30;
+  fm.hard_timeout = 600;
+  fm.priority = 4321;
+  fm.buffer_id = 77;
+  fm.out_port = 9;
+  fm.flags = 1;
+  fm.actions = {ActionOutput{2, 0xffff}, ActionSetVlanVid{100},
+                ActionSetDlSrc{{9, 8, 7, 6, 5, 4}}, ActionSetNwDst{0x01020304},
+                ActionStripVlan{}};
+  EXPECT_EQ(roundtrip(fm), fm);
+}
+
+TEST(Codec, FlowModEmptyActionsIsDrop) {
+  FlowMod fm;
+  fm.match = sample_match();
+  fm.actions = {};
+  const auto out = roundtrip(fm);
+  EXPECT_TRUE(out.actions.empty());
+}
+
+TEST(Codec, FlowRemoved) {
+  FlowRemoved fr;
+  fr.match = sample_match();
+  fr.cookie = 42;
+  fr.priority = 100;
+  fr.reason = FlowRemovedReason::kIdleTimeout;
+  fr.duration_sec = 12;
+  fr.duration_nsec = 345;
+  fr.idle_timeout = 30;
+  fr.packet_count = 1000;
+  fr.byte_count = 64000;
+  EXPECT_EQ(roundtrip(fr), fr);
+}
+
+TEST(Codec, PacketInCarriesData) {
+  PacketIn pin;
+  pin.buffer_id = kNoBuffer;
+  pin.total_len = 60;
+  pin.in_port = 3;
+  pin.reason = PacketInReason::kNoMatch;
+  pin.data = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(roundtrip(pin), pin);
+}
+
+TEST(Codec, PacketOutActionsAndData) {
+  PacketOut po;
+  po.buffer_id = kNoBuffer;
+  po.in_port = 1;
+  po.actions = {ActionOutput{kPortTable, 0}};
+  po.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(roundtrip(po), po);
+}
+
+TEST(Codec, Barriers) {
+  EXPECT_EQ(roundtrip(BarrierRequest{}), BarrierRequest{});
+  EXPECT_EQ(roundtrip(BarrierReply{}), BarrierReply{});
+}
+
+TEST(Codec, FlowStats) {
+  FlowStatsRequest req;
+  req.match = sample_match();
+  req.table_id = 0xff;
+  req.out_port = kPortNone;
+  EXPECT_EQ(roundtrip(req), req);
+
+  FlowStatsReply reply;
+  FlowStatsEntry e;
+  e.table_id = 1;
+  e.match = sample_match();
+  e.duration_sec = 5;
+  e.priority = 9;
+  e.cookie = 0xabc;
+  e.packet_count = 12;
+  e.byte_count = 768;
+  e.actions = {ActionOutput{2, 0xffff}};
+  reply.entries = {e, e};
+  EXPECT_EQ(roundtrip(reply), reply);
+}
+
+TEST(Codec, TableStats) {
+  EXPECT_EQ(roundtrip(TableStatsRequest{}), TableStatsRequest{});
+  TableStatsReply reply;
+  TableStatsEntry e;
+  e.table_id = 0;
+  e.name = "tcam";
+  e.wildcards = kWildcardAll;
+  e.max_entries = 2048;
+  e.active_count = 17;
+  e.lookup_count = 123456;
+  e.matched_count = 120000;
+  reply.entries = {e};
+  EXPECT_EQ(roundtrip(reply), reply);
+}
+
+TEST(Codec, ConfigMessages) {
+  EXPECT_EQ(roundtrip(GetConfigRequest{}), GetConfigRequest{});
+  GetConfigReply reply;
+  reply.flags = 1;
+  reply.miss_send_len = 512;
+  EXPECT_EQ(roundtrip(reply), reply);
+  SetConfig cfg;
+  cfg.miss_send_len = 64;
+  EXPECT_EQ(roundtrip(cfg), cfg);
+}
+
+TEST(Codec, PortStatusAndMod) {
+  PortStatus status;
+  status.reason = PortReason::kModify;
+  status.port.port_no = 3;
+  status.port.name = "port3";
+  status.port.state = kPortStateLinkDown;
+  EXPECT_EQ(roundtrip(status), status);
+
+  PortMod pm;
+  pm.port_no = 5;
+  pm.hw_addr = {1, 2, 3, 4, 5, 6};
+  pm.config = kPortConfigDown;
+  pm.mask = kPortConfigDown | kPortConfigNoFlood;
+  pm.advertise = 0x40;
+  EXPECT_EQ(roundtrip(pm), pm);
+}
+
+TEST(Codec, VendorCarriesOpaqueData) {
+  Vendor v;
+  v.vendor_id = 0x00002320;
+  v.data = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(Codec, AggregateStats) {
+  AggregateStatsRequest req;
+  req.match = sample_match();
+  EXPECT_EQ(roundtrip(req), req);
+  AggregateStatsReply reply;
+  reply.packet_count = 12345;
+  reply.byte_count = 9876543;
+  reply.flow_count = 42;
+  EXPECT_EQ(roundtrip(reply), reply);
+}
+
+TEST(Codec, DescStats) {
+  EXPECT_EQ(roundtrip(DescStatsRequest{}), DescStatsRequest{});
+  DescStatsReply reply;
+  reply.mfr_desc = "vendor1";
+  reply.hw_desc = "HW Switch #1";
+  reply.sw_desc = "tango-switchsim";
+  reply.serial_num = "sim-1";
+  reply.dp_desc = "datapath 1";
+  EXPECT_EQ(roundtrip(reply), reply);
+}
+
+TEST(Codec, PortStats) {
+  PortStatsRequest req;
+  req.port_no = 7;
+  EXPECT_EQ(roundtrip(req), req);
+  PortStatsReply reply;
+  PortStatsEntry e;
+  e.port_no = 7;
+  e.rx_packets = 100;
+  e.tx_packets = 90;
+  e.rx_bytes = 6400;
+  e.tx_bytes = 5760;
+  e.rx_dropped = 1;
+  reply.entries = {e, e};
+  EXPECT_EQ(roundtrip(reply), reply);
+}
+
+TEST(Codec, RejectsTruncatedFrame) {
+  const auto frame = encode(Message{1, FlowMod{}});
+  auto short_frame = frame;
+  short_frame.resize(frame.size() - 4);
+  EXPECT_FALSE(decode(short_frame).ok());
+}
+
+TEST(Codec, RejectsBadVersion) {
+  auto frame = encode(Message{1, Hello{}});
+  frame[0] = 0x04;
+  EXPECT_FALSE(decode(frame).ok());
+}
+
+TEST(Codec, RejectsLengthMismatch) {
+  auto frame = encode(Message{1, Hello{}});
+  frame.push_back(0);  // extra trailing byte
+  EXPECT_FALSE(decode(frame).ok());
+}
+
+TEST(Codec, RejectsBogusActionLength) {
+  auto frame = encode(Message{1, []{
+    FlowMod fm;
+    fm.actions = {ActionOutput{1, 0}};
+    return fm;
+  }()});
+  // Corrupt the action length field (offset: header 8 + body 64 + 2).
+  frame[8 + 64 + 2] = 0;
+  frame[8 + 64 + 3] = 3;  // len 3 < 8
+  EXPECT_FALSE(decode(frame).ok());
+}
+
+TEST(Codec, WireSizeMatchesEncoding) {
+  FlowMod fm;
+  fm.actions = {ActionOutput{1, 0}, ActionSetDlDst{{1, 2, 3, 4, 5, 6}}};
+  const Message msg{5, fm};
+  EXPECT_EQ(wire_size(msg), encode(msg).size());
+  EXPECT_EQ(wire_size(Action{ActionOutput{1, 0}}), 8u);
+  EXPECT_EQ(wire_size(Action{ActionSetDlDst{}}), 16u);
+}
+
+TEST(FrameAssemblerTest, ReassemblesSplitFrames) {
+  const auto f1 = encode(Message{1, Hello{}});
+  const auto f2 = encode(Message{2, BarrierRequest{}});
+  std::vector<std::uint8_t> stream = f1;
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  FrameAssembler asm_;
+  // Feed byte by byte.
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    asm_.feed(std::span(&stream[i], 1));
+  }
+  const auto out1 = asm_.next_frame();
+  ASSERT_EQ(out1, f1);
+  const auto out2 = asm_.next_frame();
+  ASSERT_EQ(out2, f2);
+  EXPECT_TRUE(asm_.next_frame().empty());
+}
+
+TEST(FrameAssemblerTest, PartialFrameYieldsNothing) {
+  const auto f = encode(Message{1, FlowMod{}});
+  FrameAssembler asm_;
+  asm_.feed(std::span(f.data(), f.size() / 2));
+  EXPECT_TRUE(asm_.next_frame().empty());
+  asm_.feed(std::span(f.data() + f.size() / 2, f.size() - f.size() / 2));
+  EXPECT_EQ(asm_.next_frame(), f);
+}
+
+TEST(PacketWire, RoundTrip) {
+  Packet p;
+  p.header.in_port = 2;
+  p.header.nw_src = 0x0a000005;
+  p.header.nw_dst = 0xc0a80005;
+  p.header.tp_dst = 8080;
+  p.payload_len = 1400;
+  const auto bytes = p.encode();
+  auto decoded = Packet::decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), p);
+  EXPECT_EQ(p.total_len(), Packet::kWireHeaderLen + 1400);
+}
+
+TEST(PacketWire, RejectsShortBuffer) {
+  std::vector<std::uint8_t> tiny(5, 0);
+  EXPECT_FALSE(Packet::decode(tiny).ok());
+}
+
+}  // namespace
+}  // namespace tango::of

@@ -1,0 +1,102 @@
+// Unit tests for the deterministic discrete-event queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace tango::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime{300}, [&] { order.push_back(3); });
+  q.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  q.schedule_at(SimTime{200}, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now().ns(), 300);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(SimTime{50}, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(SimTime{10}, [&] {
+    ++fired;
+    q.schedule_after(SimDuration{5}, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now().ns(), 15);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  q.schedule_at(SimTime{100}, [] {});
+  q.run();
+  bool fired = false;
+  q.schedule_at(SimTime{10}, [&] { fired = true; });  // in the past
+  q.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(q.now().ns(), 100);  // time never goes backwards
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEventsQueued) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(SimTime{10}, [&] { ++fired; });
+  q.schedule_at(SimTime{20}, [&] { ++fired; });
+  q.schedule_at(SimTime{30}, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(SimTime{20}), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now().ns(), 20);
+  q.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, StepRunsExactlyOne) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(SimTime{1}, [&] { ++fired; });
+  q.schedule_at(SimTime{2}, [&] { ++fired; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ResetClearsEverything) {
+  EventQueue q;
+  q.schedule_at(SimTime{5}, [] {});
+  q.schedule_at(SimTime{500}, [] {});
+  q.step();
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now().ns(), 0);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime inner{};
+  q.schedule_at(SimTime{100}, [&] {
+    q.schedule_after(SimDuration{50}, [&] { inner = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(inner.ns(), 150);
+}
+
+}  // namespace
+}  // namespace tango::sim

@@ -1,0 +1,189 @@
+// Tests for knowledge-base persistence: offline-probed switch properties
+// round-trip through the text format, and an imported record drives the
+// scheduler without any re-probing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "net/network.h"
+#include "scheduler/executor.h"
+#include "scheduler/schedulers.h"
+#include "switchsim/profiles.h"
+#include "tango/knowledge_io.h"
+
+namespace tango::core {
+namespace {
+
+namespace profiles = switchsim::profiles;
+
+SwitchKnowledge sample_knowledge() {
+  SwitchKnowledge k;
+  k.name = "lab-switch";
+  k.sizes.layer_sizes = {2047.0, 1953.0};
+  k.sizes.hit_rule_cap = true;
+  k.sizes.installed = 4000;
+  stats::Cluster fast;
+  fast.center = 0.665;
+  stats::Cluster slow;
+  slow.center = 3.7;
+  k.sizes.clusters = {fast, slow};
+  PolicyInferenceResult policy;
+  policy.policy = tables::LexCachePolicy::lex(
+      {{tables::Attribute::kUseTime, tables::Direction::kPreferHigh},
+       {tables::Attribute::kPriority, tables::Direction::kPreferLow}});
+  k.policy = policy;
+  WidthInferenceResult width;
+  width.mode = tables::TcamMode::kDoubleWide;
+  width.capacity_l2 = 2048;
+  width.capacity_l3 = 2048;
+  width.capacity_wide = 2048;
+  k.width = width;
+  k.costs.add_ascending_ms = 0.76;
+  k.costs.add_descending_ms = 25.8;
+  k.costs.add_same_priority_ms = 0.46;
+  k.costs.add_random_ms = 13.1;
+  k.costs.mod_ms = 3.05;
+  k.costs.del_ms = 12.5;
+  return k;
+}
+
+TEST(KnowledgeIo, RoundTripsThroughText) {
+  const auto original = sample_knowledge();
+  std::stringstream stream;
+  write_knowledge(stream, "lab-switch", original);
+
+  auto loaded = read_knowledge(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ASSERT_EQ(loaded.value().size(), 1u);
+  const auto& k = loaded.value().at("lab-switch");
+
+  EXPECT_EQ(k.name, "lab-switch");
+  ASSERT_EQ(k.sizes.layer_sizes.size(), 2u);
+  EXPECT_DOUBLE_EQ(k.sizes.layer_sizes[0], 2047.0);
+  EXPECT_TRUE(k.sizes.hit_rule_cap);
+  EXPECT_EQ(k.sizes.installed, 4000u);
+  ASSERT_EQ(k.sizes.clusters.size(), 2u);
+  EXPECT_DOUBLE_EQ(k.sizes.clusters[1].center, 3.7);
+  ASSERT_TRUE(k.policy.has_value());
+  EXPECT_EQ(k.policy->policy, original.policy->policy);
+  ASSERT_TRUE(k.width.has_value());
+  EXPECT_EQ(k.width->mode, tables::TcamMode::kDoubleWide);
+  EXPECT_DOUBLE_EQ(k.width->capacity_wide, 2048);
+  EXPECT_DOUBLE_EQ(k.costs.add_descending_ms, 25.8);
+  EXPECT_DOUBLE_EQ(k.costs.del_ms, 12.5);
+}
+
+TEST(KnowledgeIo, MultipleRecordsAndComments) {
+  std::stringstream stream;
+  stream << "# fleet snapshot\n";
+  write_knowledge(stream, "sw-a", sample_knowledge());
+  auto b = sample_knowledge();
+  b.policy.reset();
+  b.width.reset();
+  write_knowledge(stream, "sw-b", b);
+
+  auto loaded = read_knowledge(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_TRUE(loaded.value().at("sw-a").policy.has_value());
+  EXPECT_FALSE(loaded.value().at("sw-b").policy.has_value());
+  EXPECT_FALSE(loaded.value().at("sw-b").width.has_value());
+}
+
+TEST(KnowledgeIo, MalformedInputsReportErrors) {
+  {
+    std::stringstream s("layer_sizes = 1 2\n");
+    EXPECT_FALSE(read_knowledge(s).ok());  // data before section
+  }
+  {
+    std::stringstream s("[switch x]\nbogus_field = 1\n");
+    EXPECT_FALSE(read_knowledge(s).ok());
+  }
+  {
+    std::stringstream s("[switch x]\nlayer_sizes 1 2\n");
+    EXPECT_FALSE(read_knowledge(s).ok());  // missing '='
+  }
+  {
+    std::stringstream s("[broken\n");
+    EXPECT_FALSE(read_knowledge(s).ok());
+  }
+  {
+    std::stringstream s("[switch x]\npolicy = nonsense\n");
+    EXPECT_FALSE(read_knowledge(s).ok());  // bad policy token
+  }
+}
+
+TEST(KnowledgeIo, FileRoundTrip) {
+  const std::string path = "/tmp/tango_knowledge_test.txt";
+  std::map<std::string, SwitchKnowledge> records;
+  records["fleet-1"] = sample_knowledge();
+  ASSERT_TRUE(save_knowledge_file(path, records));
+  auto loaded = load_knowledge_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.value().at("fleet-1").costs.mod_ms, 3.05);
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_knowledge_file(path).ok());
+}
+
+TEST(KnowledgeIo, OfflineKnowledgeDrivesSchedulerWithoutProbing) {
+  // Lab phase: probe a switch and export what was learned.
+  std::stringstream transfer;
+  {
+    net::Network lab;
+    const auto id = lab.add_switch(profiles::switch1());
+    TangoController tango(lab);
+    LearnOptions options;
+    options.size.max_rules = 512;
+    options.infer_policy = false;
+    write_knowledge(transfer, "vendor1-model", tango.learn(id, options));
+  }
+
+  // Production phase: a fresh controller imports the file and schedules
+  // with the learned costs — zero probe traffic on the production switch.
+  auto loaded = read_knowledge(transfer);
+  ASSERT_TRUE(loaded.ok());
+  const auto& know = loaded.value().at("vendor1-model");
+
+  net::Network prod;
+  const auto id = prod.add_switch(profiles::switch1());
+  const auto msgs_before = prod.stats(id).messages_to_switch;
+
+  sched::RequestDag dag;
+  Rng rng(13);
+  for (std::uint32_t i = 0; i < 120; ++i) {
+    sched::SwitchRequest r;
+    r.location = id;
+    r.type = sched::RequestType::kAdd;
+    r.priority = static_cast<std::uint16_t>(rng.uniform_int(1000, 9000));
+    r.match = ProbeEngine::probe_match(i);
+    r.actions = of::output_to(2);
+    dag.add(r);
+  }
+  sched::BasicTangoScheduler tango_sched({{id, know.costs}});
+  const auto tango_time = sched::execute(prod, dag, tango_sched).makespan;
+
+  net::Network base;
+  const auto base_id = base.add_switch(profiles::switch1());
+  sched::RequestDag base_dag;
+  Rng rng2(13);
+  for (std::uint32_t i = 0; i < 120; ++i) {
+    sched::SwitchRequest r;
+    r.location = base_id;
+    r.type = sched::RequestType::kAdd;
+    r.priority = static_cast<std::uint16_t>(rng2.uniform_int(1000, 9000));
+    r.match = ProbeEngine::probe_match(i);
+    r.actions = of::output_to(2);
+    base_dag.add(r);
+  }
+  sched::DionysusScheduler dionysus;
+  const auto base_time = sched::execute(base, base_dag, dionysus).makespan;
+
+  EXPECT_LT(tango_time.ns(), base_time.ns());
+  // The production switch only ever saw the scheduled flow_mods.
+  EXPECT_EQ(prod.stats(id).messages_to_switch - msgs_before, 120u);
+}
+
+}  // namespace
+}  // namespace tango::core

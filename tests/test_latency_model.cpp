@@ -1,0 +1,112 @@
+// Unit tests for the latency model: per-op base costs, shift charging,
+// the same-type batching discount, path-delay tiers, and jitter bounds.
+#include <gtest/gtest.h>
+
+#include "switchsim/latency_model.h"
+
+namespace tango::switchsim {
+namespace {
+
+OpCostModel flat_costs() {
+  OpCostModel c;
+  c.add_base = millis(1.0);
+  c.add_same_priority = micros(500);
+  c.add_software = micros(250);
+  c.mod_base = millis(3.0);
+  c.del_base = millis(2.0);
+  c.per_shift = micros(10);
+  c.msg_overhead = micros(100);
+  c.batch_factor = 0.2;
+  c.jitter_frac = 0;  // deterministic
+  return c;
+}
+
+PathDelayModel tiers() {
+  PathDelayModel p;
+  p.level_delay = {micros(500), millis(4.0)};
+  p.control_path = millis(8.0);
+  p.jitter_frac = 0;
+  return p;
+}
+
+TEST(LatencyModelTest, OpKindMapping) {
+  EXPECT_EQ(op_kind(of::FlowModCommand::kAdd), OpKind::kAdd);
+  EXPECT_EQ(op_kind(of::FlowModCommand::kModify), OpKind::kMod);
+  EXPECT_EQ(op_kind(of::FlowModCommand::kModifyStrict), OpKind::kMod);
+  EXPECT_EQ(op_kind(of::FlowModCommand::kDelete), OpKind::kDel);
+  EXPECT_EQ(op_kind(of::FlowModCommand::kDeleteStrict), OpKind::kDel);
+}
+
+TEST(LatencyModelTest, BaseCostsPerVariant) {
+  LatencyModel m(flat_costs(), tiers(), 1);
+  // First op: full overhead.
+  EXPECT_DOUBLE_EQ(m.flow_mod_cost(OpKind::kAdd, 0, false, false).ms(), 1.1);
+  m.reset_batch_state();
+  EXPECT_DOUBLE_EQ(m.flow_mod_cost(OpKind::kAdd, 0, true, false).ms(), 0.6);
+  m.reset_batch_state();
+  EXPECT_DOUBLE_EQ(m.flow_mod_cost(OpKind::kAdd, 0, false, true).ms(), 0.35);
+  m.reset_batch_state();
+  EXPECT_DOUBLE_EQ(m.flow_mod_cost(OpKind::kMod, 0, false, false).ms(), 3.1);
+  m.reset_batch_state();
+  EXPECT_DOUBLE_EQ(m.flow_mod_cost(OpKind::kDel, 0, false, false).ms(), 2.1);
+}
+
+TEST(LatencyModelTest, ShiftsChargeLinearly) {
+  LatencyModel m(flat_costs(), tiers(), 1);
+  const auto none = m.flow_mod_cost(OpKind::kAdd, 0, false, false);
+  const auto many = m.flow_mod_cost(OpKind::kAdd, 1000, false, false);
+  // 1000 shifts * 10us = 10ms, minus the batched-overhead difference.
+  EXPECT_NEAR((many - none).ms(), 10.0 - 0.08, 1e-9);
+}
+
+TEST(LatencyModelTest, BatchDiscountAppliesToSameTypeRuns) {
+  LatencyModel m(flat_costs(), tiers(), 1);
+  const auto first = m.flow_mod_cost(OpKind::kMod, 0, false, false);
+  const auto second = m.flow_mod_cost(OpKind::kMod, 0, false, false);
+  EXPECT_DOUBLE_EQ(first.ms(), 3.1);             // full overhead
+  EXPECT_DOUBLE_EQ(second.ms(), 3.0 + 0.02);     // discounted
+  const auto switched = m.flow_mod_cost(OpKind::kAdd, 0, false, false);
+  EXPECT_DOUBLE_EQ(switched.ms(), 1.1);          // type change: full again
+  m.reset_batch_state();
+  EXPECT_DOUBLE_EQ(m.flow_mod_cost(OpKind::kAdd, 0, false, false).ms(), 1.1);
+}
+
+TEST(LatencyModelTest, PathDelaysPerTier) {
+  LatencyModel m(flat_costs(), tiers(), 1);
+  EXPECT_DOUBLE_EQ(m.path_delay(0).ms(), 0.5);
+  EXPECT_DOUBLE_EQ(m.path_delay(1).ms(), 4.0);
+  EXPECT_DOUBLE_EQ(m.control_delay().ms(), 8.0);
+  EXPECT_EQ(m.levels(), 2u);
+}
+
+TEST(LatencyModelTest, JitterIsBoundedAndSeeded) {
+  auto costs = flat_costs();
+  costs.jitter_frac = 0.05;
+  LatencyModel a(costs, tiers(), 42);
+  LatencyModel b(costs, tiers(), 42);
+  LatencyModel c(costs, tiers(), 43);
+  bool differs_across_seeds = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto va = a.flow_mod_cost(OpKind::kAdd, 0, false, false);
+    const auto vb = b.flow_mod_cost(OpKind::kAdd, 0, false, false);
+    const auto vc = c.flow_mod_cost(OpKind::kAdd, 0, false, false);
+    EXPECT_EQ(va.ns(), vb.ns());  // same seed: identical
+    if (va.ns() != vc.ns()) differs_across_seeds = true;
+    // 5% jitter: stay within +-30% (6 sigma) and strictly positive.
+    EXPECT_GT(va.ms(), 1.1 * 0.7);
+    EXPECT_LT(va.ms(), 1.1 * 1.3);
+  }
+  EXPECT_TRUE(differs_across_seeds);
+}
+
+TEST(LatencyModelTest, SetCostsTakesEffectImmediately) {
+  LatencyModel m(flat_costs(), tiers(), 1);
+  auto faster = flat_costs();
+  faster.mod_base = micros(100);
+  m.set_costs(faster);
+  m.reset_batch_state();
+  EXPECT_DOUBLE_EQ(m.flow_mod_cost(OpKind::kMod, 0, false, false).ms(), 0.2);
+}
+
+}  // namespace
+}  // namespace tango::switchsim

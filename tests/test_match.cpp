@@ -1,0 +1,228 @@
+// Unit and property tests for the OpenFlow match semantics: wildcards,
+// prefix matching, overlap/subsumption, and layer classification.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "openflow/match.h"
+
+namespace tango::of {
+namespace {
+
+PacketHeader packet(std::uint32_t src, std::uint32_t dst, std::uint8_t proto = 6,
+                    std::uint16_t dport = 80) {
+  PacketHeader h;
+  h.nw_src = src;
+  h.nw_dst = dst;
+  h.nw_proto = proto;
+  h.tp_dst = dport;
+  return h;
+}
+
+TEST(Match, AnyMatchesEverything) {
+  const Match m = Match::any();
+  EXPECT_TRUE(m.is_wildcard_all());
+  EXPECT_TRUE(m.matches(packet(1, 2)));
+  EXPECT_TRUE(m.matches(PacketHeader{}));
+  EXPECT_EQ(m.layer(), MatchLayer::kNone);
+}
+
+TEST(Match, ExactFromMatchesOnlyThatPacket) {
+  const auto p = packet(0x0a000001, 0x0a000002, 17, 53);
+  const Match m = Match::exact_from(p);
+  EXPECT_TRUE(m.matches(p));
+  auto q = p;
+  q.tp_dst = 54;
+  EXPECT_FALSE(m.matches(q));
+  q = p;
+  q.nw_src ^= 1;
+  EXPECT_FALSE(m.matches(q));
+}
+
+TEST(Match, PrefixMatching) {
+  Match m;
+  m.set_nw_src_prefix(0x0a000000, 8);  // 10/8
+  EXPECT_EQ(m.nw_src_prefix_len(), 8);
+  EXPECT_TRUE(m.matches(packet(0x0a123456, 0)));
+  EXPECT_FALSE(m.matches(packet(0x0b000000, 0)));
+}
+
+TEST(Match, PrefixLenZeroIsWildcard) {
+  Match m;
+  m.set_nw_src_prefix(0x0a000000, 0);
+  EXPECT_EQ(m.nw_src_prefix_len(), 0);
+  EXPECT_TRUE(m.matches(packet(0xffffffff, 0)));
+}
+
+TEST(Match, PrefixTruncatesHostBits) {
+  Match m;
+  m.set_nw_dst_prefix(0x0a0000ff, 24);
+  EXPECT_EQ(m.nw_dst, 0x0a000000u);
+}
+
+TEST(Match, ExactFieldSetters) {
+  Match m;
+  m.with_in_port(3).with_dl_type(0x0800).with_nw_proto(6).with_tp_dst(443);
+  auto p = packet(1, 2, 6, 443);
+  p.in_port = 3;
+  EXPECT_TRUE(m.matches(p));
+  p.in_port = 4;
+  EXPECT_FALSE(m.matches(p));
+}
+
+TEST(Match, MacMatching) {
+  const MacAddr mac{1, 2, 3, 4, 5, 6};
+  Match m;
+  m.with_dl_src(mac);
+  PacketHeader p;
+  p.dl_src = mac;
+  EXPECT_TRUE(m.matches(p));
+  p.dl_src[5] = 7;
+  EXPECT_FALSE(m.matches(p));
+}
+
+TEST(Match, OverlapNestedPrefixes) {
+  Match a, b;
+  a.set_nw_src_prefix(0x0a000000, 8);
+  b.set_nw_src_prefix(0x0a010000, 16);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_TRUE(a.subsumes(b));
+  EXPECT_FALSE(b.subsumes(a));
+}
+
+TEST(Match, DisjointPrefixesDoNotOverlap) {
+  Match a, b;
+  a.set_nw_src_prefix(0x0a000000, 16);
+  b.set_nw_src_prefix(0x0a010000, 16);
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_FALSE(a.subsumes(b));
+}
+
+TEST(Match, PartialOverlapNeitherSubsumes) {
+  Match a, b;
+  a.set_nw_src_prefix(0x0a000000, 8);   // src 10/8, dst any
+  b.set_nw_dst_prefix(0x0b000000, 8);   // src any, dst 11/8
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.subsumes(b));
+  EXPECT_FALSE(b.subsumes(a));
+}
+
+TEST(Match, ExactFieldsBlockOverlap) {
+  Match a, b;
+  a.with_tp_dst(80);
+  b.with_tp_dst(443);
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(Match, AnySubsumesAll) {
+  const Match any = Match::any();
+  Match specific;
+  specific.with_tp_dst(80).with_nw_proto(6);
+  specific.set_nw_src_prefix(0x0a000000, 24);
+  EXPECT_TRUE(any.subsumes(specific));
+  EXPECT_FALSE(specific.subsumes(any));
+  EXPECT_TRUE(any.subsumes(any));
+}
+
+TEST(Match, LayerClassification) {
+  Match l2;
+  l2.with_dl_src({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(l2.layer(), MatchLayer::kL2Only);
+
+  Match l3;
+  l3.set_nw_src_prefix(0x0a000000, 32);
+  EXPECT_EQ(l3.layer(), MatchLayer::kL3Only);
+
+  Match both = l2;
+  both.set_nw_dst_prefix(0x0a000000, 24);
+  EXPECT_EQ(both.layer(), MatchLayer::kL2AndL3);
+
+  // dl_type alone is neither an L2 nor L3 constraint for width purposes.
+  Match typed;
+  typed.with_dl_type(0x0800);
+  EXPECT_EQ(typed.layer(), MatchLayer::kNone);
+}
+
+TEST(Match, ToStringListsConstrainedFields) {
+  Match m;
+  m.with_tp_dst(80);
+  m.set_nw_src_prefix(0x0a000001, 32);
+  const auto s = m.to_string();
+  EXPECT_NE(s.find("tp_dst=80"), std::string::npos);
+  EXPECT_NE(s.find("10.0.0.1/32"), std::string::npos);
+}
+
+TEST(FormatHelpers, Ipv4AndMac) {
+  EXPECT_EQ(format_ipv4(0x0a000001), "10.0.0.1");
+  EXPECT_EQ(format_ipv4(0xffffffff), "255.255.255.255");
+  EXPECT_EQ(format_mac({0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}), "de:ad:be:ef:00:01");
+}
+
+TEST(PacketHeaderHashTest, EqualHeadersEqualHashes) {
+  const auto p = packet(1, 2);
+  const auto q = packet(1, 2);
+  EXPECT_EQ(PacketHeaderHash{}(p), PacketHeaderHash{}(q));
+  const auto r = packet(1, 3);
+  EXPECT_NE(PacketHeaderHash{}(p), PacketHeaderHash{}(r));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random match pairs must satisfy the logical relationships
+// between matches(), overlaps(), and subsumes().
+// ---------------------------------------------------------------------------
+
+Match random_match(Rng& rng) {
+  Match m;
+  if (rng.chance(0.6)) {
+    m.set_nw_src_prefix(static_cast<std::uint32_t>(rng.uniform_int(0, 0xffff)) << 16,
+                        static_cast<int>(rng.uniform_int(0, 32)));
+  }
+  if (rng.chance(0.6)) {
+    m.set_nw_dst_prefix(static_cast<std::uint32_t>(rng.uniform_int(0, 0xffff)) << 16,
+                        static_cast<int>(rng.uniform_int(0, 32)));
+  }
+  if (rng.chance(0.3)) m.with_nw_proto(rng.chance(0.5) ? 6 : 17);
+  if (rng.chance(0.3)) m.with_tp_dst(static_cast<std::uint16_t>(rng.uniform_int(1, 4)));
+  if (rng.chance(0.2)) m.with_in_port(static_cast<std::uint16_t>(rng.uniform_int(1, 3)));
+  return m;
+}
+
+PacketHeader random_packet(Rng& rng) {
+  PacketHeader p;
+  p.nw_src = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffff)) << 16;
+  p.nw_dst = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffff)) << 16;
+  p.nw_proto = rng.chance(0.5) ? 6 : 17;
+  p.tp_dst = static_cast<std::uint16_t>(rng.uniform_int(1, 4));
+  p.in_port = static_cast<std::uint16_t>(rng.uniform_int(1, 3));
+  return p;
+}
+
+class MatchProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchProperties, SubsumptionImpliesContainment) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 300; ++iter) {
+    const Match a = random_match(rng);
+    const Match b = random_match(rng);
+    // Reflexivity.
+    EXPECT_TRUE(a.subsumes(a));
+    EXPECT_TRUE(a.overlaps(a));
+    // Symmetry of overlap.
+    EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+    // Subsumption implies overlap.
+    if (a.subsumes(b)) EXPECT_TRUE(a.overlaps(b));
+    for (int pi = 0; pi < 20; ++pi) {
+      const auto p = random_packet(rng);
+      // Containment: b matches p and a subsumes b => a matches p.
+      if (a.subsumes(b) && b.matches(p)) EXPECT_TRUE(a.matches(p));
+      // Witness: a packet matching both is an overlap witness.
+      if (a.matches(p) && b.matches(p)) EXPECT_TRUE(a.overlaps(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace tango::of

@@ -1,0 +1,205 @@
+// Tests for switch configuration, port state/counters, PORT_STATUS
+// delivery, and the extended statistics (aggregate / description / port).
+#include <gtest/gtest.h>
+
+#include "apps/flow_monitor.h"
+#include "net/network.h"
+#include "switchsim/profiles.h"
+#include "tango/probe_engine.h"
+
+namespace tango {
+namespace {
+
+namespace profiles = switchsim::profiles;
+using core::ProbeEngine;
+
+SimTime at(double sec_value) {
+  return SimTime{static_cast<std::int64_t>(sec_value * 1e9)};
+}
+
+// ---------------------------------------------------------------------------
+// Switch-level behaviour
+// ---------------------------------------------------------------------------
+
+TEST(SwitchConfig, GetSetRoundTrip) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  EXPECT_EQ(sw.config().miss_send_len, 128);
+  of::SetConfig cfg;
+  cfg.flags = 1;
+  cfg.miss_send_len = 256;
+  sw.set_config(cfg);
+  EXPECT_EQ(sw.config().flags, 1);
+  EXPECT_EQ(sw.config().miss_send_len, 256);
+}
+
+TEST(SwitchPorts, CountersTrackForwardedTraffic) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  sw.apply_flow_mod(ProbeEngine::probe_add(0), at(0));  // output port 2
+  of::Packet pkt;
+  pkt.header = ProbeEngine::probe_packet(0);  // in_port 1
+  sw.forward(pkt, at(1));
+  sw.forward(pkt, at(2));
+
+  const auto stats = sw.port_stats(of::kPortNone);
+  ASSERT_EQ(stats.entries.size(), profiles::switch2().n_ports);
+  const auto& p1 = stats.entries[0];  // port 1
+  const auto& p2 = stats.entries[1];  // port 2
+  EXPECT_EQ(p1.port_no, 1);
+  EXPECT_EQ(p1.rx_packets, 2u);
+  EXPECT_GT(p1.rx_bytes, 0u);
+  EXPECT_EQ(p2.tx_packets, 2u);
+  EXPECT_GT(p2.tx_bytes, 0u);
+  EXPECT_EQ(p2.rx_packets, 0u);
+
+  // Single-port query.
+  const auto one = sw.port_stats(2);
+  ASSERT_EQ(one.entries.size(), 1u);
+  EXPECT_EQ(one.entries[0].tx_packets, 2u);
+}
+
+TEST(SwitchPorts, DownedIngressDropsPackets) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  sw.apply_flow_mod(ProbeEngine::probe_add(0), at(0));
+  sw.set_port_link(1, false);
+  of::Packet pkt;
+  pkt.header = ProbeEngine::probe_packet(0);
+  const auto out = sw.forward(pkt, at(1));
+  EXPECT_EQ(out.kind, switchsim::ForwardOutcome::Kind::kDropped);
+  EXPECT_EQ(sw.port_stats(1).entries[0].rx_dropped, 1u);
+  EXPECT_EQ(sw.port_stats(1).entries[0].rx_packets, 0u);
+  // Link restoration resumes forwarding.
+  sw.set_port_link(1, true);
+  EXPECT_EQ(sw.forward(pkt, at(2)).kind,
+            switchsim::ForwardOutcome::Kind::kForwarded);
+}
+
+TEST(SwitchPorts, DownedEgressCountsTxDrops) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  sw.apply_flow_mod(ProbeEngine::probe_add(0), at(0));  // egress port 2
+  sw.set_port_link(2, false);
+  of::Packet pkt;
+  pkt.header = ProbeEngine::probe_packet(0);
+  EXPECT_EQ(sw.forward(pkt, at(1)).kind,
+            switchsim::ForwardOutcome::Kind::kDropped);
+  EXPECT_EQ(sw.port_stats(2).entries[0].tx_dropped, 1u);
+}
+
+TEST(SwitchPorts, LinkTransitionsQueuePortStatusOnce) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  sw.set_port_link(3, false);
+  sw.set_port_link(3, false);  // no transition: no second event
+  auto events = sw.drain_port_status();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].port.port_no, 3);
+  EXPECT_NE(events[0].port.state & of::kPortStateLinkDown, 0u);
+  EXPECT_TRUE(sw.drain_port_status().empty());
+}
+
+TEST(SwitchPorts, PortModAppliesMaskedConfig) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  of::PortMod pm;
+  pm.port_no = 4;
+  pm.config = of::kPortConfigDown;
+  pm.mask = of::kPortConfigDown;
+  sw.apply_port_mod(pm);
+  EXPECT_FALSE(sw.port_forwarding(4));
+  // Clearing via mask.
+  pm.config = 0;
+  sw.apply_port_mod(pm);
+  EXPECT_TRUE(sw.port_forwarding(4));
+  EXPECT_EQ(sw.drain_port_status().size(), 2u);
+}
+
+TEST(SwitchStats, AggregateSumsMatchingRules) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  sw.apply_flow_mod(ProbeEngine::probe_add(0), at(0));
+  sw.apply_flow_mod(ProbeEngine::probe_add(1), at(0));
+  of::Packet pkt;
+  pkt.header = ProbeEngine::probe_packet(0);
+  sw.forward(pkt, at(1));
+  sw.forward(pkt, at(2));
+  const auto agg = sw.aggregate_stats(of::Match::any());
+  EXPECT_EQ(agg.flow_count, 3u);  // 2 + default route
+  EXPECT_EQ(agg.packet_count, 2u);
+  EXPECT_GT(agg.byte_count, 0u);
+}
+
+TEST(SwitchStats, DescriptionIdentifiesModel) {
+  switchsim::SimulatedSwitch sw(7, profiles::switch3());
+  const auto desc = sw.description();
+  EXPECT_EQ(desc.mfr_desc, "vendor3");
+  EXPECT_EQ(desc.hw_desc, "HW Switch #3");
+  EXPECT_NE(desc.sw_desc.find("tcam-only"), std::string::npos);
+  EXPECT_EQ(desc.serial_num, "sim-7");
+}
+
+// ---------------------------------------------------------------------------
+// Through the wire (Network sync APIs + unsolicited PORT_STATUS)
+// ---------------------------------------------------------------------------
+
+TEST(NetworkPorts, SyncStatsRequests) {
+  net::Network net;
+  const auto id = net.add_switch(profiles::switch2());
+  net.install(id, ProbeEngine::probe_add(0));
+  net.probe(id, ProbeEngine::probe_packet(0));
+
+  const auto agg = net.aggregate_stats_sync(id, of::Match::any());
+  EXPECT_EQ(agg.flow_count, 2u);
+  EXPECT_EQ(agg.packet_count, 1u);
+
+  const auto desc = net.description_sync(id);
+  EXPECT_EQ(desc.mfr_desc, "vendor2");
+
+  const auto ports = net.port_stats_sync(id);
+  EXPECT_EQ(ports.entries.size(), profiles::switch2().n_ports);
+  EXPECT_EQ(ports.entries[0].rx_packets, 1u);
+
+  const auto cfg = net.get_config_sync(id);
+  EXPECT_EQ(cfg.miss_send_len, 128);
+}
+
+TEST(NetworkPorts, LinkFailureDeliversPortStatusToMonitor) {
+  net::Network net;
+  const auto a = net.add_switch(profiles::ovs());
+  const auto b = net.add_switch(profiles::ovs());
+  const auto link = net.topology().add_link(net::Network::node_of(a),
+                                            net::Network::node_of(b));
+  apps::FlowMonitor monitor(net);
+
+  net.set_link_state(link, false);
+  net.run_all();
+  ASSERT_EQ(monitor.port_events().size(), 2u);  // both endpoints report
+  for (const auto& ev : monitor.port_events()) {
+    EXPECT_NE(ev.info.port.state & of::kPortStateLinkDown, 0u);
+    EXPECT_EQ(ev.info.port.port_no, net::port_for_link(link));
+  }
+  EXPECT_FALSE(net.topology().link(link).up);
+
+  monitor.clear();
+  net.set_link_state(link, true);
+  net.run_all();
+  EXPECT_EQ(monitor.port_events().size(), 2u);
+  EXPECT_TRUE(net.topology().link(link).up);
+}
+
+TEST(NetworkPorts, VendorMessageYieldsBadRequestError) {
+  net::Network net;
+  const auto id = net.add_switch(profiles::ovs());
+  bool got_error = false;
+  net.set_unsolicited_handler([&](SwitchId, const of::Message& msg) {
+    if (const auto* err = std::get_if<of::ErrorMsg>(&msg.body)) {
+      EXPECT_EQ(err->type, of::ErrorType::kBadRequest);
+      EXPECT_EQ(err->code, 3);  // OFPBRC_BAD_VENDOR
+      got_error = true;
+    }
+  });
+  of::Vendor vendor;
+  vendor.vendor_id = 0x00002320;
+  vendor.data = {1, 2, 3};
+  net.channel(id).send(of::Message{0, vendor});  // xid 0: lands unsolicited
+  net.run_all();
+  EXPECT_TRUE(got_error);
+}
+
+}  // namespace
+}  // namespace tango

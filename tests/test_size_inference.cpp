@@ -1,0 +1,156 @@
+// End-to-end tests of the flow-table size inference (paper Algorithm 1).
+//
+// The headline claim is accuracy within 5% of the true table size across
+// diverse cache policies; the parameterized sweep below checks it against
+// the policy-cache model, and dedicated tests cover the TCAM-only,
+// FIFO-two-level (Switch #1), and OVS (unbounded) architectures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/network.h"
+#include "switchsim/profiles.h"
+#include "tango/size_inference.h"
+
+namespace tango::core {
+namespace {
+
+namespace profiles = switchsim::profiles;
+
+SizeInferenceResult run_inference(const switchsim::SwitchProfile& profile,
+                                  SizeInferenceConfig config = {}) {
+  net::Network net;
+  const auto id = net.add_switch(profile);
+  ProbeEngine probe(net, id);
+  return infer_sizes(probe, config);
+}
+
+double relative_error(double estimated, double truth) {
+  return std::abs(estimated - truth) / truth;
+}
+
+TEST(SizeInference, TcamOnlyExactViaRejection) {
+  // A reject-at-capacity switch reveals its size exactly: one cluster, and
+  // installed == capacity.
+  auto profile = profiles::switch2();
+  profile.cache_levels[0].capacity_slots = 512;  // 256 double-wide entries
+  profile.install_default_route = false;
+  const auto result = run_inference(profile);
+  EXPECT_FALSE(result.hit_rule_cap);
+  EXPECT_EQ(result.installed, 256u);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.layer_sizes[0], 256.0);
+}
+
+TEST(SizeInference, Switch1TcamWithinFivePercent) {
+  // Two-level FIFO switch: TCAM holds 2047 probe rules (double-wide 4096
+  // slots minus the default route), the rest spill into software.
+  auto profile = profiles::switch1();
+  SizeInferenceConfig config;
+  config.max_rules = 4096;
+  const auto result = run_inference(profile, config);
+  EXPECT_TRUE(result.hit_rule_cap);  // software table never rejects
+  ASSERT_EQ(result.clusters.size(), 2u);
+  EXPECT_LT(relative_error(result.layer_sizes[0], 2047.0), 0.05)
+      << "estimated " << result.layer_sizes[0];
+}
+
+TEST(SizeInference, OvsLooksUnbounded) {
+  SizeInferenceConfig config;
+  config.max_rules = 512;
+  const auto result = run_inference(profiles::ovs(), config);
+  EXPECT_TRUE(result.hit_rule_cap);
+  EXPECT_EQ(result.installed, 512u);
+  // Every stage-1 probe warmed a microflow, so sampled probes all hit the
+  // kernel fast path: a single latency band.
+  EXPECT_EQ(result.clusters.size(), 1u);
+}
+
+TEST(SizeInference, MultiLevelSwitchFindsAllThreeBands) {
+  const auto profile = profiles::switch2_multilevel();
+  SizeInferenceConfig config;
+  config.max_rules = 3000;
+  const auto result = run_inference(profile, config);
+  ASSERT_EQ(result.clusters.size(), 3u);
+  EXPECT_LT(relative_error(result.layer_sizes[0], 750.0), 0.08);
+  EXPECT_LT(relative_error(result.layer_sizes[1], 750.0), 0.08);
+  // Remainder: m - fast tiers.
+  const double expected_sw = static_cast<double>(result.installed) - 1500.0;
+  EXPECT_LT(relative_error(result.layer_sizes[2], expected_sw), 0.12);
+}
+
+TEST(SizeInference, ProbingOverheadIsLinear) {
+  // Asymptotic-optimality check: messages and probe packets are O(m) with
+  // a small constant, not O(m log m) or worse.
+  auto profile = profiles::switch2();
+  profile.cache_levels[0].capacity_slots = 1024;  // 512 entries
+  profile.install_default_route = false;
+  const auto result = run_inference(profile);
+  const double m = static_cast<double>(result.installed);
+  EXPECT_LT(static_cast<double>(result.messages_used), 10.0 * m + 500.0);
+  EXPECT_LT(static_cast<double>(result.probe_packets), 8.0 * m + 500.0);
+}
+
+TEST(SizeInference, EmptySwitchZeroCapacity) {
+  auto profile = profiles::switch2();
+  profile.cache_levels[0].capacity_slots = 0;
+  profile.install_default_route = false;
+  const auto result = run_inference(profile);
+  EXPECT_EQ(result.installed, 0u);
+  EXPECT_TRUE(result.layer_sizes.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The 5% accuracy claim, swept across cache sizes and replacement policies
+// (the paper's point: the estimator works *despite* diverse caching).
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  const char* policy_name;
+  tables::LexCachePolicy policy;
+  std::size_t cache_size;
+};
+
+class SizeAccuracy : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SizeAccuracy, WithinFivePercent) {
+  const auto& param = GetParam();
+  const auto profile = profiles::policy_cache("sweep", {param.cache_size},
+                                              param.policy);
+  SizeInferenceConfig config;
+  config.max_rules = param.cache_size * 3;
+  const auto result = run_inference(profile, config);
+  ASSERT_EQ(result.clusters.size(), 2u)
+      << "expected cache + software bands for " << param.policy_name;
+  EXPECT_LT(relative_error(result.layer_sizes[0],
+                           static_cast<double>(param.cache_size)),
+            0.05)
+      << param.policy_name << "/" << param.cache_size << " estimated "
+      << result.layer_sizes[0];
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  return std::string(info.param.policy_name) + "_" +
+         std::to_string(info.param.cache_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSizes, SizeAccuracy,
+    ::testing::Values(
+        SweepCase{"fifo", tables::LexCachePolicy::fifo(), 128},
+        SweepCase{"fifo", tables::LexCachePolicy::fifo(), 500},
+        SweepCase{"lru", tables::LexCachePolicy::lru(), 128},
+        SweepCase{"lru", tables::LexCachePolicy::lru(), 500},
+        SweepCase{"lfu", tables::LexCachePolicy::lfu(), 250},
+        SweepCase{"priority", tables::LexCachePolicy::priority_based(), 250},
+        SweepCase{"lex_traffic_then_use",
+                  tables::LexCachePolicy::lex(
+                      {{tables::Attribute::kTrafficCount,
+                        tables::Direction::kPreferHigh},
+                       {tables::Attribute::kUseTime,
+                        tables::Direction::kPreferHigh}}),
+                  300}),
+    sweep_name);
+
+}  // namespace
+}  // namespace tango::core

@@ -1,0 +1,150 @@
+// Tests for flow idle/hard timeouts and FLOW_REMOVED delivery.
+#include <gtest/gtest.h>
+
+#include "apps/flow_monitor.h"
+#include "net/network.h"
+#include "switchsim/profiles.h"
+#include "tango/probe_engine.h"
+
+namespace tango {
+namespace {
+
+namespace profiles = switchsim::profiles;
+using core::ProbeEngine;
+
+of::FlowMod timed_add(std::uint32_t index, std::uint16_t idle, std::uint16_t hard,
+                      bool notify = true) {
+  auto fm = ProbeEngine::probe_add(index);
+  fm.idle_timeout = idle;
+  fm.hard_timeout = hard;
+  fm.flags = notify ? 1 : 0;  // OFPFF_SEND_FLOW_REM
+  return fm;
+}
+
+SimTime at(double sec_value) { return SimTime{static_cast<std::int64_t>(sec_value * 1e9)}; }
+
+TEST(Timeouts, HardTimeoutExpiresEntry) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  sw.apply_flow_mod(timed_add(0, 0, /*hard=*/5), at(0));
+  EXPECT_EQ(sw.total_rules(), 2u);  // + default route
+  sw.sweep_timeouts(at(4.9));
+  EXPECT_EQ(sw.total_rules(), 2u);
+  sw.sweep_timeouts(at(5.1));
+  EXPECT_EQ(sw.total_rules(), 1u);
+  const auto removals = sw.drain_removals();
+  ASSERT_EQ(removals.size(), 1u);
+  EXPECT_EQ(removals[0].reason, of::FlowRemovedReason::kHardTimeout);
+  EXPECT_EQ(removals[0].match, ProbeEngine::probe_match(0));
+}
+
+TEST(Timeouts, IdleTimeoutRefreshedByTraffic) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  sw.apply_flow_mod(timed_add(0, /*idle=*/10, 0), at(0));
+  of::Packet pkt;
+  pkt.header = ProbeEngine::probe_packet(0);
+  // Keep the flow warm past its idle window.
+  sw.forward(pkt, at(8));
+  sw.sweep_timeouts(at(15));
+  EXPECT_EQ(sw.total_rules(), 2u);  // refreshed at t=8, idles at t=18
+  sw.sweep_timeouts(at(18.5));
+  EXPECT_EQ(sw.total_rules(), 1u);
+  const auto removals = sw.drain_removals();
+  ASSERT_EQ(removals.size(), 1u);
+  EXPECT_EQ(removals[0].reason, of::FlowRemovedReason::kIdleTimeout);
+  EXPECT_EQ(removals[0].packet_count, 1u);
+}
+
+TEST(Timeouts, NoNotificationWithoutFlag) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  sw.apply_flow_mod(timed_add(0, 0, 5, /*notify=*/false), at(0));
+  sw.sweep_timeouts(at(6));
+  EXPECT_EQ(sw.total_rules(), 1u);
+  EXPECT_TRUE(sw.drain_removals().empty());
+}
+
+TEST(Timeouts, PermanentRulesNeverExpire) {
+  switchsim::SimulatedSwitch sw(1, profiles::switch2());
+  sw.apply_flow_mod(timed_add(0, 0, 0), at(0));
+  sw.sweep_timeouts(at(1e6));
+  EXPECT_EQ(sw.total_rules(), 2u);
+}
+
+TEST(Timeouts, ExpiryInvalidatesMicroflows) {
+  switchsim::SimulatedSwitch sw(1, profiles::ovs());
+  sw.apply_flow_mod(timed_add(0, 0, 5), at(0));
+  of::Packet pkt;
+  pkt.header = ProbeEngine::probe_packet(0);
+  sw.forward(pkt, at(1));
+  EXPECT_EQ(sw.microflow_size(), 1u);
+  sw.sweep_timeouts(at(6));
+  EXPECT_EQ(sw.microflow_size(), 0u);
+  EXPECT_EQ(sw.forward(pkt, at(7)).kind,
+            switchsim::ForwardOutcome::Kind::kToController);
+}
+
+TEST(Timeouts, FifoSwitchPromotesAfterExpiry) {
+  auto profile = profiles::switch1(tables::TcamMode::kSingleWide);
+  profile.cache_levels[0].capacity_slots = 3;
+  profile.install_default_route = false;
+  switchsim::SimulatedSwitch sw(1, profile);
+  // 3 short-lived TCAM entries, 2 permanent software entries behind them.
+  for (std::uint32_t i = 0; i < 3; ++i) sw.apply_flow_mod(timed_add(i, 0, 5), at(i * 0.001));
+  for (std::uint32_t i = 3; i < 5; ++i) {
+    sw.apply_flow_mod(ProbeEngine::probe_add(i), at(0.01 + i * 0.001));
+  }
+  EXPECT_EQ(sw.level_size(0), 3u);
+  EXPECT_EQ(sw.software_size(), 2u);
+  sw.sweep_timeouts(at(6));
+  // All TCAM entries expired; both software entries were promoted.
+  EXPECT_EQ(sw.level_size(0), 2u);
+  EXPECT_EQ(sw.software_size(), 0u);
+}
+
+TEST(Timeouts, DeliveredToControllerViaChannel) {
+  net::Network net;
+  const auto id = net.add_switch(profiles::switch2());
+  apps::FlowMonitor monitor(net);
+
+  net.install(id, timed_add(0, 0, /*hard=*/2));
+  net.install(id, timed_add(1, 0, /*hard=*/2));
+  EXPECT_EQ(monitor.removal_count(), 0u);
+
+  // Advance simulated time past the timeout, then poke the switch (sweeps
+  // are lazy: they run on the next interaction).
+  net.events().schedule_at(SimTime{seconds(3).ns()}, [] {});
+  net.run_all();
+  net.barrier_sync(id);
+  net.run_all();
+  ASSERT_EQ(monitor.removal_count(), 2u);
+  EXPECT_EQ(monitor.removals()[0].switch_id, id);
+  EXPECT_EQ(monitor.removals()[0].info.reason,
+            of::FlowRemovedReason::kHardTimeout);
+}
+
+TEST(Timeouts, ExpiredRuleStopsForwarding) {
+  net::Network net;
+  const auto id = net.add_switch(profiles::switch2());
+  net.install(id, timed_add(0, 0, 1));
+  const auto before = net.probe(id, ProbeEngine::probe_packet(0));
+  EXPECT_EQ(before.outcome.kind, switchsim::ForwardOutcome::Kind::kForwarded);
+  net.events().schedule_at(SimTime{seconds(2).ns()}, [] {});
+  net.run_all();
+  const auto after = net.probe(id, ProbeEngine::probe_packet(0));
+  EXPECT_EQ(after.outcome.kind, switchsim::ForwardOutcome::Kind::kToController);
+}
+
+TEST(Timeouts, FlowMonitorStatsHelpers) {
+  net::Network net;
+  const auto id = net.add_switch(profiles::switch2());
+  apps::FlowMonitor monitor(net);
+  net.install(id, ProbeEngine::probe_add(0));
+  net.install(id, ProbeEngine::probe_add(1));
+  net.probe(id, ProbeEngine::probe_packet(0));
+  net.probe(id, ProbeEngine::probe_packet(0));
+  net.probe(id, ProbeEngine::probe_packet(1));
+  EXPECT_EQ(monitor.total_packets(id, of::Match::any()), 3u);
+  EXPECT_EQ(monitor.reported_active_rules(id), 3u);  // 2 + default route
+}
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,123 @@
+// Tests for request-trace record/replay: structural round-trips, error
+// handling, and replaying a recorded scenario under both schedulers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "net/network.h"
+#include "scheduler/executor.h"
+#include "scheduler/schedulers.h"
+#include "switchsim/profiles.h"
+#include "workload/scenarios.h"
+#include "workload/trace.h"
+
+namespace tango::workload {
+namespace {
+
+namespace profiles = switchsim::profiles;
+
+sched::RequestDag sample_dag() {
+  Rng rng(5);
+  const TestbedIds tb{1, 2, 3};
+  auto dag = traffic_engineering_scenario(tb, 60, 2, 1, 1, rng);
+  // One deadline and one enforcement-style empty priority for coverage.
+  dag.request(0).deadline = millis(12.5);
+  dag.request(1).priority.reset();
+  return dag;
+}
+
+void expect_same_structure(const sched::RequestDag& a, const sched::RequestDag& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ra = a.request(i);
+    const auto& rb = b.request(i);
+    EXPECT_EQ(ra.location, rb.location) << i;
+    EXPECT_EQ(ra.type, rb.type) << i;
+    EXPECT_EQ(ra.priority, rb.priority) << i;
+    EXPECT_EQ(ra.match, rb.match) << i;
+    EXPECT_EQ(ra.deadline.has_value(), rb.deadline.has_value()) << i;
+    if (ra.deadline && rb.deadline) {
+      EXPECT_NEAR(ra.deadline->ms(), rb.deadline->ms(), 1e-6) << i;
+    }
+    EXPECT_EQ(of::output_port(ra.actions), of::output_port(rb.actions)) << i;
+    EXPECT_EQ(a.successors(i), b.successors(i)) << i;
+  }
+}
+
+TEST(TraceIo, RoundTripsScenario) {
+  const auto dag = sample_dag();
+  std::stringstream stream;
+  write_trace(stream, dag);
+  auto loaded = read_trace(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  expect_same_structure(dag, loaded.value());
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::stringstream s("req 0 1 ADD - - 00 2\n");  // missing header
+    EXPECT_FALSE(read_trace(s).ok());
+  }
+  {
+    std::stringstream s("# tango-trace v1\nreq 1 1 ADD - - 00 2\n");
+    EXPECT_FALSE(read_trace(s).ok());  // non-dense ids
+  }
+  {
+    std::stringstream s("# tango-trace v1\nreq 0 1 FROB - - 00 2\n");
+    EXPECT_FALSE(read_trace(s).ok());  // bad type
+  }
+  {
+    std::stringstream s("# tango-trace v1\nbogus 1 2\n");
+    EXPECT_FALSE(read_trace(s).ok());
+  }
+  {
+    std::stringstream s("# tango-trace v1\ndep 0 1\n");
+    EXPECT_FALSE(read_trace(s).ok());  // dep before requests exist
+  }
+  {
+    // Valid structure but a cycle.
+    const auto dag = sample_dag();
+    std::stringstream out;
+    write_trace(out, dag);
+    out << "dep 1 0\ndep 0 1\n";
+    std::istringstream in(out.str());
+    EXPECT_FALSE(read_trace(in).ok());
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = "/tmp/tango_trace_test.txt";
+  const auto dag = sample_dag();
+  ASSERT_TRUE(save_trace_file(path, dag));
+  auto loaded = load_trace_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  expect_same_structure(dag, loaded.value());
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_trace_file(path).ok());
+}
+
+TEST(TraceIo, ReplayedTraceSchedulesIdentically) {
+  // Recording a scenario and replaying it must give the same makespan as
+  // the original (same requests, same dependencies, same scheduler).
+  const auto dag = sample_dag();
+  std::stringstream stream;
+  write_trace(stream, dag);
+  auto loaded = read_trace(stream);
+  ASSERT_TRUE(loaded.ok());
+
+  auto run = [](const sched::RequestDag& d) {
+    net::Network net;
+    auto profile = profiles::switch1();
+    profile.costs.jitter_frac = 0;  // determinism for exact comparison
+    net.add_switch(profile, 42);
+    net.add_switch(profile, 43);
+    net.add_switch(profile, 44);
+    sched::BasicTangoScheduler sched({});
+    return sched::execute(net, d, sched).makespan;
+  };
+  EXPECT_EQ(run(dag).ns(), run(loaded.value()).ns());
+}
+
+}  // namespace
+}  // namespace tango::workload

@@ -1,0 +1,96 @@
+// Tests for the TCAM width/mode inference extension pattern: the engine
+// must classify single-wide, double-wide, and adaptive TCAMs from probing
+// alone, across reject-at-capacity and software-backed architectures.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "switchsim/profiles.h"
+#include "tango/width_inference.h"
+
+namespace tango::core {
+namespace {
+
+namespace profiles = switchsim::profiles;
+using tables::TcamMode;
+
+WidthInferenceResult run(const switchsim::SwitchProfile& profile,
+                         std::size_t max_rules = 6000) {
+  net::Network net;
+  const auto id = net.add_switch(profile);
+  ProbeEngine probe(net, id);
+  WidthInferenceConfig config;
+  config.max_rules = max_rules;
+  return infer_width(probe, config);
+}
+
+TEST(WidthInference, Switch2IsDoubleWide) {
+  const auto result = run(profiles::switch2());
+  EXPECT_EQ(result.mode, TcamMode::kDoubleWide);
+  EXPECT_FALSE(result.unbounded);
+  // 5120 slots, 2 per entry (the probing pattern clears the default route
+  // first, so the full table is measured).
+  EXPECT_DOUBLE_EQ(result.capacity_l2, 2560);
+  EXPECT_DOUBLE_EQ(result.capacity_l3, 2560);
+  EXPECT_DOUBLE_EQ(result.capacity_wide, 2560);
+}
+
+TEST(WidthInference, Switch3IsAdaptive) {
+  const auto result = run(profiles::switch3());
+  EXPECT_EQ(result.mode, TcamMode::kAdaptive);
+  EXPECT_DOUBLE_EQ(result.capacity_l2, 767);
+  EXPECT_DOUBLE_EQ(result.capacity_wide, 383);
+}
+
+TEST(WidthInference, Switch1SingleWideDetectedThroughSoftwareBacking) {
+  // The tricky case: the TCAM rejects nothing (a software tier absorbs
+  // overflow), so the mode must be read from the latency bands.
+  auto profile = profiles::switch1(tables::TcamMode::kSingleWide);
+  const auto result = run(profile);
+  EXPECT_EQ(result.mode, TcamMode::kSingleWide);
+  EXPECT_DOUBLE_EQ(result.capacity_wide, 0);
+  // Narrow capacities within a few percent of 4095 (4096 - default).
+  EXPECT_NEAR(result.capacity_l2, 4096, 4096 * 0.06);
+  EXPECT_NEAR(result.capacity_l3, 4096, 4096 * 0.06);
+}
+
+TEST(WidthInference, Switch1DoubleWideDetectedThroughSoftwareBacking) {
+  auto profile = profiles::switch1(tables::TcamMode::kDoubleWide);
+  const auto result = run(profile);
+  EXPECT_EQ(result.mode, TcamMode::kDoubleWide);
+  EXPECT_NEAR(result.capacity_l2, 2048, 2048 * 0.06);
+  EXPECT_NEAR(result.capacity_wide, 2048, 2048 * 0.06);
+}
+
+TEST(WidthInference, OvsIsUnbounded) {
+  const auto result = run(profiles::ovs(), /*max_rules=*/800);
+  EXPECT_TRUE(result.unbounded);
+}
+
+TEST(WidthInference, SyntheticSingleWideTcamOnly) {
+  auto profile = profiles::switch2();
+  profile.cache_levels[0] = tables::TcamConfig{300, TcamMode::kSingleWide};
+  profile.install_default_route = false;
+  const auto result = run(profile, 1000);
+  EXPECT_EQ(result.mode, TcamMode::kSingleWide);
+  EXPECT_DOUBLE_EQ(result.capacity_l2, 300);
+  EXPECT_DOUBLE_EQ(result.capacity_wide, 0);
+}
+
+TEST(WidthInference, ShapedProbePacketsMatchTheirRules) {
+  // The L2 probe packet must match the L2 probe rule and no other index.
+  for (const auto shape :
+       {RuleShape::kL2Only, RuleShape::kL3Only, RuleShape::kL2AndL3}) {
+    const auto rule = ProbeEngine::probe_match(7, shape);
+    EXPECT_TRUE(rule.matches(ProbeEngine::probe_packet(7, shape)));
+    EXPECT_FALSE(rule.matches(ProbeEngine::probe_packet(8, shape)));
+  }
+  EXPECT_EQ(ProbeEngine::probe_match(1, RuleShape::kL2Only).layer(),
+            of::MatchLayer::kL2Only);
+  EXPECT_EQ(ProbeEngine::probe_match(1, RuleShape::kL3Only).layer(),
+            of::MatchLayer::kL3Only);
+  EXPECT_EQ(ProbeEngine::probe_match(1, RuleShape::kL2AndL3).layer(),
+            of::MatchLayer::kL2AndL3);
+}
+
+}  // namespace
+}  // namespace tango::core

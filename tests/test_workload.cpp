@@ -1,0 +1,323 @@
+// Tests for the workload generators: ClassBench-style ACLs, the rule
+// dependency DAG and priority assignments (Table 2's quantities), the
+// network-wide scenarios, and the max-min fair TE allocator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/b4.h"
+#include "workload/classbench.h"
+#include "workload/dependency.h"
+#include "workload/maxmin.h"
+#include "workload/scenarios.h"
+
+namespace tango::workload {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ClassBench generator
+// ---------------------------------------------------------------------------
+
+TEST(Classbench, ProfilesMatchTable2RuleCounts) {
+  EXPECT_EQ(generate_classbench(cb1()).size(), 829u);
+  EXPECT_EQ(generate_classbench(cb2()).size(), 989u);
+  EXPECT_EQ(generate_classbench(cb3()).size(), 972u);
+}
+
+TEST(Classbench, RulesAreUniqueAndIndexed) {
+  const auto rules = generate_classbench(cb1());
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].original_index, i);
+    EXPECT_TRUE(seen.insert(rules[i].match.to_string()).second)
+        << "duplicate " << rules[i].match.to_string();
+  }
+}
+
+TEST(Classbench, DeterministicForSameSeed) {
+  const auto a = generate_classbench(cb2());
+  const auto b = generate_classbench(cb2());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].match, b[i].match);
+}
+
+TEST(Classbench, HasOverlapStructure) {
+  const auto rules = generate_classbench(cb1());
+  const auto dag = RuleDag::build(rules);
+  EXPECT_GT(dag.edge_count(), rules.size());  // dense enough to matter
+  // Dependency chains tens of rules deep, like the paper's filter sets.
+  EXPECT_GE(dag.depth(), 10u);
+  EXPECT_LE(dag.depth(), 120u);
+}
+
+// ---------------------------------------------------------------------------
+// Dependency DAG + priority assignment
+// ---------------------------------------------------------------------------
+
+std::vector<AclRule> tiny_chain() {
+  // r0 ⊃ r1 ⊃ r2, r3 disjoint.
+  std::vector<AclRule> rules(4);
+  rules[0].match.set_nw_src_prefix(0x0a000000, 8);
+  rules[1].match.set_nw_src_prefix(0x0a010000, 16);
+  rules[2].match.set_nw_src_prefix(0x0a010100, 24);
+  rules[3].match.set_nw_src_prefix(0x0b000000, 8);
+  for (std::size_t i = 0; i < 4; ++i) rules[i].original_index = i;
+  return rules;
+}
+
+TEST(RuleDagTest, BuildsOverlapEdges) {
+  const auto dag = RuleDag::build(tiny_chain());
+  EXPECT_EQ(dag.edge_count(), 3u);  // 0-1, 0-2, 1-2
+  EXPECT_EQ(dag.depth(), 3u);
+  const auto layers = dag.layers();
+  EXPECT_EQ(layers[0], 2u);
+  EXPECT_EQ(layers[1], 1u);
+  EXPECT_EQ(layers[2], 0u);
+  EXPECT_EQ(layers[3], 0u);
+}
+
+TEST(RuleDagTest, TopologicalPrioritiesMinimizeDistinctValues) {
+  const auto dag = RuleDag::build(tiny_chain());
+  const auto topo = dag.topological_priorities();
+  EXPECT_EQ(RuleDag::distinct_count(topo), 3u);  // == depth
+  // Earlier (more specific) rules carry higher priority.
+  EXPECT_GT(topo[0], topo[1]);
+  EXPECT_GT(topo[1], topo[2]);
+}
+
+TEST(RuleDagTest, RPrioritiesAreOneToOne) {
+  const auto rules = tiny_chain();
+  const auto dag = RuleDag::build(rules);
+  const auto r = dag.r_priorities();
+  EXPECT_EQ(RuleDag::distinct_count(r), rules.size());
+}
+
+TEST(RuleDagTest, BothAssignmentsSatisfyAllConstraints) {
+  const auto rules = generate_classbench(cb3());
+  const auto dag = RuleDag::build(rules);
+  const auto topo = dag.topological_priorities();
+  const auto r = dag.r_priorities();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    for (std::size_t j : dag.successors(i)) {
+      EXPECT_GT(topo[i], topo[j]) << i << "->" << j;
+      EXPECT_GT(r[i], r[j]) << i << "->" << j;
+    }
+  }
+}
+
+TEST(RuleDagTest, Table2PriorityCountsInPaperRange) {
+  // The paper's files show 33-64 topological levels for ~1k rules; our
+  // synthetic profiles should land in the same regime.
+  for (const auto& profile : {cb1(), cb2(), cb3()}) {
+    const auto dag = RuleDag::build(generate_classbench(profile));
+    const auto topo_levels = RuleDag::distinct_count(dag.topological_priorities());
+    EXPECT_GE(topo_levels, 15u) << profile.name;
+    EXPECT_LE(topo_levels, 90u) << profile.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+TEST(Scenarios, LinkFailureShape) {
+  Rng rng(1);
+  const TestbedIds tb{1, 2, 3};
+  const auto dag = link_failure_scenario(tb, 400, rng);
+  EXPECT_EQ(dag.size(), 800u);
+  EXPECT_TRUE(dag.is_acyclic());
+  EXPECT_EQ(dag.depth(), 2u);
+  std::size_t adds_s3 = 0, mods_s1 = 0;
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    const auto& r = dag.request(i);
+    if (r.type == sched::RequestType::kAdd) {
+      EXPECT_EQ(r.location, tb.s3);
+      ++adds_s3;
+    } else {
+      EXPECT_EQ(r.type, sched::RequestType::kMod);
+      EXPECT_EQ(r.location, tb.s1);
+      ++mods_s1;
+    }
+  }
+  EXPECT_EQ(adds_s3, 400u);
+  EXPECT_EQ(mods_s1, 400u);
+}
+
+TEST(Scenarios, TrafficEngineeringMixRoughlyMatchesWeights) {
+  Rng rng(2);
+  const TestbedIds tb{1, 2, 3};
+  const auto dag = traffic_engineering_scenario(tb, 800, 2, 1, 1, rng);
+  EXPECT_EQ(dag.size(), 800u);
+  EXPECT_TRUE(dag.is_acyclic());
+  std::size_t adds = 0, dels = 0, mods = 0;
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    switch (dag.request(i).type) {
+      case sched::RequestType::kAdd: ++adds; break;
+      case sched::RequestType::kDel: ++dels; break;
+      case sched::RequestType::kMod: ++mods; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(adds), 400.0, 80.0);
+  EXPECT_NEAR(static_cast<double>(dels), 200.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(mods), 200.0, 60.0);
+}
+
+TEST(Scenarios, MixedDagSpecControlsShape) {
+  Rng rng(3);
+  const TestbedIds tb{1, 2, 3};
+  MixedScenarioSpec spec;
+  spec.n_requests = 240;
+  spec.dag_levels = 2;
+  spec.adds_only = true;
+  spec.with_priorities = false;
+  const auto dag = mixed_dag_scenario(tb, spec, rng);
+  EXPECT_EQ(dag.size(), 240u);
+  EXPECT_EQ(dag.depth(), 2u);
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    EXPECT_EQ(dag.request(i).type, sched::RequestType::kAdd);
+    EXPECT_FALSE(dag.request(i).priority.has_value());
+  }
+}
+
+TEST(Scenarios, FlowIndicesAreDisjointFromBase) {
+  Rng rng(4);
+  const TestbedIds tb{1, 2, 3};
+  const auto dag = link_failure_scenario(tb, 10, rng, /*first_index=*/1000);
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    // Matches derive from indices >= 1000: 10.0.x.y with x*256+y >= 1000.
+    EXPECT_GE(dag.request(i).match.nw_src, 0x0a000000u + 1000u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Max-min fair allocation
+// ---------------------------------------------------------------------------
+
+net::Topology line3() {
+  net::Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  t.add_node("c");
+  t.add_link(0, 1, micros(10), /*capacity=*/10.0);
+  t.add_link(1, 2, micros(10), /*capacity=*/10.0);
+  return t;
+}
+
+TEST(MaxMin, EqualShareOnSharedLink) {
+  const auto topo = line3();
+  std::vector<Demand> demands;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    demands.push_back(Demand{0, 2, 100.0, i});  // all want more than fits
+  }
+  const auto alloc = maxmin_allocate(topo, demands);
+  for (const auto& a : alloc) {
+    EXPECT_NEAR(a.rate_gbps, 2.5, 1e-9);  // 10G / 4 demands
+    ASSERT_EQ(a.path.size(), 3u);
+  }
+}
+
+TEST(MaxMin, SatisfiedDemandsFreezeEarly) {
+  const auto topo = line3();
+  std::vector<Demand> demands{
+      Demand{0, 2, 1.0, 0},    // small ask
+      Demand{0, 2, 100.0, 1},  // greedy
+  };
+  const auto alloc = maxmin_allocate(topo, demands);
+  EXPECT_NEAR(alloc[0].rate_gbps, 1.0, 1e-9);
+  EXPECT_NEAR(alloc[1].rate_gbps, 9.0, 1e-9);
+}
+
+TEST(MaxMin, CapacitiesNeverExceeded) {
+  const auto topo = net::b4_topology();
+  Rng rng(7);
+  const auto demands = random_demands(topo, 300, rng);
+  const auto alloc = maxmin_allocate(topo, demands);
+  std::vector<double> used(topo.link_count(), 0.0);
+  for (const auto& a : alloc) {
+    for (std::size_t i = 0; i + 1 < a.path.size(); ++i) {
+      const auto li = topo.link_between(a.path[i], a.path[i + 1]);
+      ASSERT_TRUE(li.has_value());
+      used[*li] += a.rate_gbps;
+    }
+  }
+  for (std::size_t li = 0; li < topo.link_count(); ++li) {
+    EXPECT_LE(used[li], topo.link(li).capacity_gbps + 1e-6);
+  }
+  // And nobody exceeds their request.
+  for (const auto& a : alloc) {
+    EXPECT_LE(a.rate_gbps, a.demand.requested_gbps + 1e-9);
+  }
+}
+
+TEST(TeUpdateDag, DiffProducesExpectedOpTypes) {
+  // before: flow 0 on path a-b-c; after: flow 0 rerouted a-c (direct link
+  // added), flow 1 is new, flow 2 disappears.
+  net::Topology topo = line3();
+  std::vector<SwitchId> site_switch{1, 2, 3};
+
+  Allocation before0;
+  before0.demand = Demand{0, 2, 1.0, 0};
+  before0.path = {0, 1, 2};
+  before0.rate_gbps = 1.0;
+  Allocation before2;
+  before2.demand = Demand{0, 2, 1.0, 2};
+  before2.path = {0, 1, 2};
+  before2.rate_gbps = 1.0;
+
+  Allocation after0;
+  after0.demand = before0.demand;
+  after0.path = {0, 2};
+  after0.rate_gbps = 1.0;
+  Allocation after1;
+  after1.demand = Demand{1, 2, 1.0, 1};
+  after1.path = {1, 2};
+  after1.rate_gbps = 0.5;
+
+  Rng rng(1);
+  const auto dag = te_update_dag({before0, before2}, {after0, after1},
+                                 site_switch, rng);
+  EXPECT_TRUE(dag.is_acyclic());
+  std::size_t adds = 0, mods = 0, dels = 0;
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    switch (dag.request(i).type) {
+      case sched::RequestType::kAdd: ++adds; break;
+      case sched::RequestType::kMod: ++mods; break;
+      case sched::RequestType::kDel: ++dels; break;
+    }
+  }
+  // Flow 0: nodes {0,2} shared -> 2 MODs, node 1 old-only -> 1 DEL.
+  // Flow 1: 2 ADDs. Flow 2: 3 DELs.
+  EXPECT_EQ(mods, 2u);
+  EXPECT_EQ(adds, 2u);
+  EXPECT_EQ(dels, 4u);
+}
+
+TEST(TeUpdateDag, UnchangedAllocationsProduceNoRequests) {
+  Allocation a;
+  a.demand = Demand{0, 2, 1.0, 0};
+  a.path = {0, 1, 2};
+  a.rate_gbps = 1.0;
+  Rng rng(1);
+  const auto dag = te_update_dag({a}, {a}, {1, 2, 3}, rng);
+  EXPECT_EQ(dag.size(), 0u);
+}
+
+TEST(TeUpdateDag, RateOnlyChangeIsAllMods) {
+  Allocation before;
+  before.demand = Demand{0, 2, 1.0, 0};
+  before.path = {0, 1, 2};
+  before.rate_gbps = 1.0;
+  auto after = before;
+  after.rate_gbps = 0.25;
+  Rng rng(1);
+  const auto dag = te_update_dag({before}, {after}, {1, 2, 3}, rng);
+  EXPECT_EQ(dag.size(), 3u);
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    EXPECT_EQ(dag.request(i).type, sched::RequestType::kMod);
+  }
+  // Chained destination-first.
+  EXPECT_EQ(dag.depth(), 3u);
+}
+
+}  // namespace
+}  // namespace tango::workload
