@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_deadlines.dir/bench_extension_deadlines.cpp.o"
+  "CMakeFiles/bench_extension_deadlines.dir/bench_extension_deadlines.cpp.o.d"
+  "bench_extension_deadlines"
+  "bench_extension_deadlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

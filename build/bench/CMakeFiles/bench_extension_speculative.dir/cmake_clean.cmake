@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_speculative.dir/bench_extension_speculative.cpp.o"
+  "CMakeFiles/bench_extension_speculative.dir/bench_extension_speculative.cpp.o.d"
+  "bench_extension_speculative"
+  "bench_extension_speculative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_priority_modes.cpp" "bench/CMakeFiles/bench_fig11_priority_modes.dir/bench_fig11_priority_modes.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_priority_modes.dir/bench_fig11_priority_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tango_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/tango_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tables/CMakeFiles/tango_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/tango_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tango/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/tango_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tango_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tango_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_b4_te.dir/bench_fig12_b4_te.cpp.o"
+  "CMakeFiles/bench_fig12_b4_te.dir/bench_fig12_b4_te.cpp.o.d"
+  "bench_fig12_b4_te"
+  "bench_fig12_b4_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_b4_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_op_permutations.dir/bench_fig3a_op_permutations.cpp.o"
+  "CMakeFiles/bench_fig3a_op_permutations.dir/bench_fig3a_op_permutations.cpp.o.d"
+  "bench_fig3a_op_permutations"
+  "bench_fig3a_op_permutations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_op_permutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

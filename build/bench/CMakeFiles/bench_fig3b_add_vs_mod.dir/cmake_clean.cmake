@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_add_vs_mod.dir/bench_fig3b_add_vs_mod.cpp.o"
+  "CMakeFiles/bench_fig3b_add_vs_mod.dir/bench_fig3b_add_vs_mod.cpp.o.d"
+  "bench_fig3b_add_vs_mod"
+  "bench_fig3b_add_vs_mod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_add_vs_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3c_priority_orders.dir/bench_fig3c_priority_orders.cpp.o"
+  "CMakeFiles/bench_fig3c_priority_orders.dir/bench_fig3c_priority_orders.cpp.o.d"
+  "bench_fig3c_priority_orders"
+  "bench_fig3c_priority_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3c_priority_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_hw_optimization.dir/bench_fig9_hw_optimization.cpp.o"
+  "CMakeFiles/bench_fig9_hw_optimization.dir/bench_fig9_hw_optimization.cpp.o.d"
+  "bench_fig9_hw_optimization"
+  "bench_fig9_hw_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_hw_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tcam.dir/bench_micro_tcam.cpp.o"
+  "CMakeFiles/bench_micro_tcam.dir/bench_micro_tcam.cpp.o.d"
+  "bench_micro_tcam"
+  "bench_micro_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_inference.dir/bench_policy_inference.cpp.o"
+  "CMakeFiles/bench_policy_inference.dir/bench_policy_inference.cpp.o.d"
+  "bench_policy_inference"
+  "bench_policy_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_report_vs_inference.dir/bench_report_vs_inference.cpp.o"
+  "CMakeFiles/bench_report_vs_inference.dir/bench_report_vs_inference.cpp.o.d"
+  "bench_report_vs_inference"
+  "bench_report_vs_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_report_vs_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

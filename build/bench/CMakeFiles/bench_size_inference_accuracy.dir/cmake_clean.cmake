@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_size_inference_accuracy.dir/bench_size_inference_accuracy.cpp.o"
+  "CMakeFiles/bench_size_inference_accuracy.dir/bench_size_inference_accuracy.cpp.o.d"
+  "bench_size_inference_accuracy"
+  "bench_size_inference_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_size_inference_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

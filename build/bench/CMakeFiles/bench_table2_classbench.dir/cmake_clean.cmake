@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_classbench.dir/bench_table2_classbench.cpp.o"
+  "CMakeFiles/bench_table2_classbench.dir/bench_table2_classbench.cpp.o.d"
+  "bench_table2_classbench"
+  "bench_table2_classbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_classbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_deployment.dir/acl_deployment.cpp.o"
+  "CMakeFiles/acl_deployment.dir/acl_deployment.cpp.o.d"
+  "acl_deployment"
+  "acl_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_controller.dir/failover_controller.cpp.o"
+  "CMakeFiles/failover_controller.dir/failover_controller.cpp.o.d"
+  "failover_controller"
+  "failover_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

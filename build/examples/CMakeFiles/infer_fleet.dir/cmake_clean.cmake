@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_fleet.dir/infer_fleet.cpp.o"
+  "CMakeFiles/infer_fleet.dir/infer_fleet.cpp.o.d"
+  "infer_fleet"
+  "infer_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

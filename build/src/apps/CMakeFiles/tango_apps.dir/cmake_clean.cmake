@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_apps.dir/acl_compiler.cpp.o"
+  "CMakeFiles/tango_apps.dir/acl_compiler.cpp.o.d"
+  "CMakeFiles/tango_apps.dir/flow_monitor.cpp.o"
+  "CMakeFiles/tango_apps.dir/flow_monitor.cpp.o.d"
+  "CMakeFiles/tango_apps.dir/path_installer.cpp.o"
+  "CMakeFiles/tango_apps.dir/path_installer.cpp.o.d"
+  "libtango_apps.a"
+  "libtango_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

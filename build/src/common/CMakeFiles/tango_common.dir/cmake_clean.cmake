@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_common.dir/logging.cpp.o"
+  "CMakeFiles/tango_common.dir/logging.cpp.o.d"
+  "CMakeFiles/tango_common.dir/types.cpp.o"
+  "CMakeFiles/tango_common.dir/types.cpp.o.d"
+  "libtango_common.a"
+  "libtango_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

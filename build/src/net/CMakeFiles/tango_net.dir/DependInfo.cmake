@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/b4.cpp" "src/net/CMakeFiles/tango_net.dir/b4.cpp.o" "gcc" "src/net/CMakeFiles/tango_net.dir/b4.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/tango_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/tango_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/tango_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/tango_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/tango_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/tango_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/tango_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/tango_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tables/CMakeFiles/tango_tables.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

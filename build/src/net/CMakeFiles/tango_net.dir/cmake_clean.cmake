@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_net.dir/b4.cpp.o"
+  "CMakeFiles/tango_net.dir/b4.cpp.o.d"
+  "CMakeFiles/tango_net.dir/channel.cpp.o"
+  "CMakeFiles/tango_net.dir/channel.cpp.o.d"
+  "CMakeFiles/tango_net.dir/network.cpp.o"
+  "CMakeFiles/tango_net.dir/network.cpp.o.d"
+  "CMakeFiles/tango_net.dir/topology.cpp.o"
+  "CMakeFiles/tango_net.dir/topology.cpp.o.d"
+  "libtango_net.a"
+  "libtango_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

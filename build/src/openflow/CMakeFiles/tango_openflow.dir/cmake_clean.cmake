@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_openflow.dir/actions.cpp.o"
+  "CMakeFiles/tango_openflow.dir/actions.cpp.o.d"
+  "CMakeFiles/tango_openflow.dir/codec.cpp.o"
+  "CMakeFiles/tango_openflow.dir/codec.cpp.o.d"
+  "CMakeFiles/tango_openflow.dir/match.cpp.o"
+  "CMakeFiles/tango_openflow.dir/match.cpp.o.d"
+  "CMakeFiles/tango_openflow.dir/messages.cpp.o"
+  "CMakeFiles/tango_openflow.dir/messages.cpp.o.d"
+  "CMakeFiles/tango_openflow.dir/packet.cpp.o"
+  "CMakeFiles/tango_openflow.dir/packet.cpp.o.d"
+  "libtango_openflow.a"
+  "libtango_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_scheduler.dir/executor.cpp.o"
+  "CMakeFiles/tango_scheduler.dir/executor.cpp.o.d"
+  "CMakeFiles/tango_scheduler.dir/request.cpp.o"
+  "CMakeFiles/tango_scheduler.dir/request.cpp.o.d"
+  "CMakeFiles/tango_scheduler.dir/schedulers.cpp.o"
+  "CMakeFiles/tango_scheduler.dir/schedulers.cpp.o.d"
+  "libtango_scheduler.a"
+  "libtango_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tango_sim.dir/event_queue.cpp.o.d"
+  "libtango_sim.a"
+  "libtango_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

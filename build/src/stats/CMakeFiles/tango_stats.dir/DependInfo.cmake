@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/cluster.cpp" "src/stats/CMakeFiles/tango_stats.dir/cluster.cpp.o" "gcc" "src/stats/CMakeFiles/tango_stats.dir/cluster.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/tango_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/tango_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/tango_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/tango_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/estimators.cpp" "src/stats/CMakeFiles/tango_stats.dir/estimators.cpp.o" "gcc" "src/stats/CMakeFiles/tango_stats.dir/estimators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_stats.dir/cluster.cpp.o"
+  "CMakeFiles/tango_stats.dir/cluster.cpp.o.d"
+  "CMakeFiles/tango_stats.dir/correlation.cpp.o"
+  "CMakeFiles/tango_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/tango_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/tango_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/tango_stats.dir/estimators.cpp.o"
+  "CMakeFiles/tango_stats.dir/estimators.cpp.o.d"
+  "libtango_stats.a"
+  "libtango_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

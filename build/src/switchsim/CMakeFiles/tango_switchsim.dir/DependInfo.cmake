@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/latency_model.cpp" "src/switchsim/CMakeFiles/tango_switchsim.dir/latency_model.cpp.o" "gcc" "src/switchsim/CMakeFiles/tango_switchsim.dir/latency_model.cpp.o.d"
+  "/root/repo/src/switchsim/profiles.cpp" "src/switchsim/CMakeFiles/tango_switchsim.dir/profiles.cpp.o" "gcc" "src/switchsim/CMakeFiles/tango_switchsim.dir/profiles.cpp.o.d"
+  "/root/repo/src/switchsim/switch_model.cpp" "src/switchsim/CMakeFiles/tango_switchsim.dir/switch_model.cpp.o" "gcc" "src/switchsim/CMakeFiles/tango_switchsim.dir/switch_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/tango_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tables/CMakeFiles/tango_tables.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_switchsim.dir/latency_model.cpp.o"
+  "CMakeFiles/tango_switchsim.dir/latency_model.cpp.o.d"
+  "CMakeFiles/tango_switchsim.dir/profiles.cpp.o"
+  "CMakeFiles/tango_switchsim.dir/profiles.cpp.o.d"
+  "CMakeFiles/tango_switchsim.dir/switch_model.cpp.o"
+  "CMakeFiles/tango_switchsim.dir/switch_model.cpp.o.d"
+  "libtango_switchsim.a"
+  "libtango_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tables/cache_policy.cpp" "src/tables/CMakeFiles/tango_tables.dir/cache_policy.cpp.o" "gcc" "src/tables/CMakeFiles/tango_tables.dir/cache_policy.cpp.o.d"
+  "/root/repo/src/tables/software_table.cpp" "src/tables/CMakeFiles/tango_tables.dir/software_table.cpp.o" "gcc" "src/tables/CMakeFiles/tango_tables.dir/software_table.cpp.o.d"
+  "/root/repo/src/tables/tcam.cpp" "src/tables/CMakeFiles/tango_tables.dir/tcam.cpp.o" "gcc" "src/tables/CMakeFiles/tango_tables.dir/tcam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/tango_openflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

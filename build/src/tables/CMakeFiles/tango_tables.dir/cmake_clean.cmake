@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_tables.dir/cache_policy.cpp.o"
+  "CMakeFiles/tango_tables.dir/cache_policy.cpp.o.d"
+  "CMakeFiles/tango_tables.dir/software_table.cpp.o"
+  "CMakeFiles/tango_tables.dir/software_table.cpp.o.d"
+  "CMakeFiles/tango_tables.dir/tcam.cpp.o"
+  "CMakeFiles/tango_tables.dir/tcam.cpp.o.d"
+  "libtango_tables.a"
+  "libtango_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

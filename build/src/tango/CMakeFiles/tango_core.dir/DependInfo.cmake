@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tango/knowledge_io.cpp" "src/tango/CMakeFiles/tango_core.dir/knowledge_io.cpp.o" "gcc" "src/tango/CMakeFiles/tango_core.dir/knowledge_io.cpp.o.d"
+  "/root/repo/src/tango/latency_profiler.cpp" "src/tango/CMakeFiles/tango_core.dir/latency_profiler.cpp.o" "gcc" "src/tango/CMakeFiles/tango_core.dir/latency_profiler.cpp.o.d"
+  "/root/repo/src/tango/pattern.cpp" "src/tango/CMakeFiles/tango_core.dir/pattern.cpp.o" "gcc" "src/tango/CMakeFiles/tango_core.dir/pattern.cpp.o.d"
+  "/root/repo/src/tango/policy_inference.cpp" "src/tango/CMakeFiles/tango_core.dir/policy_inference.cpp.o" "gcc" "src/tango/CMakeFiles/tango_core.dir/policy_inference.cpp.o.d"
+  "/root/repo/src/tango/probe_engine.cpp" "src/tango/CMakeFiles/tango_core.dir/probe_engine.cpp.o" "gcc" "src/tango/CMakeFiles/tango_core.dir/probe_engine.cpp.o.d"
+  "/root/repo/src/tango/size_inference.cpp" "src/tango/CMakeFiles/tango_core.dir/size_inference.cpp.o" "gcc" "src/tango/CMakeFiles/tango_core.dir/size_inference.cpp.o.d"
+  "/root/repo/src/tango/tango.cpp" "src/tango/CMakeFiles/tango_core.dir/tango.cpp.o" "gcc" "src/tango/CMakeFiles/tango_core.dir/tango.cpp.o.d"
+  "/root/repo/src/tango/width_inference.cpp" "src/tango/CMakeFiles/tango_core.dir/width_inference.cpp.o" "gcc" "src/tango/CMakeFiles/tango_core.dir/width_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tango_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/tango_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tables/CMakeFiles/tango_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/tango_openflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

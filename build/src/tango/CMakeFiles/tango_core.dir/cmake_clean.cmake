@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_core.dir/knowledge_io.cpp.o"
+  "CMakeFiles/tango_core.dir/knowledge_io.cpp.o.d"
+  "CMakeFiles/tango_core.dir/latency_profiler.cpp.o"
+  "CMakeFiles/tango_core.dir/latency_profiler.cpp.o.d"
+  "CMakeFiles/tango_core.dir/pattern.cpp.o"
+  "CMakeFiles/tango_core.dir/pattern.cpp.o.d"
+  "CMakeFiles/tango_core.dir/policy_inference.cpp.o"
+  "CMakeFiles/tango_core.dir/policy_inference.cpp.o.d"
+  "CMakeFiles/tango_core.dir/probe_engine.cpp.o"
+  "CMakeFiles/tango_core.dir/probe_engine.cpp.o.d"
+  "CMakeFiles/tango_core.dir/size_inference.cpp.o"
+  "CMakeFiles/tango_core.dir/size_inference.cpp.o.d"
+  "CMakeFiles/tango_core.dir/tango.cpp.o"
+  "CMakeFiles/tango_core.dir/tango.cpp.o.d"
+  "CMakeFiles/tango_core.dir/width_inference.cpp.o"
+  "CMakeFiles/tango_core.dir/width_inference.cpp.o.d"
+  "libtango_core.a"
+  "libtango_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

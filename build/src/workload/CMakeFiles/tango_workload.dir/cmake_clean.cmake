@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_workload.dir/classbench.cpp.o"
+  "CMakeFiles/tango_workload.dir/classbench.cpp.o.d"
+  "CMakeFiles/tango_workload.dir/dependency.cpp.o"
+  "CMakeFiles/tango_workload.dir/dependency.cpp.o.d"
+  "CMakeFiles/tango_workload.dir/maxmin.cpp.o"
+  "CMakeFiles/tango_workload.dir/maxmin.cpp.o.d"
+  "CMakeFiles/tango_workload.dir/scenarios.cpp.o"
+  "CMakeFiles/tango_workload.dir/scenarios.cpp.o.d"
+  "CMakeFiles/tango_workload.dir/trace.cpp.o"
+  "CMakeFiles/tango_workload.dir/trace.cpp.o.d"
+  "libtango_workload.a"
+  "libtango_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

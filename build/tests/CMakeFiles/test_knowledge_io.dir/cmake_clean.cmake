@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knowledge_io.dir/test_knowledge_io.cpp.o"
+  "CMakeFiles/test_knowledge_io.dir/test_knowledge_io.cpp.o.d"
+  "test_knowledge_io"
+  "test_knowledge_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knowledge_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

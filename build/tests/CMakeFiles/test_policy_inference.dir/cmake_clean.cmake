@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_inference.dir/test_policy_inference.cpp.o"
+  "CMakeFiles/test_policy_inference.dir/test_policy_inference.cpp.o.d"
+  "test_policy_inference"
+  "test_policy_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ports_config.dir/test_ports_config.cpp.o"
+  "CMakeFiles/test_ports_config.dir/test_ports_config.cpp.o.d"
+  "test_ports_config"
+  "test_ports_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ports_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_size_inference.dir/test_size_inference.cpp.o"
+  "CMakeFiles/test_size_inference.dir/test_size_inference.cpp.o.d"
+  "test_size_inference"
+  "test_size_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_size_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_model.dir/test_switch_model.cpp.o"
+  "CMakeFiles/test_switch_model.dir/test_switch_model.cpp.o.d"
+  "test_switch_model"
+  "test_switch_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

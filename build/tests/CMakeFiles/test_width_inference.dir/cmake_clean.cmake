@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_width_inference.dir/test_width_inference.cpp.o"
+  "CMakeFiles/test_width_inference.dir/test_width_inference.cpp.o.d"
+  "test_width_inference"
+  "test_width_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_width_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
