@@ -1,5 +1,6 @@
 #include "net/channel.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -13,31 +14,130 @@ ControlChannel::ControlChannel(sim::EventQueue& events,
 
 void ControlChannel::send(of::Message msg) {
   // Round-trip through the codec: what arrives is what the wire carried.
-  const auto frame = of::encode(msg);
+  auto frame = of::encode(msg);
   stats_.messages_to_switch += 1;
   stats_.bytes_to_switch += frame.size();
-  events_.schedule_after(latency_, [this, frame = std::move(frame)]() {
-    auto decoded = of::decode(frame);
-    assert(decoded.ok());
-    on_arrival(decoded.value());
-  });
+  deliver_to_switch(std::move(frame));
+}
+
+void ControlChannel::deliver_to_switch(std::vector<std::uint8_t> frame) {
+  if (injector_ == nullptr) {
+    events_.schedule_after(latency_, [this, frame = std::move(frame)]() {
+      auto decoded = of::decode(frame);
+      assert(decoded.ok());
+      on_arrival(decoded.value());
+    });
+    return;
+  }
+  for (auto& d :
+       injector_->plan(FaultInjector::Direction::kToSwitch, std::move(frame))) {
+    const std::uint64_t epoch = epoch_;
+    events_.schedule_after(
+        latency_ + d.extra_delay, [this, epoch, f = std::move(d.frame)]() {
+          if (epoch != epoch_) {
+            if (injector_) ++injector_->mutable_stats().lost_to_crash;
+            return;
+          }
+          if (agent_down(events_.now())) {
+            if (injector_) ++injector_->mutable_stats().lost_to_down;
+            return;
+          }
+          auto decoded = of::decode(f);
+          if (!decoded.ok()) {
+            if (injector_) ++injector_->mutable_stats().undecodable;
+            log::warn("channel: discarding undecodable frame (" +
+                      decoded.error() + ")");
+            return;
+          }
+          on_arrival(decoded.value());
+        });
+  }
 }
 
 void ControlChannel::reply(of::Message msg, SimTime at) {
-  const auto frame = of::encode(msg);
+  auto frame = of::encode(msg);
   stats_.messages_to_controller += 1;
   stats_.bytes_to_controller += frame.size();
-  events_.schedule_at(at + latency_, [this, frame = std::move(frame)]() {
-    auto decoded = of::decode(frame);
-    assert(decoded.ok());
-    if (on_message_) on_message_(decoded.value());
+  if (injector_ == nullptr) {
+    events_.schedule_at(at + latency_, [this, frame = std::move(frame)]() {
+      auto decoded = of::decode(frame);
+      assert(decoded.ok());
+      if (on_message_) on_message_(decoded.value());
+    });
+    return;
+  }
+  for (auto& d : injector_->plan(FaultInjector::Direction::kToController,
+                                 std::move(frame))) {
+    const std::uint64_t epoch = epoch_;
+    events_.schedule_at(
+        at + latency_ + d.extra_delay, [this, epoch, f = std::move(d.frame)]() {
+          // A crash loses replies still on the wire along with everything
+          // else (the control connection resets).
+          if (epoch != epoch_) {
+            if (injector_) ++injector_->mutable_stats().lost_to_crash;
+            return;
+          }
+          auto decoded = of::decode(f);
+          if (!decoded.ok()) {
+            if (injector_) ++injector_->mutable_stats().undecodable;
+            return;
+          }
+          if (on_message_) on_message_(decoded.value());
+        });
+  }
+}
+
+void ControlChannel::notify(SimTime at, std::function<void()> fn) {
+  SimDuration extra{};
+  if (injector_ != nullptr) {
+    const auto plan = injector_->plan_notification();
+    if (!plan.has_value()) return;  // the controller never hears about it
+    extra = *plan;
+  }
+  const std::uint64_t epoch = epoch_;
+  events_.schedule_at(at + extra, [this, epoch, fn = std::move(fn)]() {
+    if (epoch != epoch_) {
+      if (injector_) ++injector_->mutable_stats().lost_to_crash;
+      return;
+    }
+    fn();
   });
+}
+
+void ControlChannel::attach_fault_injector(FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ != nullptr && injector_->config().crash_at.ns() > 0) {
+    const SimDuration downtime = injector_->config().crash_downtime;
+    events_.schedule_at(injector_->config().crash_at,
+                        [this, downtime]() { crash_agent(downtime); });
+  }
+}
+
+void ControlChannel::crash_agent(SimDuration downtime) {
+  ++epoch_;  // everything in flight (both directions) is lost
+  switch_.reset();  // power-on state: tables wiped, counters cleared
+  down_until_ = events_.now() + downtime;
+  busy_until_ = down_until_;
+  if (injector_) ++injector_->mutable_stats().crashes;
+  log::warn("channel: agent crashed; tables wiped, back at " +
+            std::to_string(down_until_.ms()) + "ms");
+}
+
+void ControlChannel::stall_agent(SimDuration duration) {
+  busy_until_ = std::max(busy_until_, events_.now() + duration);
+  if (injector_) ++injector_->mutable_stats().stalls;
 }
 
 void ControlChannel::on_arrival(const of::Message& msg) {
   // Lazy timeout processing: expiry is applied no later than the next
   // controller interaction with the switch.
   switch_.sweep_timeouts(events_.now());
+  if (injector_ != nullptr) {
+    const SimDuration stall = injector_->draw_stall();
+    if (stall.ns() > 0) {
+      busy_until_ = std::max(busy_until_, events_.now() + stall);
+    }
+  }
   handle(msg);
   // Ship any FLOW_REMOVED / PORT_STATUS notices the sweep or handling
   // produced (unsolicited: xid 0).
@@ -70,7 +170,7 @@ void ControlChannel::handle(const of::Message& msg) {
       reply(of::Message{xid, *outcome.error}, busy_until_);
     }
     const SimTime done = busy_until_;
-    events_.schedule_at(done, [this, xid, accepted, done]() {
+    notify(done, [this, xid, accepted, done]() {
       if (on_flow_mod_) on_flow_mod_(xid, accepted, done);
     });
     return;
@@ -95,7 +195,7 @@ void ControlChannel::handle(const of::Message& msg) {
       pin.data = pkt.value().encode();
       reply(of::Message{xid, pin}, now + outcome.delay);
     }
-    events_.schedule_at(now + outcome.delay, [this, xid, outcome]() {
+    notify(now + outcome.delay, [this, xid, outcome]() {
       if (on_probe_) on_probe_(xid, outcome);
     });
     return;

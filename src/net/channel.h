@@ -9,6 +9,13 @@
 //
 // Data-plane packets (PACKET_OUT probes) bypass the command queue: the ASIC
 // forwards regardless of what the management CPU is doing.
+//
+// A FaultInjector may be attached, in which case every frame (and every
+// out-of-band completion notice) is routed through its delivery plan:
+// drops, duplicates, reorder delays, byte corruption, agent stalls, and a
+// crash that wipes the flow tables and loses everything in flight. Crash
+// semantics use a delivery epoch: each in-flight event carries the epoch it
+// was sent under and is discarded on arrival if a crash bumped it since.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,7 @@
 #include <unordered_map>
 
 #include "common/types.h"
+#include "net/fault_injector.h"
 #include "openflow/codec.h"
 #include "openflow/packet.h"
 #include "sim/event_queue.h"
@@ -55,14 +63,35 @@ class ControlChannel {
   void set_message_handler(MessageHandler h) { on_message_ = std::move(h); }
   void set_probe_handler(ProbeHandler h) { on_probe_ = std::move(h); }
 
+  /// Route all traffic through `injector` (non-owning; pass nullptr to
+  /// detach). A configured crash_at schedules the crash immediately.
+  void attach_fault_injector(FaultInjector* injector);
+  [[nodiscard]] FaultInjector* fault_injector() { return injector_; }
+
+  /// Crash the agent now: flow tables wiped (reset to power-on state),
+  /// every in-flight message in both directions lost, and the agent
+  /// rejects traffic until `downtime` has elapsed.
+  void crash_agent(SimDuration downtime);
+
+  /// Freeze the agent for `duration`: queued commands wait, state survives.
+  /// Data-plane forwarding and ECHO liveness replies are unaffected.
+  void stall_agent(SimDuration duration);
+
+  /// True while the agent is rebooting after a crash.
+  [[nodiscard]] bool agent_down(SimTime now) const { return now < down_until_; }
+
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
   [[nodiscard]] SimTime agent_busy_until() const { return busy_until_; }
   [[nodiscard]] switchsim::SimulatedSwitch& switch_model() { return switch_; }
 
  private:
+  void deliver_to_switch(std::vector<std::uint8_t> frame);
   void on_arrival(const of::Message& msg);
   void handle(const of::Message& msg);
   void reply(of::Message msg, SimTime at);
+  /// Schedule an out-of-band completion notice at `at`, subject to the
+  /// injector's notification faults and the crash epoch.
+  void notify(SimTime at, std::function<void()> fn);
 
   sim::EventQueue& events_;
   switchsim::SimulatedSwitch& switch_;
@@ -72,6 +101,10 @@ class ControlChannel {
   FlowModHandler on_flow_mod_;
   MessageHandler on_message_;
   ProbeHandler on_probe_;
+  FaultInjector* injector_ = nullptr;
+  /// Bumped on every crash; in-flight deliveries from older epochs vanish.
+  std::uint64_t epoch_ = 0;
+  SimTime down_until_{};
 };
 
 }  // namespace tango::net

@@ -1,0 +1,85 @@
+#include "net/fault_injector.h"
+
+#include <algorithm>
+
+namespace tango::net {
+
+std::vector<FaultInjector::Delivery> FaultInjector::plan(
+    Direction dir, std::vector<std::uint8_t> frame) {
+  // Scripted drops take precedence over probabilistic faults so tests can
+  // target exactly one message of a given type.
+  if (frame.size() > 1) {
+    const auto type = static_cast<of::MsgType>(frame[1]);
+    for (auto& fd : forced_drops_) {
+      if (fd.dir == dir && fd.type == type && fd.remaining > 0) {
+        --fd.remaining;
+        ++stats_.forced_drops;
+        return {};
+      }
+    }
+  }
+
+  const bool to_switch = dir == Direction::kToSwitch;
+  const auto& c = config_;
+  if (rng_.chance(to_switch ? c.drop_to_switch : c.drop_to_controller)) {
+    ++(to_switch ? stats_.dropped_to_switch : stats_.dropped_to_controller);
+    return {};
+  }
+
+  std::size_t copies = 1;
+  if (rng_.chance(to_switch ? c.duplicate_to_switch : c.duplicate_to_controller)) {
+    copies = 2;
+    ++stats_.duplicated;
+  }
+
+  std::vector<Delivery> out;
+  out.reserve(copies);
+  for (std::size_t i = 0; i < copies; ++i) {
+    Delivery d;
+    d.frame = frame;
+    if (rng_.chance(to_switch ? c.corrupt_to_switch : c.corrupt_to_controller) &&
+        !d.frame.empty()) {
+      const std::size_t flips = 1 + rng_.index(4);
+      for (std::size_t k = 0; k < flips; ++k) {
+        d.frame[rng_.index(d.frame.size())] ^=
+            static_cast<std::uint8_t>(1u << rng_.index(8));
+      }
+      ++stats_.corrupted;
+    }
+    if (rng_.chance(to_switch ? c.reorder_to_switch : c.reorder_to_controller) &&
+        c.reorder_window.ns() > 0) {
+      d.extra_delay = nanos(rng_.uniform_int(1, c.reorder_window.ns()));
+      ++stats_.reordered;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::optional<SimDuration> FaultInjector::plan_notification() {
+  if (rng_.chance(config_.drop_to_controller)) {
+    ++stats_.notifications_dropped;
+    return std::nullopt;
+  }
+  if (rng_.chance(config_.reorder_to_controller) &&
+      config_.reorder_window.ns() > 0) {
+    ++stats_.reordered;
+    return nanos(rng_.uniform_int(1, config_.reorder_window.ns()));
+  }
+  return SimDuration{};
+}
+
+SimDuration FaultInjector::draw_stall() {
+  if (config_.stall_probability > 0 && rng_.chance(config_.stall_probability)) {
+    ++stats_.stalls;
+    return config_.stall_duration;
+  }
+  return SimDuration{};
+}
+
+void FaultInjector::force_drop(Direction dir, of::MsgType type,
+                               std::size_t count) {
+  forced_drops_.push_back(ForcedDrop{dir, type, count});
+}
+
+}  // namespace tango::net

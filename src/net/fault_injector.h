@@ -1,0 +1,123 @@
+// Seeded fault injection for the control channel.
+//
+// The injector sits between ControlChannel and the event queue: every frame
+// about to cross the wire is turned into a *delivery plan* — zero copies
+// (dropped), one (normal, possibly delayed or corrupted), or two
+// (duplicated). Completion notices that the simulator delivers out-of-band
+// (flow_mod done, probe returned) are faulted through plan_notification()
+// so "the switch did it but the controller never heard" is expressible.
+// Agent failures come in two shapes: a stall (the management CPU freezes
+// for a while but state survives) and a crash (tables wiped, every
+// in-flight message lost, reconnect after a downtime window).
+//
+// All randomness is drawn from one Rng seeded from FaultConfig::seed, and
+// draws happen in event order on the deterministic EventQueue — so a given
+// (topology, workload, fault seed) triple replays byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "openflow/constants.h"
+
+namespace tango::net {
+
+struct FaultConfig {
+  /// Per-direction Bernoulli fault probabilities, drawn once per frame.
+  double drop_to_switch = 0.0;
+  double drop_to_controller = 0.0;
+  double duplicate_to_switch = 0.0;
+  double duplicate_to_controller = 0.0;
+  /// Probability that a frame is held back by a uniform extra delay in
+  /// (0, reorder_window], letting frames sent after it overtake.
+  double reorder_to_switch = 0.0;
+  double reorder_to_controller = 0.0;
+  SimDuration reorder_window = millis(1);
+  /// Probability of flipping 1-4 random bytes in the frame. A corrupted
+  /// frame that no longer decodes is discarded at the receiver (the
+  /// transport's integrity check fails); one that still decodes is
+  /// delivered as whatever it now says — exactly what a bit-flip does.
+  double corrupt_to_switch = 0.0;
+  double corrupt_to_controller = 0.0;
+  /// Probability, per command arriving at the agent, that the agent
+  /// freezes for stall_duration before processing anything further.
+  double stall_probability = 0.0;
+  SimDuration stall_duration = millis(10);
+  /// One scheduled crash: at crash_at the agent reboots — all flow tables
+  /// are wiped and every in-flight message (both directions) is lost; the
+  /// agent accepts traffic again crash_downtime later. crash_at.ns() == 0
+  /// disables the scheduled crash (Network::crash_agent still works).
+  SimTime crash_at{};
+  SimDuration crash_downtime = millis(50);
+  std::uint64_t seed = 0xfa417u;
+};
+
+struct FaultStats {
+  std::uint64_t dropped_to_switch = 0;
+  std::uint64_t dropped_to_controller = 0;
+  std::uint64_t forced_drops = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t corrupted = 0;
+  /// Corrupted frames the receiver could not decode and discarded.
+  std::uint64_t undecodable = 0;
+  /// Completion notices suppressed by plan_notification().
+  std::uint64_t notifications_dropped = 0;
+  /// Frames lost because a crash invalidated their delivery epoch.
+  std::uint64_t lost_to_crash = 0;
+  /// Frames that arrived while the agent was down (rebooting).
+  std::uint64_t lost_to_down = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t crashes = 0;
+};
+
+class FaultInjector {
+ public:
+  enum class Direction { kToSwitch, kToController };
+
+  struct Delivery {
+    SimDuration extra_delay{};
+    std::vector<std::uint8_t> frame;
+  };
+
+  explicit FaultInjector(FaultConfig config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Turn one outgoing frame into its delivery plan (0, 1, or 2 copies).
+  std::vector<Delivery> plan(Direction dir, std::vector<std::uint8_t> frame);
+
+  /// Fault plan for an out-of-band completion notice (no wire bytes):
+  /// nullopt = lost, otherwise the extra delivery delay (usually zero).
+  /// Notices travel switch->controller, so to-controller rates apply.
+  std::optional<SimDuration> plan_notification();
+
+  /// Agent stall drawn per arriving command (zero duration = no stall).
+  SimDuration draw_stall();
+
+  /// Deterministically drop the next `count` frames of `type` going `dir`
+  /// (consumed before any probabilistic draw) — for scripted scenarios
+  /// like "lose exactly one BARRIER_REQUEST".
+  void force_drop(Direction dir, of::MsgType type, std::size_t count = 1);
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  /// Counters the channel maintains (crash/down/undecodable losses).
+  FaultStats& mutable_stats() { return stats_; }
+
+ private:
+  struct ForcedDrop {
+    Direction dir;
+    of::MsgType type;
+    std::size_t remaining;
+  };
+
+  FaultConfig config_;
+  FaultStats stats_;
+  Rng rng_;
+  std::vector<ForcedDrop> forced_drops_;
+};
+
+}  // namespace tango::net

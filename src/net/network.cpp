@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/logging.h"
+
 namespace tango::net {
 
 Network::Network(SimDuration control_latency)
@@ -62,17 +64,55 @@ const ChannelStats& Network::stats(SwitchId id) const {
   return endpoints_[id - 1].channel->stats();
 }
 
-Network::InstallResult Network::install(SwitchId id, const of::FlowMod& fm) {
+FaultInjector& Network::enable_faults(SwitchId id, const FaultConfig& config) {
+  Endpoint& ep = endpoint(id);
+  ep.injector = std::make_unique<FaultInjector>(config);
+  ep.channel->attach_fault_injector(ep.injector.get());
+  return *ep.injector;
+}
+
+FaultInjector* Network::fault_injector(SwitchId id) {
+  return endpoint(id).injector.get();
+}
+
+void Network::crash_agent(SwitchId id, SimDuration downtime) {
+  endpoint(id).channel->crash_agent(downtime);
+}
+
+void Network::stall_agent(SwitchId id, SimDuration duration) {
+  endpoint(id).channel->stall_agent(duration);
+}
+
+bool Network::run_until_done(const bool& done, SimDuration timeout) {
+  if (timeout.ns() == 0) {
+    while (!done && events_.step()) {
+    }
+    return done;
+  }
+  const SimTime deadline = events_.now() + timeout;
+  while (!done && !events_.empty() && events_.peek_time() <= deadline) {
+    events_.step();
+  }
+  return done;
+}
+
+Network::InstallResult Network::install(SwitchId id, const of::FlowMod& fm,
+                                        SimDuration timeout) {
   InstallResult result;
   bool done = false;
-  post_flow_mod(id, fm, [&](bool accepted, SimTime completed_at) {
+  const std::uint32_t xid = next_xid();
+  flow_mod_cbs_[xid] = [&](bool accepted, SimTime completed_at) {
     result.accepted = accepted;
     result.completed_at = completed_at;
     done = true;
-  });
-  while (!done && events_.step()) {
+  };
+  endpoint(id).channel->send(of::Message{xid, fm});
+  if (!run_until_done(done, timeout)) {
+    // Command or its completion notice lost; drop the callback so a late
+    // duplicate cannot fire into a dead stack frame.
+    flow_mod_cbs_.erase(xid);
+    result.lost = true;
   }
-  assert(done);
   return result;
 }
 
@@ -83,20 +123,37 @@ void Network::post_flow_mod(SwitchId id, const of::FlowMod& fm, Completion done)
 }
 
 SimTime Network::barrier_sync(SwitchId id) {
+  const auto arrival = try_barrier_sync(id);
+  assert(arrival.has_value());
+  return arrival.value_or(events_.now());
+}
+
+std::optional<SimTime> Network::try_barrier_sync(SwitchId id,
+                                                SimDuration timeout) {
   const std::uint32_t xid = next_xid();
   bool done = false;
   SimTime arrival{};
   reply_cbs_[xid] = [&](const of::Message& msg) {
-    assert(std::holds_alternative<of::BarrierReply>(msg.body));
+    if (!std::holds_alternative<of::BarrierReply>(msg.body)) return;
     arrival = events_.now();
     done = true;
   };
   endpoint(id).channel->send(of::Message{xid, of::BarrierRequest{}});
-  while (!done && events_.step()) {
+  if (!run_until_done(done, timeout)) {
+    reply_cbs_.erase(xid);
+    return std::nullopt;
   }
-  assert(done);
   return arrival;
 }
+
+std::uint32_t Network::post_echo(SwitchId id, std::function<void()> on_reply) {
+  const std::uint32_t xid = next_xid();
+  reply_cbs_[xid] = [cb = std::move(on_reply)](const of::Message&) { cb(); };
+  endpoint(id).channel->send(of::Message{xid, of::EchoRequest{}});
+  return xid;
+}
+
+void Network::cancel_reply(std::uint32_t xid) { reply_cbs_.erase(xid); }
 
 namespace {
 
@@ -116,7 +173,12 @@ Reply request_reply(Network& net, sim::EventQueue& events,
   channel.send(of::Message{xid, std::move(req)});
   while (!done && events.step()) {
   }
-  assert(done);
+  if (!done) {
+    // Request or reply lost to faults: return a default-constructed reply
+    // rather than wedging the (sequential) caller.
+    cbs.erase(xid);
+    log::warn("network: stats request lost, returning empty reply");
+  }
   return out;
 }
 
@@ -184,7 +246,8 @@ void Network::set_link_state(std::size_t link_index, bool up) {
   }
 }
 
-Network::ProbeResult Network::probe(SwitchId id, const of::PacketHeader& header) {
+Network::ProbeResult Network::probe(SwitchId id, const of::PacketHeader& header,
+                                    SimDuration timeout) {
   const std::uint32_t xid = next_xid();
   of::Packet pkt;
   pkt.header = header;
@@ -202,9 +265,10 @@ Network::ProbeResult Network::probe(SwitchId id, const of::PacketHeader& header)
     done = true;
   };
   endpoint(id).channel->send(of::Message{xid, po});
-  while (!done && events_.step()) {
+  if (!run_until_done(done, timeout)) {
+    probe_cbs_.erase(xid);
+    result.lost = true;
   }
-  assert(done);
   return result;
 }
 

@@ -8,11 +8,17 @@
 //  * asynchronous — post_flow_mod() with a completion callback; this is how
 //    the schedulers issue concurrent updates across switches and measure
 //    makespan over simulated time.
+//
+// enable_faults() attaches a per-switch FaultInjector to the channel. Under
+// faults the synchronous operations accept a timeout: instead of asserting
+// that the operation completed, they report `lost = true` when the queue
+// drains (or passes the deadline) without an answer — callers retry.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -43,24 +49,59 @@ class Network {
   static NodeId node_of(SwitchId id) { return static_cast<NodeId>(id - 1); }
   static SwitchId switch_of(NodeId n) { return static_cast<SwitchId>(n + 1); }
 
+  // --- fault injection -----------------------------------------------------
+  /// Route all traffic to/from switch `id` through a FaultInjector with the
+  /// given config. Replaces any previous injector; returns it for stats.
+  FaultInjector& enable_faults(SwitchId id, const FaultConfig& config);
+
+  /// The injector attached to `id`, or nullptr if faults are disabled.
+  [[nodiscard]] FaultInjector* fault_injector(SwitchId id);
+
+  /// Crash switch `id`'s agent now (tables wiped, in-flight traffic lost).
+  void crash_agent(SwitchId id, SimDuration downtime);
+
+  /// Freeze switch `id`'s agent for `duration` (state survives).
+  void stall_agent(SwitchId id, SimDuration duration);
+
   // --- synchronous controller operations ----------------------------------
   struct InstallResult {
     bool accepted = false;
     SimTime completed_at{};
+    /// True when no completion arrived (message or notice lost to faults).
+    bool lost = false;
   };
-  /// Send one flow_mod and run the simulation until it completes.
-  InstallResult install(SwitchId id, const of::FlowMod& fm);
+  /// Send one flow_mod and run the simulation until it completes. With a
+  /// non-zero `timeout`, gives up (lost = true) once simulated time would
+  /// pass `now + timeout`; with zero, gives up only if the queue drains.
+  InstallResult install(SwitchId id, const of::FlowMod& fm,
+                        SimDuration timeout = {});
 
   /// Send a barrier and run until the reply arrives; returns arrival time.
+  /// Asserts delivery — use try_barrier_sync() under faults.
   SimTime barrier_sync(SwitchId id);
+
+  /// Barrier that tolerates loss: nullopt if no reply within `timeout`
+  /// (or, when timeout is zero, by the time the queue drains).
+  std::optional<SimTime> try_barrier_sync(SwitchId id, SimDuration timeout = {});
 
   struct ProbeResult {
     switchsim::ForwardOutcome outcome;
     SimDuration rtt{};
+    /// True when the probe vanished (PACKET_OUT or its outcome lost).
+    bool lost = false;
   };
   /// Inject a data-plane probe (as a PACKET_OUT) and run until it finishes
   /// its trip. rtt is the measured data-path round trip.
-  ProbeResult probe(SwitchId id, const of::PacketHeader& header);
+  ProbeResult probe(SwitchId id, const of::PacketHeader& header,
+                    SimDuration timeout = {});
+
+  /// Send an ECHO_REQUEST; `on_reply` fires if the reply makes it back.
+  /// Returns the xid so the caller can cancel_reply() a lost echo.
+  std::uint32_t post_echo(SwitchId id, std::function<void()> on_reply);
+
+  /// Forget the pending reply callback for `xid` (e.g. an echo that timed
+  /// out). Safe to call after the reply already fired.
+  void cancel_reply(std::uint32_t xid);
 
   /// Fetch flow statistics matching `filter` (synchronous).
   of::FlowStatsReply flow_stats_sync(SwitchId id, const of::Match& filter);
@@ -110,10 +151,14 @@ class Network {
   struct Endpoint {
     std::unique_ptr<switchsim::SimulatedSwitch> sw;
     std::unique_ptr<ControlChannel> channel;
+    std::unique_ptr<FaultInjector> injector;
   };
 
   std::uint32_t next_xid() { return xid_++; }
   Endpoint& endpoint(SwitchId id);
+  /// Step the queue until `done`, the queue drains, or (if timeout != 0)
+  /// the next event lies beyond now + timeout. Returns final `done`.
+  bool run_until_done(const bool& done, SimDuration timeout);
 
   sim::EventQueue events_;
   Topology topo_;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <functional>
 #include <map>
+#include <memory>
+#include <set>
 #include <vector>
+
+#include "common/logging.h"
 
 namespace tango::sched {
 
@@ -18,20 +21,35 @@ of::FlowMod to_flow_mod(const SwitchRequest& request,
   return fm;
 }
 
-ExecutionReport execute(net::Network& network, const RequestDag& dag,
-                        UpdateScheduler& scheduler,
-                        const ExecutorOptions& options) {
-  ExecutionReport report;
-  const std::size_t n = dag.size();
-  if (n == 0) return report;
-  assert(dag.is_acyclic());
+namespace {
 
-  std::vector<std::size_t> remaining_preds(n, 0);
-  std::vector<bool> issued(n, false);
-  std::vector<bool> completed(n, false);
-  for (std::size_t id = 0; id < n; ++id) {
-    remaining_preds[id] = dag.predecessors(id).size();
-  }
+/// All execution state lives on the heap behind a shared_ptr: retry timers
+/// and echo timeouts stay scheduled after execute() returns (as no-ops once
+/// `finished` is set), so nothing they capture may sit on the stack. Each
+/// scheduled event holds the state alive via shared_from_this and bails out
+/// on its first line if the run is over.
+struct ExecState : std::enable_shared_from_this<ExecState> {
+  net::Network& network;
+  const RequestDag& dag;
+  UpdateScheduler& scheduler;
+  const ExecutorOptions options;  // copied: caller's may be a temporary
+  ExecutionReport report;
+
+  std::size_t n = 0;
+  SimTime start{};
+  bool finished = false;
+
+  std::vector<std::size_t> remaining_preds;
+  /// True once sent — or tombstoned by a failure before sending.
+  std::vector<bool> issued;
+  /// True once completed or failed: the request will never change again.
+  std::vector<bool> terminal;
+  /// flow_mod posts made for this request in the current retry round.
+  std::vector<std::size_t> attempts;
+  /// Bumped per post; a timeout fires only for the attempt that armed it.
+  std::vector<std::uint64_t> attempt_gen;
+  /// Echo-rescue rounds consumed.
+  std::vector<std::size_t> rescued;
 
   // Ready-but-unsent requests. The scheduler re-orders this pool whenever
   // it changes; per-switch dispatch windows keep each agent fed while the
@@ -41,50 +59,211 @@ ExecutionReport execute(net::Network& network, const RequestDag& dag,
   bool pending_dirty = true;
   std::vector<std::size_t> ordered;
   std::map<SwitchId, std::size_t> in_flight;
-
-  for (std::size_t id = 0; id < n; ++id) {
-    if (remaining_preds[id] == 0) pending.push_back(id);
-  }
-
-  const SimTime start = network.now();
+  std::set<SwitchId> dead;
   std::size_t done_count = 0;
 
-  std::function<void()> dispatch;
+  ExecState(net::Network& net, const RequestDag& d, UpdateScheduler& s,
+            const ExecutorOptions& opts)
+      : network(net), dag(d), scheduler(s), options(opts) {}
 
-  auto send = [&](std::size_t id) {
+  [[nodiscard]] bool retry_enabled() const {
+    return options.request_timeout.ns() > 0;
+  }
+
+  void init() {
+    n = dag.size();
+    start = network.now();
+    remaining_preds.assign(n, 0);
+    issued.assign(n, false);
+    terminal.assign(n, false);
+    attempts.assign(n, 0);
+    attempt_gen.assign(n, 0);
+    rescued.assign(n, 0);
+    for (std::size_t id = 0; id < n; ++id) {
+      remaining_preds[id] = dag.predecessors(id).size();
+      if (remaining_preds[id] == 0) pending.push_back(id);
+    }
+  }
+
+  void send(std::size_t id) {
     issued[id] = true;
     ++report.issued;
+    attempts[id] = 1;
+    ++in_flight[dag.request(id).location];
+    post_attempt(id);
+  }
+
+  void post_attempt(std::size_t id) {
+    const std::uint64_t gen = ++attempt_gen[id];
+    auto self = shared_from_this();
     const auto& req = dag.request(id);
-    ++in_flight[req.location];
-    network.post_flow_mod(
-        req.location, to_flow_mod(req, options.default_priority),
-        [&, id](bool accepted, SimTime at) {
-          completed[id] = true;
-          ++done_count;
-          if (!accepted) ++report.rejected;
-          const auto& done_req = dag.request(id);
-          --in_flight[done_req.location];
-          if (done_req.deadline.has_value() && at - start > *done_req.deadline) {
-            ++report.deadline_misses;
-          }
-          for (std::size_t succ : dag.successors(id)) {
-            if (remaining_preds[succ] > 0 && --remaining_preds[succ] == 0 &&
-                !issued[succ]) {
-              pending.push_back(succ);
-              pending_dirty = true;
-            }
-          }
-          dispatch();
-        });
+    network.post_flow_mod(req.location,
+                          to_flow_mod(req, options.default_priority),
+                          [self, id](bool accepted, SimTime at) {
+                            self->complete(id, accepted, at);
+                          });
+    if (retry_enabled()) {
+      network.events().schedule_after(
+          options.request_timeout,
+          [self, id, gen]() { self->on_timeout(id, gen); });
+    }
+  }
+
+  void complete(std::size_t id, bool accepted, SimTime at) {
+    // First completion wins; later ones (a duplicated frame, or the
+    // original answer racing a retry) are harmless echoes of the same
+    // idempotent flow_mod.
+    if (finished || terminal[id]) return;
+    terminal[id] = true;
+    ++done_count;
+    if (!accepted) ++report.rejected;
+    const auto& req = dag.request(id);
+    auto& fl = in_flight[req.location];
+    if (fl > 0) --fl;
+    if (req.deadline.has_value() && at - start > *req.deadline) {
+      ++report.deadline_misses;
+    }
+    for (std::size_t succ : dag.successors(id)) {
+      if (remaining_preds[succ] > 0 && --remaining_preds[succ] == 0 &&
+          !issued[succ]) {
+        pending.push_back(succ);
+        pending_dirty = true;
+      }
+    }
+    dispatch();
+  }
+
+  void on_timeout(std::size_t id, std::uint64_t gen) {
+    if (finished || terminal[id]) return;
+    if (gen != attempt_gen[id]) return;  // a newer attempt superseded this one
+    ++report.timeouts;
+    const SwitchId loc = dag.request(id).location;
+    if (dead.count(loc) != 0) {
+      fail_request(id);
+      dispatch();
+      return;
+    }
+    if (attempts[id] <= options.max_retries) {
+      // Exponential backoff: 1x, 2x, 4x, ... of backoff_base.
+      const SimDuration backoff =
+          options.backoff_base * (std::int64_t{1} << (attempts[id] - 1));
+      ++attempts[id];
+      ++report.retries;
+      auto self = shared_from_this();
+      network.events().schedule_after(backoff, [self, id]() {
+        if (self->finished || self->terminal[id]) return;
+        if (self->dead.count(self->dag.request(id).location) != 0) {
+          self->fail_request(id);
+          self->dispatch();
+          return;
+        }
+        self->post_attempt(id);
+      });
+      return;
+    }
+    probe_liveness(loc, id);
+  }
+
+  /// One liveness interrogation: consecutive echoes answered by silence.
+  struct Liveness {
+    bool answered = false;
+    std::size_t sent = 0;
   };
 
-  dispatch = [&]() {
+  void probe_liveness(SwitchId loc, std::size_t id) {
+    send_echo(loc, id, std::make_shared<Liveness>());
+  }
+
+  void send_echo(SwitchId loc, std::size_t id,
+                 const std::shared_ptr<Liveness>& probe) {
+    if (finished) return;
+    if (dead.count(loc) != 0) {
+      fail_request(id);
+      dispatch();
+      return;
+    }
+    ++probe->sent;
+    ++report.echo_probes;
+    auto self = shared_from_this();
+    const std::uint32_t xid = network.post_echo(loc, [self, loc, id, probe]() {
+      if (self->finished || probe->answered) return;
+      probe->answered = true;
+      self->on_alive(loc, id);
+    });
+    network.events().schedule_after(
+        options.request_timeout, [self, loc, id, probe, xid]() {
+          if (self->finished || probe->answered) return;
+          self->network.cancel_reply(xid);
+          // A single echo can be lost to the same noise that stranded the
+          // request; only consistent silence condemns the switch.
+          const std::size_t budget =
+              std::max<std::size_t>(2, self->options.max_retries + 1);
+          if (probe->sent < budget) {
+            self->send_echo(loc, id, probe);
+          } else {
+            self->fail_switch(loc);
+          }
+        });
+  }
+
+  void on_alive(SwitchId loc, std::size_t id) {
+    if (terminal[id]) {
+      dispatch();
+      return;
+    }
+    if (rescued[id] < options.max_echo_rescues) {
+      // The connection works; the losses were transient. Fresh round.
+      ++rescued[id];
+      attempts[id] = 1;
+      ++report.retries;
+      log::warn("executor: switch " + std::to_string(loc) +
+                " alive, rescuing request " + std::to_string(id));
+      post_attempt(id);
+      return;
+    }
+    fail_request(id);
+    dispatch();
+  }
+
+  void fail_request(std::size_t id) {
+    if (terminal[id]) return;
+    const SwitchId loc = dag.request(id).location;
+    if (issued[id]) {
+      auto& fl = in_flight[loc];
+      if (fl > 0) --fl;
+    } else {
+      issued[id] = true;  // tombstone: never send it
+      std::erase(pending, id);
+      pending_dirty = true;
+    }
+    terminal[id] = true;
+    ++done_count;
+    ++report.failed_requests;
+    // Successors wait on a completion that will never come; abandoning
+    // them (transitively) is what keeps lost_requests at zero.
+    for (std::size_t succ : dag.successors(id)) {
+      if (!terminal[succ] && !issued[succ]) fail_request(succ);
+    }
+  }
+
+  void fail_switch(SwitchId loc) {
+    if (!dead.insert(loc).second) return;
+    report.failed_switches.insert(loc);
+    log::warn("executor: switch " + std::to_string(loc) +
+              " declared dead (no ECHO reply)");
+    for (std::size_t id = 0; id < n; ++id) {
+      if (!terminal[id] && dag.request(id).location == loc) fail_request(id);
+    }
+    dispatch();
+  }
+
+  void dispatch() {
+    if (finished) return;
     if (pending_dirty) {
       ++report.scheduling_rounds;
       ordered = scheduler.order(dag, pending);
       pending_dirty = false;
     }
-    bool sent_any = false;
     for (std::size_t& id : ordered) {
       if (id == SIZE_MAX) continue;  // tombstone: already sent
       if (issued[id]) {
@@ -92,12 +271,17 @@ ExecutionReport execute(net::Network& network, const RequestDag& dag,
         continue;
       }
       const SwitchId loc = dag.request(id).location;
+      if (dead.count(loc) != 0) {
+        const std::size_t doomed = id;
+        id = SIZE_MAX;
+        fail_request(doomed);
+        continue;
+      }
       if (in_flight[loc] >= options.per_switch_window) continue;
       const std::size_t to_send = id;
       id = SIZE_MAX;
       std::erase(pending, to_send);
       send(to_send);
-      sent_any = true;
     }
 
     if (options.speculative_dependents) {
@@ -106,8 +290,8 @@ ExecutionReport execute(net::Network& network, const RequestDag& dag,
       // estimated to *finish* at least `guard` before this request would —
       // estimated finish = the target agent's current backlog plus the
       // measured cost of the operation itself.
-      auto est_duration = [&](std::size_t id) {
-        const auto& req = dag.request(id);
+      auto est_duration = [&](std::size_t rid) {
+        const auto& req = dag.request(rid);
         const auto it = options.cost_hints.find(req.location);
         if (it == options.cost_hints.end()) return options.default_op_estimate;
         switch (req.type) {
@@ -120,16 +304,17 @@ ExecutionReport execute(net::Network& network, const RequestDag& dag,
         }
         return options.default_op_estimate;
       };
-      auto est_finish = [&](std::size_t id) {
+      auto est_finish = [&](std::size_t rid) {
         const SimTime backlog =
-            network.channel(dag.request(id).location).agent_busy_until();
-        return std::max(backlog, network.now()) + est_duration(id);
+            network.channel(dag.request(rid).location).agent_busy_until();
+        return std::max(backlog, network.now()) + est_duration(rid);
       };
       bool progress = true;
       while (progress) {
         progress = false;
         for (std::size_t id = 0; id < n; ++id) {
           if (issued[id] || remaining_preds[id] == 0) continue;
+          if (dead.count(dag.request(id).location) != 0) continue;
           const auto& preds = dag.predecessors(id);
           bool eligible = true;
           SimTime latest_pred_finish{};
@@ -138,7 +323,7 @@ ExecutionReport execute(net::Network& network, const RequestDag& dag,
               eligible = false;
               break;
             }
-            if (!completed[p]) {
+            if (!terminal[p]) {
               latest_pred_finish = std::max(latest_pred_finish, est_finish(p));
             }
           }
@@ -151,16 +336,28 @@ ExecutionReport execute(net::Network& network, const RequestDag& dag,
         }
       }
     }
-    (void)sent_any;
-  };
-
-  dispatch();
-  while (done_count < n && network.events().step()) {
   }
-  assert(done_count == n);
+};
 
-  report.makespan = network.now() - start;
-  return report;
+}  // namespace
+
+ExecutionReport execute(net::Network& network, const RequestDag& dag,
+                        UpdateScheduler& scheduler,
+                        const ExecutorOptions& options) {
+  if (dag.size() == 0) return {};
+  assert(dag.is_acyclic());
+
+  auto st = std::make_shared<ExecState>(network, dag, scheduler, options);
+  st->init();
+  st->dispatch();
+  while (st->done_count < st->n && network.events().step()) {
+  }
+  // Timers still queued beyond this point hold the state alive and no-op.
+  st->finished = true;
+  st->report.makespan = network.now() - st->start;
+  st->report.lost_requests = st->n - st->done_count;
+  assert(st->report.lost_requests == 0 || !st->retry_enabled());
+  return st->report;
 }
 
 }  // namespace tango::sched

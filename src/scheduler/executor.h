@@ -9,10 +9,20 @@
 // the predecessor's estimated completion (plus a guard interval) precedes
 // this request's estimated start — the §6 "schedule dependent switch
 // requests concurrently" extension for weak-consistency scenarios.
+// The executor is also the controller's recovery layer: when a fault
+// injector is active on a channel, a posted flow_mod (or its completion
+// notice) may simply vanish. Each issued request carries a timeout; on
+// expiry the executor retries with bounded exponential backoff, and once
+// retries are exhausted it probes liveness with ECHO_REQUESTs before
+// declaring the switch dead. Dead switches fail their outstanding requests
+// (and, transitively, dependents that can now never become ready), all of
+// which is reported so the caller can distinguish "installed" from
+// "consciously abandoned" — nothing is silently lost.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <set>
 
 #include "net/network.h"
 #include "scheduler/request.h"
@@ -39,6 +49,20 @@ struct ExecutorOptions {
   /// the channel latency while leaving the backlog at the controller where
   /// the scheduler can still re-order it.
   std::size_t per_switch_window = 4;
+
+  // --- recovery layer ------------------------------------------------------
+  /// How long an issued flow_mod may go unanswered before it is retried.
+  /// Zero disables the whole recovery layer (no timers are scheduled); the
+  /// default is far above any fault-free completion time, so fault-free
+  /// runs behave identically with it on.
+  SimDuration request_timeout = seconds(2);
+  /// Retries per attempt round before liveness is questioned.
+  std::size_t max_retries = 4;
+  /// First retry waits this long; each further retry doubles it.
+  SimDuration backoff_base = millis(20);
+  /// After an ECHO proves the switch alive, the request gets a fresh round
+  /// of retries — at most this many times before the request is failed.
+  std::size_t max_echo_rescues = 2;
 };
 
 struct ExecutionReport {
@@ -49,6 +73,24 @@ struct ExecutionReport {
   std::size_t deadline_misses = 0;
   /// Busy time charged per switch (diagnostics).
   std::map<SwitchId, SimDuration> per_switch_busy;
+
+  // --- recovery layer ------------------------------------------------------
+  /// Request timeouts that fired (a request can time out more than once).
+  std::size_t timeouts = 0;
+  /// flow_mod re-issues (includes echo-rescue re-issues).
+  std::size_t retries = 0;
+  /// ECHO_REQUEST liveness probes sent.
+  std::size_t echo_probes = 0;
+  /// Requests abandoned: switch declared dead, or a predecessor failed, or
+  /// retries + rescues exhausted. Every failed request is accounted here —
+  /// issued + never-issued alike.
+  std::size_t failed_requests = 0;
+  /// Requests neither completed nor failed when the event queue drained.
+  /// Always zero while the recovery layer is on; can be non-zero only with
+  /// request_timeout == 0 under faults.
+  std::size_t lost_requests = 0;
+  /// Switches that stopped answering ECHO probes.
+  std::set<SwitchId> failed_switches;
 };
 
 ExecutionReport execute(net::Network& network, const RequestDag& dag,

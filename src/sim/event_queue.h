@@ -41,6 +41,11 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
+  /// Time of the earliest pending event. Only valid when !empty(); lets
+  /// bounded-wait loops stop stepping once everything left lies beyond
+  /// their deadline.
+  [[nodiscard]] SimTime peek_time() const { return heap_.top().at; }
+
   /// Drop all pending events and reset the clock to zero.
   void reset();
 

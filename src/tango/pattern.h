@@ -35,6 +35,10 @@ struct PatternMeasurement {
   std::size_t rejected = 0;
   /// Per-probe data-plane round trips, in traffic order.
   std::vector<SimDuration> rtts;
+  /// Probe packets lost (and re-sent) while collecting rtts. Non-zero only
+  /// under an active fault injector; a count here means the measurement's
+  /// confidence interval should be widened.
+  std::size_t lost_probes = 0;
 };
 
 /// Extensible registry of named patterns (per §4, components generate the

@@ -1,5 +1,7 @@
 #include "tango/probe_engine.h"
 
+#include <memory>
+
 namespace tango::core {
 
 ProbeEngine::ProbeEngine(net::Network& network, SwitchId switch_id)
@@ -54,32 +56,73 @@ of::FlowMod ProbeEngine::probe_add(std::uint32_t index, std::uint16_t priority,
 
 bool ProbeEngine::install(std::uint32_t index, std::uint16_t priority,
                           RuleShape shape) {
-  return network_.install(switch_id_, probe_add(index, priority, shape)).accepted;
+  const auto fm = probe_add(index, priority, shape);
+  for (std::size_t attempt = 0; attempt <= recovery_.max_install_retries;
+       ++attempt) {
+    const auto r = network_.install(switch_id_, fm, recovery_.sync_timeout);
+    if (!r.lost) return r.accepted;
+    ++lost_commands_;
+  }
+  ++abandoned_installs_;
+  return false;
+}
+
+SimTime ProbeEngine::sync_barrier() {
+  for (std::size_t attempt = 0; attempt <= recovery_.max_install_retries;
+       ++attempt) {
+    const auto arrival =
+        network_.try_barrier_sync(switch_id_, recovery_.sync_timeout);
+    if (arrival.has_value()) return *arrival;
+    ++lost_commands_;
+  }
+  // Every barrier vanished; fall back to the clock so the caller can at
+  // least make progress (the measurement is marked lossy regardless).
+  ++abandoned_installs_;
+  return network_.now();
 }
 
 void ProbeEngine::clear_rules() {
   of::FlowMod fm;
   fm.command = of::FlowModCommand::kDelete;
   fm.match = of::Match::any();
-  network_.install(switch_id_, fm);
-  network_.barrier_sync(switch_id_);
+  for (std::size_t attempt = 0; attempt <= recovery_.max_install_retries;
+       ++attempt) {
+    const auto r = network_.install(switch_id_, fm, recovery_.sync_timeout);
+    if (!r.lost) break;
+    ++lost_commands_;
+  }
+  sync_barrier();
+}
+
+std::optional<SimDuration> ProbeEngine::try_probe(std::uint32_t index) {
+  const auto header = probe_packet(index);
+  for (std::size_t attempt = 0; attempt <= recovery_.max_probe_retries;
+       ++attempt) {
+    const auto r = network_.probe(switch_id_, header, recovery_.sync_timeout);
+    if (!r.lost) return r.rtt;
+    ++lost_probes_;
+  }
+  ++abandoned_probes_;
+  return std::nullopt;
 }
 
 SimDuration ProbeEngine::probe_flow(std::uint32_t index) {
-  return network_.probe(switch_id_, probe_packet(index)).rtt;
+  return try_probe(index).value_or(SimDuration{});
 }
 
 SimDuration ProbeEngine::timed_batch(const std::vector<of::FlowMod>& commands,
                                      std::size_t* rejected) {
-  const SimTime start = network_.barrier_sync(switch_id_);
-  std::size_t rejections = 0;
+  const SimTime start = sync_barrier();
+  // Heap-held counter: under faults a duplicated completion notice can
+  // arrive after this function returned.
+  auto rejections = std::make_shared<std::size_t>(0);
   for (const auto& fm : commands) {
-    network_.post_flow_mod(switch_id_, fm, [&rejections](bool accepted, SimTime) {
-      if (!accepted) ++rejections;
+    network_.post_flow_mod(switch_id_, fm, [rejections](bool accepted, SimTime) {
+      if (!accepted) ++*rejections;
     });
   }
-  const SimTime done = network_.barrier_sync(switch_id_);
-  if (rejected != nullptr) *rejected = rejections;
+  const SimTime done = sync_barrier();
+  if (rejected != nullptr) *rejected = *rejections;
   return done - start;
 }
 
@@ -89,9 +132,23 @@ PatternMeasurement ProbeEngine::apply(const TangoPattern& pattern, ScoreDb* scor
   m.switch_id = switch_id_;
   m.install_time = timed_batch(pattern.commands, &m.rejected);
   m.rtts.reserve(pattern.traffic.size());
+  const std::size_t lost_before = lost_probes_ + abandoned_probes_;
   for (const auto& header : pattern.traffic) {
-    m.rtts.push_back(network_.probe(switch_id_, header).rtt);
+    for (std::size_t attempt = 0;; ++attempt) {
+      const auto r = network_.probe(switch_id_, header, recovery_.sync_timeout);
+      if (!r.lost) {
+        m.rtts.push_back(r.rtt);
+        break;
+      }
+      ++lost_probes_;
+      if (attempt >= recovery_.max_probe_retries) {
+        ++abandoned_probes_;
+        m.rtts.push_back(SimDuration{});
+        break;
+      }
+    }
   }
+  m.lost_probes = lost_probes_ + abandoned_probes_ - lost_before;
   if (scores != nullptr) scores->record(m);
   return m;
 }

@@ -5,9 +5,15 @@
 // (10.x.y.z, 192.168+i) so probe rules never overlap each other and are
 // L3-only (single-wide TCAM shape). probe_flow(i) sends a packet matching
 // exactly rule i.
+// Under an active fault injector probes and commands can vanish; the engine
+// detects loss via timeouts (a probe that never reports back, a barrier
+// whose reply never lands) and re-issues, so inference still converges —
+// with the loss counters exposed so measurements can widen their confidence
+// intervals instead of silently pretending the channel was clean.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "net/network.h"
@@ -21,7 +27,34 @@ enum class RuleShape { kL3Only, kL2Only, kL2AndL3 };
 
 class ProbeEngine {
  public:
+  /// Loss-recovery policy. sync_timeout bounds how long a synchronous
+  /// operation waits before declaring its message lost; the retry caps
+  /// bound how often it is re-issued before being abandoned. The default
+  /// timeout of zero means "until the event queue drains" — exact and
+  /// unbounded in simulated time, which legitimate batches need (a 5000-add
+  /// barrier takes >80 simulated seconds); set a finite timeout when a
+  /// fault injector may genuinely lose messages.
+  struct Recovery {
+    SimDuration sync_timeout{};
+    std::size_t max_probe_retries = 10;
+    std::size_t max_install_retries = 4;
+  };
+
   ProbeEngine(net::Network& network, SwitchId switch_id);
+
+  void set_recovery(const Recovery& r) { recovery_ = r; }
+  [[nodiscard]] const Recovery& recovery() const { return recovery_; }
+
+  /// Probe packets that vanished and were re-sent.
+  [[nodiscard]] std::size_t lost_probes() const { return lost_probes_; }
+  /// Commands/barriers that vanished and were re-sent.
+  [[nodiscard]] std::size_t lost_commands() const { return lost_commands_; }
+  /// Probes given up on after max_probe_retries re-sends.
+  [[nodiscard]] std::size_t abandoned_probes() const { return abandoned_probes_; }
+  /// Installs given up on after max_install_retries re-sends.
+  [[nodiscard]] std::size_t abandoned_installs() const {
+    return abandoned_installs_;
+  }
 
   /// Match/packet construction for probe flow `index`. The default L3-only
   /// shape is single-wide on every TCAM mode that supports it.
@@ -41,7 +74,12 @@ class ProbeEngine {
   void clear_rules();
 
   /// Send a probe packet for flow `index`; returns its data-path RTT.
+  /// Lost probes are re-sent (up to max_probe_retries); if every attempt
+  /// vanishes, returns a zero duration.
   SimDuration probe_flow(std::uint32_t index);
+
+  /// Like probe_flow, but distinguishes "abandoned" from a real RTT.
+  std::optional<SimDuration> try_probe(std::uint32_t index);
 
   /// Issue a command sequence and time it barrier-to-barrier; then send the
   /// pattern's traffic, collecting RTTs. Records into `scores` if given.
@@ -58,8 +96,16 @@ class ProbeEngine {
   [[nodiscard]] const net::ChannelStats& overhead() const;
 
  private:
+  /// Barrier that survives loss: re-sends until a reply lands (bounded).
+  SimTime sync_barrier();
+
   net::Network& network_;
   SwitchId switch_id_;
+  Recovery recovery_;
+  std::size_t lost_probes_ = 0;
+  std::size_t lost_commands_ = 0;
+  std::size_t abandoned_probes_ = 0;
+  std::size_t abandoned_installs_ = 0;
 };
 
 }  // namespace tango::core

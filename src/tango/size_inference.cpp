@@ -1,6 +1,7 @@
 #include "tango/size_inference.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "stats/estimators.h"
 
@@ -11,6 +12,8 @@ SizeInferenceResult infer_sizes(ProbeEngine& probe,
   SizeInferenceResult result;
   Rng rng(config.seed);
   const auto stats_before = probe.overhead();
+  const std::size_t losses_before =
+      probe.lost_probes() + probe.abandoned_probes();
 
   // --- Stage 1: doubling installs, one warming probe per rule -------------
   bool cache_full = false;
@@ -115,6 +118,32 @@ SizeInferenceResult infer_sizes(ProbeEngine& probe,
   result.messages_used =
       stats_after.messages_to_switch - stats_before.messages_to_switch;
   result.probe_packets = stats_after.packets_out - stats_before.packets_out;
+  result.probe_losses =
+      probe.lost_probes() + probe.abandoned_probes() - losses_before;
+
+  // 95% CI per layer from the pooled Bernoulli estimate, inflated by
+  // sqrt(1 + loss_rate) when the channel lost probes along the way.
+  result.layer_ci_halfwidth.assign(n_levels, 0.0);
+  if (pooled_probes > 0) {
+    const double total_attempts =
+        static_cast<double>(pooled_probes + result.probe_losses);
+    const double loss_rate =
+        total_attempts > 0 ? static_cast<double>(result.probe_losses) / total_attempts
+                           : 0.0;
+    const double widen = std::sqrt(1.0 + loss_rate);
+    double others = 0.0;
+    for (std::size_t level = 0; level + 1 < n_levels; ++level) {
+      const double p = static_cast<double>(level_counts[level]) /
+                       static_cast<double>(pooled_probes);
+      const double se = std::sqrt(p * (1.0 - p) /
+                                  static_cast<double>(pooled_probes));
+      result.layer_ci_halfwidth[level] =
+          1.96 * static_cast<double>(m) * se * widen;
+      others += result.layer_ci_halfwidth[level];
+    }
+    // The remainder layer inherits the combined uncertainty of the others.
+    result.layer_ci_halfwidth[n_levels - 1] = others;
+  }
   return result;
 }
 

@@ -57,6 +57,15 @@ struct SizeInferenceResult {
   /// Probing overhead: messages sent to the switch during inference.
   std::uint64_t messages_used = 0;
   std::uint64_t probe_packets = 0;
+  /// Probe packets lost (and re-sent by the engine) during inference.
+  /// Non-zero only under fault injection.
+  std::size_t probe_losses = 0;
+  /// 95% confidence half-width per layer estimate (same indexing as
+  /// layer_sizes; the slowest layer, being a remainder, gets the sum of
+  /// the others). Widened by sqrt(1 + loss_rate) when probes were lost:
+  /// re-sent probes are fresh iid draws, but loss correlates weakly with
+  /// channel state, so the interval is inflated rather than trusted.
+  std::vector<double> layer_ci_halfwidth;
 };
 
 SizeInferenceResult infer_sizes(ProbeEngine& probe,
