@@ -2,9 +2,11 @@
 //
 // The controller installs paths for a set of flows, watches for PORT_STATUS
 // events, and on a link failure recomputes routes and pushes the repair DAG
-// through the Tango scheduler (with costs learned by probing beforehand).
-// The run verifies data-plane recovery with probe packets and reports the
-// repair makespan for Dionysus vs Tango scheduling of the same repair.
+// through the Tango scheduler (with costs learned by probing beforehand) —
+// as an update transaction, so a mid-repair agent crash would be journaled
+// and reconciled rather than silently losing rules. The run verifies
+// data-plane recovery twice: with probe packets, and with the transaction's
+// consistency verifier walking every rerouted flow to its egress.
 //
 //   $ ./examples/failover_controller
 #include <cstdio>
@@ -14,8 +16,8 @@
 #include "apps/flow_monitor.h"
 #include "apps/path_installer.h"
 #include "net/b4.h"
-#include "scheduler/executor.h"
 #include "scheduler/schedulers.h"
+#include "scheduler/transaction.h"
 #include "switchsim/profiles.h"
 #include "tango/tango.h"
 
@@ -129,11 +131,35 @@ int main() {
   std::printf("flows crossing the failed link: %zu -> repair DAG of %zu requests\n",
               rerouted, repair.size());
 
-  const auto report = sched::execute(net, repair, tango_sched);
-  std::printf("repair makespan (Tango)  : %.3f s  (%zu rejected, %zu rounds)\n",
-              report.makespan.sec(), report.rejected, report.scheduling_rounds);
+  // Push the repair as a roll-forward transaction: every intent (and its
+  // inverse) is journaled before the first flow_mod leaves the controller.
+  auto txn = tango.begin_update(std::move(repair));
+  const auto& report = txn.commit(tango_sched);
+  std::printf("repair makespan (Tango)  : %.3f s  (%zu rejected, %zu rounds, "
+              "journal %zu, committed %s)\n",
+              report.exec.makespan.sec(), report.exec.rejected,
+              report.exec.scheduling_rounds, txn.journal().size(),
+              report.committed ? "yes" : "no");
   std::printf("post-repair forwarding   : %.0f%%\n",
               100 * forwarding_fraction(net, flows));
+
+  // Control-plane consistency check: walk every rerouted flow from its
+  // ingress switch to its egress switch — no black holes, no loops, no
+  // stale rules shadowing the repair.
+  std::vector<sched::FlowCheck> checks;
+  for (const auto& flow : flows) {
+    if (flow.path.size() < 2) continue;
+    sched::FlowCheck check;
+    check.ingress = net::Network::switch_of(flow.path.front());
+    check.packet = core::ProbeEngine::probe_packet(flow.id);
+    check.expected_egress = net::Network::switch_of(flow.path.back());
+    checks.push_back(check);
+  }
+  const auto& verdict = txn.verify(checks);
+  std::printf("verifier: %zu flows walked — %zu black holes, %zu loops, "
+              "%zu shadowed, %zu wrong egress\n",
+              verdict.flows_checked, verdict.black_holes, verdict.loops,
+              verdict.shadowed, verdict.wrong_egress);
 
   std::printf("\nflow_removed notices: %zu; port events: %zu — the monitor saw\n"
               "the whole story without polling.\n",

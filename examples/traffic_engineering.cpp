@@ -40,7 +40,11 @@ void preinstall_state(tango::net::Network& net,
     for (std::uint32_t i = 0; i < existing; ++i) {
       probe.install(i, static_cast<std::uint16_t>(100 + (i * 7) % 900));
     }
-    net.barrier_sync(id);
+    // Bounded barrier: a wedged agent shows up as a warning, not a hang.
+    if (!net.try_barrier_sync(id, tango::millis(500)).has_value()) {
+      std::fprintf(stderr, "warning: preinstall barrier timed out on switch %llu\n",
+                   static_cast<unsigned long long>(id));
+    }
   }
 }
 

@@ -51,6 +51,9 @@ class ControlChannel {
   /// Fires when a probe packet completes its data-plane trip.
   using ProbeHandler = std::function<void(std::uint32_t xid,
                                           const switchsim::ForwardOutcome&)>;
+  /// Fires at the moment the agent crashes (tables wiped, epoch bumped) —
+  /// whether scheduled by a fault injector or forced via crash_agent().
+  using CrashHandler = std::function<void()>;
 
   ControlChannel(sim::EventQueue& events, switchsim::SimulatedSwitch& sw,
                  SimDuration one_way_latency = micros(100));
@@ -62,6 +65,7 @@ class ControlChannel {
   void set_flow_mod_handler(FlowModHandler h) { on_flow_mod_ = std::move(h); }
   void set_message_handler(MessageHandler h) { on_message_ = std::move(h); }
   void set_probe_handler(ProbeHandler h) { on_probe_ = std::move(h); }
+  void set_crash_handler(CrashHandler h) { on_crash_ = std::move(h); }
 
   /// Route all traffic through `injector` (non-owning; pass nullptr to
   /// detach). A configured crash_at schedules the crash immediately.
@@ -101,6 +105,7 @@ class ControlChannel {
   FlowModHandler on_flow_mod_;
   MessageHandler on_message_;
   ProbeHandler on_probe_;
+  CrashHandler on_crash_;
   FaultInjector* injector_ = nullptr;
   /// Bumped on every crash; in-flight deliveries from older epochs vanish.
   std::uint64_t epoch_ = 0;

@@ -34,6 +34,9 @@ SwitchId Network::add_switch(const switchsim::SwitchProfile& profile,
         probe_cbs_.erase(it);
         cb(outcome);
       });
+  ep.channel->set_crash_handler([this, id]() {
+    if (crash_handler_) crash_handler_(id);
+  });
   ep.channel->set_message_handler([this, id](const of::Message& msg) {
     auto it = reply_cbs_.find(msg.xid);
     if (it == reply_cbs_.end()) {
@@ -189,6 +192,28 @@ of::FlowStatsReply Network::flow_stats_sync(SwitchId id, const of::Match& filter
   req.match = filter;
   return request_reply<of::FlowStatsReply>(*this, events_, reply_cbs_, next_xid(),
                                            *endpoint(id).channel, std::move(req));
+}
+
+std::optional<of::FlowStatsReply> Network::try_flow_stats(SwitchId id,
+                                                          const of::Match& filter,
+                                                          SimDuration timeout) {
+  const std::uint32_t xid = next_xid();
+  bool done = false;
+  of::FlowStatsReply out;
+  reply_cbs_[xid] = [&](const of::Message& msg) {
+    if (const auto* typed = std::get_if<of::FlowStatsReply>(&msg.body)) {
+      out = *typed;
+      done = true;
+    }
+  };
+  of::FlowStatsRequest req;
+  req.match = filter;
+  endpoint(id).channel->send(of::Message{xid, std::move(req)});
+  if (!run_until_done(done, timeout)) {
+    reply_cbs_.erase(xid);
+    return std::nullopt;
+  }
+  return out;
 }
 
 of::TableStatsReply Network::table_stats_sync(SwitchId id) {

@@ -63,6 +63,12 @@ class Network {
   /// Freeze switch `id`'s agent for `duration` (state survives).
   void stall_agent(SwitchId id, SimDuration duration);
 
+  /// Observer for agent crashes (tables wiped), fired at crash time for
+  /// both injector-scheduled and forced crashes. One handler; the
+  /// transaction layer installs it for the duration of a commit.
+  using CrashHandler = std::function<void(SwitchId)>;
+  void set_crash_handler(CrashHandler h) { crash_handler_ = std::move(h); }
+
   // --- synchronous controller operations ----------------------------------
   struct InstallResult {
     bool accepted = false;
@@ -105,6 +111,13 @@ class Network {
 
   /// Fetch flow statistics matching `filter` (synchronous).
   of::FlowStatsReply flow_stats_sync(SwitchId id, const of::Match& filter);
+
+  /// Loss-aware flow-stats readback: nullopt when the request or its reply
+  /// vanished within `timeout` (zero = wait until the queue drains) — so a
+  /// reconciler can distinguish "table is empty" from "message lost".
+  std::optional<of::FlowStatsReply> try_flow_stats(SwitchId id,
+                                                   const of::Match& filter,
+                                                   SimDuration timeout = {});
 
   /// Fetch per-table statistics (synchronous).
   of::TableStatsReply table_stats_sync(SwitchId id);
@@ -172,6 +185,7 @@ class Network {
       probe_cbs_;
   std::unordered_map<std::uint32_t, std::function<void(const of::Message&)>> reply_cbs_;
   UnsolicitedHandler unsolicited_;
+  CrashHandler crash_handler_;
 };
 
 }  // namespace tango::net

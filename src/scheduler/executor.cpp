@@ -18,6 +18,7 @@ of::FlowMod to_flow_mod(const SwitchRequest& request,
   fm.match = request.match;
   fm.priority = request.priority.value_or(default_priority);
   fm.actions = request.actions;
+  fm.cookie = request.cookie.value_or(0);
   return fm;
 }
 
@@ -123,6 +124,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     if (req.deadline.has_value() && at - start > *req.deadline) {
       ++report.deadline_misses;
     }
+    if (options.on_complete) options.on_complete(id, accepted);
     for (std::size_t succ : dag.successors(id)) {
       if (remaining_preds[succ] > 0 && --remaining_preds[succ] == 0 &&
           !issued[succ]) {
@@ -239,6 +241,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     terminal[id] = true;
     ++done_count;
     ++report.failed_requests;
+    if (options.on_failed) options.on_failed(id);
     // Successors wait on a completion that will never come; abandoning
     // them (transitively) is what keeps lost_requests at zero.
     for (std::size_t succ : dag.successors(id)) {
@@ -341,12 +344,59 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
 
 }  // namespace
 
+namespace {
+
+/// Per-switch FaultStats snapshot taken before execution so the report can
+/// carry the deltas this run caused (stats are cumulative per injector).
+std::map<SwitchId, net::FaultStats> snapshot_faults(net::Network& network,
+                                                    const RequestDag& dag) {
+  std::map<SwitchId, net::FaultStats> out;
+  for (std::size_t id = 0; id < dag.size(); ++id) {
+    const SwitchId loc = dag.request(id).location;
+    if (out.count(loc) != 0) continue;
+    if (const auto* inj = network.fault_injector(loc)) out[loc] = inj->stats();
+  }
+  return out;
+}
+
+void report_fault_deltas(net::Network& network,
+                         const std::map<SwitchId, net::FaultStats>& before,
+                         ExecutionReport& report) {
+  for (const auto& [loc, base] : before) {
+    const auto* inj = network.fault_injector(loc);
+    if (inj == nullptr) continue;
+    const auto& now = inj->stats();
+    report.fault_crashes += now.crashes - base.crashes;
+    report.fault_lost_to_crash += now.lost_to_crash - base.lost_to_crash;
+    report.fault_dropped_to_switch +=
+        now.dropped_to_switch - base.dropped_to_switch;
+    report.fault_dropped_to_controller +=
+        now.dropped_to_controller - base.dropped_to_controller;
+    if (now.crashes > base.crashes) report.crashed_switches.insert(loc);
+  }
+  if (report.fault_crashes + report.fault_dropped_to_switch +
+          report.fault_dropped_to_controller >
+      0) {
+    log::info("executor: faults during run: " +
+              std::to_string(report.fault_crashes) + " crash(es), " +
+              std::to_string(report.fault_lost_to_crash) + " lost to crash, " +
+              std::to_string(report.fault_dropped_to_switch) + "/" +
+              std::to_string(report.fault_dropped_to_controller) +
+              " drops to switch/controller; " +
+              std::to_string(report.retries) + " retries, " +
+              std::to_string(report.failed_requests) + " failed requests");
+  }
+}
+
+}  // namespace
+
 ExecutionReport execute(net::Network& network, const RequestDag& dag,
                         UpdateScheduler& scheduler,
                         const ExecutorOptions& options) {
   if (dag.size() == 0) return {};
   assert(dag.is_acyclic());
 
+  const auto faults_before = snapshot_faults(network, dag);
   auto st = std::make_shared<ExecState>(network, dag, scheduler, options);
   st->init();
   st->dispatch();
@@ -357,6 +407,7 @@ ExecutionReport execute(net::Network& network, const RequestDag& dag,
   st->report.makespan = network.now() - st->start;
   st->report.lost_requests = st->n - st->done_count;
   assert(st->report.lost_requests == 0 || !st->retry_enabled());
+  report_fault_deltas(network, faults_before, st->report);
   return st->report;
 }
 

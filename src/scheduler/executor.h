@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <set>
 
@@ -63,6 +64,16 @@ struct ExecutorOptions {
   /// After an ECHO proves the switch alive, the request gets a fresh round
   /// of retries — at most this many times before the request is failed.
   std::size_t max_echo_rescues = 2;
+
+  // --- transaction observers -----------------------------------------------
+  /// Fires once when a request reaches its terminal completed state (first
+  /// completion wins; `accepted` is the switch's verdict). The transaction
+  /// layer uses this to mark journal entries acknowledged. Null = off; the
+  /// fault-free fast path is untouched when unset.
+  std::function<void(std::size_t id, bool accepted)> on_complete;
+  /// Fires once when a request is abandoned (switch declared dead, retries
+  /// and rescues exhausted, or a predecessor failed).
+  std::function<void(std::size_t id)> on_failed;
 };
 
 struct ExecutionReport {
@@ -91,6 +102,18 @@ struct ExecutionReport {
   std::size_t lost_requests = 0;
   /// Switches that stopped answering ECHO probes.
   std::set<SwitchId> failed_switches;
+
+  // --- fault-injector activity during this execution -----------------------
+  // Deltas of each touched switch's FaultStats across the run (all zero when
+  // no injector is attached), so crash-recovery behaviour is observable from
+  // the report alone. A one-line log::info summary is emitted when any of
+  // these advanced.
+  std::size_t fault_crashes = 0;
+  std::size_t fault_lost_to_crash = 0;
+  std::size_t fault_dropped_to_switch = 0;
+  std::size_t fault_dropped_to_controller = 0;
+  /// Switches whose agent crashed (tables wiped) during this execution.
+  std::set<SwitchId> crashed_switches;
 };
 
 ExecutionReport execute(net::Network& network, const RequestDag& dag,

@@ -32,6 +32,10 @@ struct SwitchRequest {
   of::ActionList actions;
   /// install_by deadline (best effort when empty).
   std::optional<SimDuration> deadline;
+  /// Cookie stamped on the emitted flow_mod. The transaction layer uses it
+  /// for durable rule identity (txn id in the top 32 bits) so a re-issue
+  /// after a crash is idempotent and stale leftovers are attributable.
+  std::optional<std::uint64_t> cookie;
 };
 
 class RequestDag {

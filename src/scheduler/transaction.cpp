@@ -1,0 +1,284 @@
+#include "scheduler/transaction.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace tango::sched {
+
+std::string to_string(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kRollForward: return "roll-forward";
+    case RecoveryPolicy::kRollBack: return "roll-back";
+  }
+  return "?";
+}
+
+namespace {
+
+/// An ADD that reinstates `rule` exactly (replaces in place at its key).
+of::FlowMod restore(const RuleImage& rule) {
+  of::FlowMod fm;
+  fm.command = of::FlowModCommand::kAdd;
+  fm.match = rule.match;
+  fm.priority = rule.priority;
+  fm.actions = rule.actions;
+  fm.cookie = rule.cookie;
+  return fm;
+}
+
+/// A strict delete of exactly (match, priority).
+of::FlowMod erase_strict(const of::Match& match, std::uint16_t priority) {
+  of::FlowMod fm;
+  fm.command = of::FlowModCommand::kDeleteStrict;
+  fm.match = match;
+  fm.priority = priority;
+  return fm;
+}
+
+}  // namespace
+
+UpdateTransaction::UpdateTransaction(net::Network& network, RequestDag dag,
+                                     TransactionOptions options)
+    : network_(network), dag_(std::move(dag)), options_(std::move(options)) {
+  static std::uint32_t next_txn_id = 1;
+  txn_id_ = options_.txn_id != 0 ? options_.txn_id : next_txn_id++;
+  report_.txn_id = txn_id_;
+  report_.policy = options_.policy;
+
+  for (std::size_t i = 0; i < dag_.size(); ++i) {
+    dag_.request(i).cookie = cookie_of(i);
+  }
+
+  std::set<SwitchId> affected;
+  for (std::size_t i = 0; i < dag_.size(); ++i) {
+    affected.insert(dag_.request(i).location);
+  }
+
+  // --- pre-update snapshot ------------------------------------------------
+  ReconcilerOptions ropts;
+  ropts.readback_timeout = options_.readback_timeout;
+  ropts.max_readback_retries = options_.max_readback_retries;
+  Reconciler reader(network_, ropts);
+  ReconcileStats snap;
+  for (const SwitchId sw : affected) {
+    auto image = reader.read_table(sw, snap);
+    if (!image.has_value()) {
+      // No baseline: rollback and inverse computation for this switch treat
+      // the table as empty; flagged so the caller can tell.
+      report_.unreconciled.insert(sw);
+      log::warn("transaction " + std::to_string(txn_id_) +
+                ": pre-update snapshot of switch " + std::to_string(sw) +
+                " lost; treating table as empty");
+    }
+    pre_[sw] = image.value_or(TableImage{});
+  }
+  report_.readback_requests += snap.readback_requests;
+  report_.readback_lost += snap.readback_lost;
+
+  // --- journal + post image, in DAG topological order ----------------------
+  post_ = pre_;
+  const auto level = dag_.levels();
+  std::vector<std::size_t> order(dag_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return level[a] < level[b];
+                   });
+
+  for (const std::size_t id : order) {
+    const SwitchRequest& req = dag_.request(id);
+    const of::FlowMod fm = to_flow_mod(req, options_.exec.default_priority);
+    TableImage& image = post_[req.location];
+    const TableImage& pre = pre_[req.location];
+    auto& touched = touched_[req.location];
+    auto& writers = writers_[req.location];
+
+    JournalEntry entry;
+    entry.dag_id = id;
+    entry.location = req.location;
+    entry.intent = fm;
+
+    const std::string key = rule_key(fm.match, fm.priority);
+    switch (fm.command) {
+      case of::FlowModCommand::kAdd: {
+        const auto prev = image.find(key);
+        if (prev != image.end()) {
+          entry.inverse.push_back(restore(prev->second));
+        } else {
+          entry.inverse.push_back(erase_strict(fm.match, fm.priority));
+        }
+        if (pre.count(key) != 0) touched.emplace(key, id);
+        writers[key] = id;
+        break;
+      }
+      case of::FlowModCommand::kModify:
+      case of::FlowModCommand::kModifyStrict: {
+        std::size_t hits = 0;
+        for (const auto& [k, rule] : image) {
+          if (!fm.match.subsumes(rule.match)) continue;
+          entry.inverse.push_back(restore(rule));
+          if (pre.count(k) != 0) touched.emplace(k, id);
+          writers[k] = id;
+          ++hits;
+        }
+        if (hits == 0) {
+          // The modify will act as an ADD of a fresh entry.
+          entry.inverse.push_back(erase_strict(fm.match, fm.priority));
+          writers[key] = id;
+        }
+        break;
+      }
+      case of::FlowModCommand::kDelete:
+      case of::FlowModCommand::kDeleteStrict: {
+        for (const auto& [k, rule] : image) {
+          if (!fm.match.subsumes(rule.match)) continue;
+          entry.inverse.push_back(restore(rule));
+          if (pre.count(k) != 0) touched.emplace(k, id);
+        }
+        break;
+      }
+    }
+    apply_to_image(image, fm);
+    journal_of_dag_[id] = journal_.size();
+    journal_.push_back(std::move(entry));
+  }
+
+  // --- crash-epoch baseline ------------------------------------------------
+  for (const SwitchId sw : affected) {
+    const auto* injector = network_.fault_injector(sw);
+    crashes_at_begin_[sw] = injector ? injector->stats().crashes : 0;
+  }
+}
+
+const TransactionReport& UpdateTransaction::commit(UpdateScheduler& scheduler) {
+  ExecutorOptions exec = options_.exec;
+  exec.on_complete = [this](std::size_t id, bool accepted) {
+    const auto it = journal_of_dag_.find(id);
+    if (it == journal_of_dag_.end()) return;
+    journal_[it->second].state =
+        accepted ? JournalEntry::State::kAcked : JournalEntry::State::kFailed;
+  };
+  exec.on_failed = [this](std::size_t id) {
+    const auto it = journal_of_dag_.find(id);
+    if (it == journal_of_dag_.end()) return;
+    journal_[it->second].state = JournalEntry::State::kFailed;
+  };
+  network_.set_crash_handler([this](SwitchId id) {
+    if (pre_.count(id) != 0) report_.crashed_switches.insert(id);
+  });
+  report_.exec = execute(network_, dag_, scheduler, exec);
+  network_.set_crash_handler({});
+
+  for (const SwitchId sw : report_.exec.crashed_switches) {
+    if (pre_.count(sw) != 0) report_.crashed_switches.insert(sw);
+  }
+  // Belt and braces: counters catch a crash the notification hook missed.
+  for (const auto& [sw, baseline] : crashes_at_begin_) {
+    const auto* injector = network_.fault_injector(sw);
+    if (injector != nullptr && injector->stats().crashes > baseline) {
+      report_.crashed_switches.insert(sw);
+    }
+  }
+
+  const bool needs_reconcile =
+      !report_.crashed_switches.empty() || report_.exec.failed_requests > 0 ||
+      (options_.policy == RecoveryPolicy::kRollBack &&
+       report_.exec.rejected > 0);
+  if (!needs_reconcile) {
+    // Fault-free fast path: the journal stays as evidence, nothing extra
+    // touches the network.
+    report_.committed = report_.unreconciled.empty();
+    return report_;
+  }
+
+  log::info("transaction " + std::to_string(txn_id_) + ": " +
+            std::to_string(report_.crashed_switches.size()) +
+            " crashed switch(es), " +
+            std::to_string(report_.exec.failed_requests) +
+            " failed request(s) -> reconciling (" +
+            to_string(options_.policy) + ")");
+  reconcile();
+  return report_;
+}
+
+void UpdateTransaction::reconcile() {
+  report_.reconciled = true;
+  const bool forward = options_.policy == RecoveryPolicy::kRollForward;
+  const auto& desired = forward ? post_ : pre_;
+
+  Reconciler::Author author = [this, forward](
+                                  SwitchId sw,
+                                  const RuleImage& rule) -> std::optional<std::size_t> {
+    // Rules carrying this transaction's cookie map straight to their node.
+    if (txn_of_cookie(rule.cookie) == txn_id_) {
+      const auto id = static_cast<std::size_t>(
+          static_cast<std::uint32_t>(rule.cookie));
+      if (id < dag_.size()) return id;
+    }
+    const std::string key = rule_key(rule.match, rule.priority);
+    const auto& attribution = forward ? writers_ : touched_;
+    const auto per_switch = attribution.find(sw);
+    if (per_switch != attribution.end()) {
+      const auto hit = per_switch->second.find(key);
+      if (hit != per_switch->second.end()) return hit->second;
+    }
+    return std::nullopt;
+  };
+  Reconciler::MustPrecede precede = [this, forward](std::size_t a,
+                                                    std::size_t b) {
+    // Roll-forward re-installs in dependency order; rollback unwinds in
+    // reverse.
+    return forward ? reaches(a, b) : reaches(b, a);
+  };
+
+  ReconcilerOptions ropts;
+  ropts.readback_timeout = options_.readback_timeout;
+  ropts.max_readback_retries = options_.max_readback_retries;
+  ropts.max_rounds = options_.max_reconcile_rounds;
+  ropts.exec = options_.exec;
+  Reconciler reconciler(network_, ropts);
+  const ReconcileStats stats = reconciler.run(desired, author, precede);
+
+  report_.reconcile_rounds = stats.rounds;
+  report_.repairs_issued = stats.repairs_issued;
+  report_.stale_rules_removed = stats.stale_rules_removed;
+  report_.readback_requests += stats.readback_requests;
+  report_.readback_lost += stats.readback_lost;
+  report_.unreconciled = stats.unreconciled;
+  report_.committed = stats.converged;
+}
+
+const VerifierReport& UpdateTransaction::verify(
+    const std::vector<FlowCheck>& flows) {
+  ConsistencyVerifier verifier(network_);
+  report_.verify = verifier.verify(flows);
+  return report_.verify;
+}
+
+bool UpdateTransaction::reaches(std::size_t a, std::size_t b) {
+  if (a == b) return false;
+  if (reach_.empty()) {
+    const std::size_t n = dag_.size();
+    const std::size_t words = (n + 63) / 64;
+    reach_.assign(n, std::vector<std::uint64_t>(words, 0));
+    // Deepest-first: every successor's row is final before it is merged.
+    const auto level = dag_.levels();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return level[x] > level[y];
+                     });
+    for (const std::size_t u : order) {
+      for (const std::size_t v : dag_.successors(u)) {
+        reach_[u][v / 64] |= std::uint64_t{1} << (v % 64);
+        for (std::size_t w = 0; w < words; ++w) reach_[u][w] |= reach_[v][w];
+      }
+    }
+  }
+  return ((reach_[a][b / 64] >> (b % 64)) & 1) != 0;
+}
+
+}  // namespace tango::sched

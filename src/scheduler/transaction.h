@@ -1,0 +1,172 @@
+// Transactional network updates (intent journal + crash reconciliation).
+//
+// An UpdateTransaction wraps one RequestDag execution with a write-ahead
+// intent journal and a recovery protocol:
+//
+//  1. At construction it snapshots the pre-update table of every affected
+//     switch over the control channel, stamps each request with a durable
+//     cookie (transaction id in the top 32 bits, DAG node id in the low 32),
+//     and journals per request the flow_mod that will be issued plus the
+//     inverse operations that would undo it (delete-for-add, restore of the
+//     previously installed entries for modify/delete).
+//  2. commit() executes the DAG through the normal scheduler/executor path.
+//     The journal tracks per-entry state via executor observers. If nothing
+//     crashed and nothing failed, the transaction commits — the fault-free
+//     fast path issues exactly the flow_mods a bare execute() would.
+//  3. When an agent crash is detected (crash-notification hook or fault
+//     counters advancing) or requests fail, the reconciler reads actual
+//     switch state back, diffs it against the journal's desired image, and
+//     either rolls the transaction forward (converge to the post-update
+//     image, dependency order preserved) or rolls it back (restore the
+//     pre-update snapshot, dependencies reversed) — per RecoveryPolicy.
+//
+// Cookies make re-issue idempotent: an ADD replaces in place, so repeating
+// a journaled intent after a crash cannot duplicate rules, and leftovers
+// from a dead transaction are attributable by their cookie's top half.
+//
+// Assumption (documented, asserted nowhere): requests within one
+// transaction do not race on the same rule key — the journal computes
+// inverses against the snapshot in DAG topological order, which is only
+// unambiguous when at most one request writes a given (match, priority).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "scheduler/executor.h"
+#include "scheduler/reconciler.h"
+#include "scheduler/verifier.h"
+
+namespace tango::sched {
+
+enum class RecoveryPolicy {
+  /// Converge every affected switch to the post-update image.
+  kRollForward,
+  /// Restore every affected switch to its pre-update snapshot.
+  kRollBack,
+};
+
+std::string to_string(RecoveryPolicy policy);
+
+/// One journaled intent: the flow_mod to issue and how to undo it.
+struct JournalEntry {
+  enum class State { kPlanned, kAcked, kFailed };
+
+  std::size_t dag_id = 0;
+  SwitchId location = 0;
+  of::FlowMod intent;
+  /// Inverse operations, computed against the pre-state this entry saw
+  /// (snapshot + earlier entries in DAG order). Empty only for a MODIFY
+  /// that acted on nothing (its inverse is a strict delete of the entry the
+  /// modify created).
+  std::vector<of::FlowMod> inverse;
+  State state = State::kPlanned;
+};
+
+struct TransactionOptions {
+  RecoveryPolicy policy = RecoveryPolicy::kRollForward;
+  /// Executor options for the commit itself. on_complete/on_failed are
+  /// overwritten — the journal owns them for the duration of commit().
+  ExecutorOptions exec;
+  /// Readback parameters (snapshot + reconciliation).
+  SimDuration readback_timeout = millis(200);
+  std::size_t max_readback_retries = 6;
+  std::size_t max_reconcile_rounds = 3;
+  /// Transaction id; 0 draws from a process-wide counter. Tests that
+  /// compare two runs in one process pin it so cookies are reproducible.
+  std::uint32_t txn_id = 0;
+};
+
+struct TransactionReport {
+  std::uint32_t txn_id = 0;
+  RecoveryPolicy policy = RecoveryPolicy::kRollForward;
+  ExecutionReport exec;
+  /// True when the network verifiably reached the policy's end state
+  /// (fault-free commit, or reconciliation converged).
+  bool committed = false;
+  /// True when the reconciler ran at all.
+  bool reconciled = false;
+  std::size_t reconcile_rounds = 0;
+  std::size_t repairs_issued = 0;
+  std::size_t stale_rules_removed = 0;
+  std::size_t readback_requests = 0;
+  std::size_t readback_lost = 0;
+  /// Switches whose agent crashed (tables wiped) during commit.
+  std::set<SwitchId> crashed_switches;
+  /// Switches the reconciler could not read back; their end state is
+  /// unknown and committed is false.
+  std::set<SwitchId> unreconciled;
+  /// Filled by verify().
+  VerifierReport verify;
+};
+
+class UpdateTransaction {
+ public:
+  /// Snapshots pre-state, stamps cookies, builds the journal. Runs readback
+  /// traffic on the network's event queue (so construct before starting any
+  /// makespan-sensitive measurement, and before scheduling absolute-time
+  /// fault events meant to hit the commit itself).
+  UpdateTransaction(net::Network& network, RequestDag dag,
+                    TransactionOptions options = {});
+
+  /// Execute the update; on crash/failure, reconcile per policy.
+  const TransactionReport& commit(UpdateScheduler& scheduler);
+
+  /// Walk `flows` through the network post-commit; results land in
+  /// report().verify and are also returned.
+  const VerifierReport& verify(const std::vector<FlowCheck>& flows);
+
+  [[nodiscard]] std::uint32_t id() const { return txn_id_; }
+  /// Cookie stamped on DAG node `dag_id`'s flow_mod.
+  [[nodiscard]] std::uint64_t cookie_of(std::size_t dag_id) const {
+    return (static_cast<std::uint64_t>(txn_id_) << 32) |
+           static_cast<std::uint32_t>(dag_id);
+  }
+  static std::uint32_t txn_of_cookie(std::uint64_t cookie) {
+    return static_cast<std::uint32_t>(cookie >> 32);
+  }
+
+  [[nodiscard]] const std::vector<JournalEntry>& journal() const {
+    return journal_;
+  }
+  [[nodiscard]] const TransactionReport& report() const { return report_; }
+  [[nodiscard]] const TableImage& pre_image(SwitchId id) const {
+    return pre_.at(id);
+  }
+  [[nodiscard]] const TableImage& post_image(SwitchId id) const {
+    return post_.at(id);
+  }
+  [[nodiscard]] RequestDag& dag() { return dag_; }
+  [[nodiscard]] const RequestDag& dag() const { return dag_; }
+
+ private:
+  void reconcile();
+  /// True when original DAG node `a` must complete before `b` (rollback
+  /// reverses the arguments). Lazily computes the reachability closure.
+  bool reaches(std::size_t a, std::size_t b);
+
+  net::Network& network_;
+  RequestDag dag_;
+  TransactionOptions options_;
+  std::uint32_t txn_id_ = 0;
+
+  std::vector<JournalEntry> journal_;
+  std::map<std::size_t, std::size_t> journal_of_dag_;  // dag id -> journal idx
+  std::map<SwitchId, TableImage> pre_;
+  std::map<SwitchId, TableImage> post_;
+  /// Per switch: rule key -> dag node that last wrote it (post image).
+  std::map<SwitchId, std::map<std::string, std::size_t>> writers_;
+  /// Per switch: pre-image rule key -> dag node that first destroyed or
+  /// overwrote it (for attributing rollback restores).
+  std::map<SwitchId, std::map<std::string, std::size_t>> touched_;
+  /// Fault-injector crash counters at construction, for detecting crashes
+  /// the notification hook could not observe.
+  std::map<SwitchId, std::uint64_t> crashes_at_begin_;
+
+  std::vector<std::vector<std::uint64_t>> reach_;  // lazy closure, bit rows
+  TransactionReport report_;
+};
+
+}  // namespace tango::sched

@@ -132,4 +132,12 @@ const SwitchKnowledge* TangoController::knowledge(SwitchId id) const {
   return it == knowledge_.end() ? nullptr : &it->second;
 }
 
+sched::UpdateTransaction TangoController::begin_update(
+    sched::RequestDag dag, sched::TransactionOptions options) {
+  for (const auto& [id, know] : knowledge_) {
+    options.exec.cost_hints.emplace(id, know.costs);
+  }
+  return sched::UpdateTransaction(network_, std::move(dag), std::move(options));
+}
+
 }  // namespace tango::core

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "net/network.h"
+#include "scheduler/transaction.h"
 #include "tables/cache_policy.h"
 #include "tango/latency_profiler.h"
 #include "tango/pattern.h"
@@ -61,6 +62,14 @@ class TangoController {
   /// Drop cached knowledge and re-run inference (e.g. after spot_check
   /// reports drift beyond tolerance).
   const SwitchKnowledge& refresh(SwitchId id, const LearnOptions& options = {});
+
+  /// Begin a transactional update: snapshot pre-state of every affected
+  /// switch, journal each request's intent and inverse, stamp cookies.
+  /// Executor cost hints are pre-filled from learned knowledge (a scheduler
+  /// built from the same hints sees consistent estimates). The caller picks
+  /// the scheduler at commit() time.
+  sched::UpdateTransaction begin_update(sched::RequestDag dag,
+                                        sched::TransactionOptions options = {});
 
   [[nodiscard]] const SwitchKnowledge* knowledge(SwitchId id) const;
   [[nodiscard]] bool knows(SwitchId id) const { return knowledge(id) != nullptr; }

@@ -153,6 +153,62 @@ TEST(Codec, FlowStats) {
   EXPECT_EQ(roundtrip(reply), reply);
 }
 
+// The readback path of the crash reconciler: an empty table must decode as
+// an empty reply, not an error (a freshly rebooted agent legitimately
+// answers with zero entries besides whatever the reconciler filters out).
+TEST(Codec, FlowStatsEmptyReply) {
+  const auto out = roundtrip(FlowStatsReply{});
+  EXPECT_TRUE(out.entries.empty());
+}
+
+TEST(Codec, FlowStatsMultiEntryDistinct) {
+  FlowStatsReply reply;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    FlowStatsEntry e;
+    e.table_id = static_cast<std::uint8_t>(i);
+    e.match = Match::any().with_in_port(static_cast<std::uint16_t>(i + 1));
+    e.priority = static_cast<std::uint16_t>(100 * i);
+    e.cookie = (std::uint64_t{7} << 32) | i;  // txn-style cookie
+    e.packet_count = i;
+    if (i % 2 == 0) e.actions = {ActionOutput{static_cast<std::uint16_t>(i), 0}};
+    reply.entries.push_back(e);
+  }
+  EXPECT_EQ(roundtrip(reply), reply);
+}
+
+// Per-entry truncation: the outer frame length is consistent, but an entry
+// header lies about its own length. Offsets: OF header 8, stats type+flags
+// 4, so the first entry's length field sits at bytes 12-13.
+TEST(Codec, FlowStatsRejectsTruncatedEntry) {
+  FlowStatsReply reply;
+  FlowStatsEntry e;
+  e.match = sample_match();
+  e.priority = 9;
+  reply.entries = {e};  // no actions: entry is exactly 88 bytes
+  const auto frame = encode(Message{1, reply});
+  ASSERT_EQ(frame.size(), 8u + 4u + 88u);
+
+  // Entry claims fewer bytes than the fixed entry header.
+  auto undersized = frame;
+  undersized[12] = 0;
+  undersized[13] = 40;
+  EXPECT_FALSE(decode(undersized).ok());
+
+  // Entry claims more bytes than the frame holds.
+  auto oversized = frame;
+  oversized[12] = 0;
+  oversized[13] = 96;
+  EXPECT_FALSE(decode(oversized).ok());
+
+  // Frame cut mid-entry (header length field kept consistent): the decoder
+  // must reject the partial entry rather than read past the buffer.
+  auto cut = frame;
+  cut.resize(frame.size() - 4);
+  cut[2] = static_cast<std::uint8_t>(cut.size() >> 8);
+  cut[3] = static_cast<std::uint8_t>(cut.size());
+  EXPECT_FALSE(decode(cut).ok());
+}
+
 TEST(Codec, TableStats) {
   EXPECT_EQ(roundtrip(TableStatsRequest{}), TableStatsRequest{});
   TableStatsReply reply;

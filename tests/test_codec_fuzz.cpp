@@ -367,6 +367,44 @@ TEST(CodecFuzzTest, GarbageBuffersNeverCrash) {
   }
 }
 
+// Targeted fuzz for the reconciler's readback path: valid FlowStatsReply
+// frames whose per-entry length fields are overwritten with random values.
+// The outer header stays consistent, so every corruption lands in the
+// entry-walking loop — it must stop with an error or a consistent parse,
+// never over-read (ASan/UBSan job covers the memory side).
+TEST(CodecFuzzTest, FlowStatsEntryLengthFuzzNeverOverReads) {
+  Rng rng(kFuzzSeed + 5);
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < 2500; ++i) {
+    FlowStatsReply reply;
+    const std::size_t n = 1 + rng.index(3);
+    for (std::size_t k = 0; k < n; ++k) {
+      FlowStatsEntry e;
+      e.match = random_match(rng);
+      e.priority = u16(rng);
+      e.cookie = u64(rng);
+      e.actions = random_actions(rng);
+      reply.entries.push_back(e);
+    }
+    auto wire = encode(Message{u32(rng), reply});
+    // Walk to a random entry's length field (body starts at 8, entries at
+    // 12; each entry is 88 + its actions) and scribble over it.
+    std::size_t offset = 12;
+    const std::size_t target = rng.index(n);
+    for (std::size_t k = 0; k < target; ++k) {
+      offset += 88;
+      for (const auto& a : reply.entries[k].actions) offset += wire_size(a);
+    }
+    wire[offset] = byte(rng);
+    wire[offset + 1] = byte(rng);
+    const auto result = decode(wire);
+    if (!result.ok()) ++rejected;
+  }
+  // Almost every random length is inconsistent; a handful may restate the
+  // true length and decode fine.
+  EXPECT_GT(rejected, 2000u);
+}
+
 TEST(CodecFuzzTest, FrameAssemblerHandlesArbitraryChunking) {
   Rng rng(kFuzzSeed + 4);
   for (std::size_t round = 0; round < 50; ++round) {
