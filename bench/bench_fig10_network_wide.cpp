@@ -56,9 +56,11 @@ std::map<SwitchId, core::OpCostEstimate> learn_costs() {
 enum class Mode { kDionysus, kTangoType, kTangoTypePriority };
 
 double run_scenario(const char* which, Mode mode,
-                    const std::map<SwitchId, core::OpCostEstimate>& costs) {
+                    const std::map<SwitchId, core::OpCostEstimate>& costs,
+                    telemetry::Telemetry* tele = nullptr) {
   Testbed tb;
   build(tb);
+  if (tele != nullptr) tb.net.set_telemetry(tele);
   Rng rng(99);
   sched::RequestDag dag;
   if (std::string(which) == "LF") {
@@ -103,6 +105,7 @@ int main() {
       "70%/33%/28%");
 
   const auto costs = learn_costs();
+  bench::BenchReport report("fig10_network_wide");
 
   std::printf("%-5s | %-10s | %-12s | %-18s | improvements\n", "case",
               "Dionysus", "Tango(Type)", "Tango(Type+Prio)");
@@ -114,6 +117,34 @@ int main() {
     std::printf("%-5s | %8.2f s | %10.2f s | %16.2f s | type %.0f%%, +prio %.0f%%\n",
                 which, base, type_only, full,
                 100.0 * (1.0 - type_only / base), 100.0 * (1.0 - full / base));
+    report.json()
+        .add_row()
+        .col("case", which)
+        .col("dionysus_s", base)
+        .col("tango_type_s", type_only)
+        .col("tango_type_priority_s", full);
+    report.json().set_result(std::string(which) + ".tango_type_priority_s",
+                             full);
+  }
+
+  if (bench::telemetry_enabled()) {
+    // One fully traced run (LF under Tango Type+Priority): its per-switch
+    // lanes must reconstruct the makespan the table reports —
+    // tools/validate_telemetry.py checks exactly that.
+    telemetry::Telemetry tele;
+    tele.trace.set_process_name("bench_fig10_network_wide");
+    const double traced =
+        run_scenario("LF", Mode::kTangoTypePriority, costs, &tele);
+    const char* trace_path = "BENCH_fig10_network_wide.trace.json";
+    if (tele.trace.write_chrome_json(trace_path)) {
+      std::printf("  trace:  %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                  trace_path);
+    }
+    report.json().set_result("trace_case", "LF");
+    report.json().set_result("trace_mode", "tango_type_priority");
+    report.json().set_result("trace_makespan_ns", traced * 1e9);
+    report.json().add_metrics(tele.metrics);
+    report.json().add_spans(tele.trace, {"executor", "txn"});
   }
   bench::print_footer();
   return 0;

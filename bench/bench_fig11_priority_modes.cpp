@@ -74,6 +74,7 @@ int main() {
       "add-only DAG=1; shallower gains with deeper DAGs");
 
   const auto costs = learn_costs();
+  bench::BenchReport report("fig11_priority_modes");
 
   struct Case {
     const char* label;
@@ -96,6 +97,14 @@ int main() {
     std::printf("%-20s | %8.2f s | %10.2f s | %11.2f s | sort %.0f%%, enforce %.0f%%\n",
                 c.label, base, sort, enforce, 100.0 * (1.0 - sort / base),
                 100.0 * (1.0 - enforce / base));
+    report.json()
+        .add_row()
+        .col("scenario", c.label)
+        .col("dionysus_s", base)
+        .col("tango_sorting_s", sort)
+        .col("tango_enforcement_s", enforce)
+        .col("sorting_improvement_pct", 100.0 * (1.0 - sort / base))
+        .col("enforcement_improvement_pct", 100.0 * (1.0 - enforce / base));
   }
   bench::print_footer();
   return 0;

@@ -98,6 +98,12 @@ int main() {
   std::printf("  Tango    : %.3f s\n", tango_s);
   std::printf("  improvement: %.1f%%  (paper: ~8%%)\n",
               100.0 * (1.0 - tango_s / dionysus_s));
+  bench::BenchReport report("fig12_b4_te");
+  report.json().set_result("n_requests", static_cast<double>(n_requests));
+  report.json().set_result("dionysus_s", dionysus_s);
+  report.json().set_result("tango_s", tango_s);
+  report.json().set_result("improvement_pct",
+                           100.0 * (1.0 - tango_s / dionysus_s));
   bench::print_footer();
   return 0;
 }

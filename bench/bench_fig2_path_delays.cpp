@@ -46,20 +46,29 @@ void print_series(const char* title, const TierSeries& s, std::size_t stride) {
   }
 }
 
-void print_tier(const char* label, const std::vector<double>& xs, std::size_t lo,
-                std::size_t hi) {
+void print_tier(bench::BenchReport& report, const char* panel, const char* label,
+                const std::vector<double>& xs, std::size_t lo, std::size_t hi) {
   if (lo >= hi || hi > xs.size()) return;
   std::vector<double> slice(xs.begin() + static_cast<long>(lo),
                             xs.begin() + static_cast<long>(hi));
   const auto s = stats::summarize(slice);
   std::printf("  %-28s flows [%5zu,%5zu): mean %6.3f ms  (p50 %6.3f)\n", label,
               lo, hi, s.mean, s.p50);
+  report.json()
+      .add_row()
+      .col("panel", panel)
+      .col("tier", label)
+      .col("flows_lo", static_cast<double>(lo))
+      .col("flows_hi", static_cast<double>(hi))
+      .col("mean_ms", s.mean)
+      .col("p50_ms", s.p50);
 }
 
 }  // namespace
 
 int main() {
   namespace profiles = switchsim::profiles;
+  bench::BenchReport report("fig2_path_delays");
 
   bench::print_header("Figure 2(a): three-tier delay in OVS",
                       "fast ~3 ms, slow ~4.5 ms, control ~4.65 ms");
@@ -77,6 +86,9 @@ int main() {
                 stats::mean(slow));
     std::printf("  control path : %6.3f ms   (paper ~4.65)\n",
                 stats::mean(ctrl));
+    report.json().set_result("ovs.fast_ms", stats::mean(fast));
+    report.json().set_result("ovs.slow_ms", stats::mean(slow));
+    report.json().set_result("ovs.control_ms", stats::mean(ctrl));
   }
   bench::print_footer();
 
@@ -87,9 +99,9 @@ int main() {
     const auto s = run(profiles::switch1(), 3500, 5000);
     print_series("sampled series (every 500th flow):", s, 500);
     std::printf("tier means (placement is traffic-independent — 1st == 2nd pkt tier):\n");
-    print_tier("fast path (TCAM)", s.first_pkt, 0, 2047);
-    print_tier("slow path (user space)", s.first_pkt, 2047, 3500);
-    print_tier("control path", s.first_pkt, 3500, 5000);
+    print_tier(report, "hw1", "fast path (TCAM)", s.first_pkt, 0, 2047);
+    print_tier(report, "hw1", "slow path (user space)", s.first_pkt, 2047, 3500);
+    print_tier(report, "hw1", "control path", s.first_pkt, 3500, 5000);
   }
   bench::print_footer();
 
@@ -99,8 +111,8 @@ int main() {
     const auto s = run(profiles::switch2(), 2559, 4000);
     print_series("sampled series (every 500th flow):", s, 500);
     std::printf("tier means:\n");
-    print_tier("fast path (TCAM)", s.first_pkt, 0, 2559);
-    print_tier("control path", s.first_pkt, 2559, 4000);
+    print_tier(report, "hw2", "fast path (TCAM)", s.first_pkt, 0, 2559);
+    print_tier(report, "hw2", "control path", s.first_pkt, 2559, 4000);
   }
   bench::print_footer();
   return 0;

@@ -11,7 +11,7 @@
 namespace tango::bench {
 
 inline void run_fig89(const switchsim::SwitchProfile& profile,
-                      const char* paper_note) {
+                      const char* paper_note, telemetry::RunReport& report) {
   const workload::ClassbenchProfile files[] = {workload::cb1(), workload::cb2(),
                                                workload::cb3()};
   for (const auto& file : files) {
@@ -60,12 +60,19 @@ inline void run_fig89(const switchsim::SwitchProfile& profile,
       std::printf("  %-10s | %8.4f | %6.4f |", scenario.name, s.mean, s.stddev);
       for (double t : times) std::printf(" %.4f", t);
       std::printf("\n");
+      report.add_row()
+          .col("rule_set", file.name)
+          .col("scenario", scenario.name)
+          .col("mean_s", s.mean)
+          .col("stddev_s", s.stddev);
     }
     // Improvement headline: Topo Opt vs the worst random scenario.
     const double best = means[0];
     const double worst = std::max(means[1], means[3]);
     std::printf("  => Topo+Opt vs worst random: %.0f%% faster\n\n",
                 100.0 * (1.0 - best / worst));
+    report.set_result(file.name + ".topo_opt_vs_worst_random_pct",
+                      100.0 * (1.0 - best / worst));
   }
 }
 

@@ -9,8 +9,9 @@ int main() {
       "Figure 8(a-c): OVS optimization results (3 ClassBench files x 4 "
       "scenarios x 10 trials)",
       "totals ~0.044-0.058 s; Topo+Opt best by ~8-10%");
+  bench::BenchReport report("fig8_ovs_optimization");
   bench::run_fig89(switchsim::profiles::ovs(),
-                   "paper: ~0.05 s totals, ~8-10% spread");
+                   "paper: ~0.05 s totals, ~8-10% spread", report.json());
   bench::print_footer();
   return 0;
 }

@@ -10,8 +10,9 @@ int main() {
       "Figure 9(a-c): HW Switch #1 optimization results (3 ClassBench files "
       "x 4 scenarios x 10 trials)",
       "Topo+ascending best; decrease vs random order ~87%/80%/89%");
+  bench::BenchReport report("fig9_hw_optimization");
   bench::run_fig89(switchsim::profiles::switch1(),
-                   "paper: 87%/80%/89% improvement");
+                   "paper: 87%/80%/89% improvement", report.json());
   bench::print_footer();
   return 0;
 }

@@ -45,8 +45,9 @@ std::pair<std::size_t, bool> fill(const switchsim::SwitchProfile& profile,
   return {accepted, true};
 }
 
-void row(const char* name, const switchsim::SwitchProfile& profile,
-         const char* paper_l2l3, const char* paper_both) {
+void row(bench::BenchReport& report, const char* name,
+         const switchsim::SwitchProfile& profile, const char* paper_l2l3,
+         const char* paper_both) {
   const auto l2 = fill(profile, "2");
   const auto l3 = fill(profile, "3");
   const auto both = fill(profile, "B");
@@ -64,6 +65,15 @@ void row(const char* name, const switchsim::SwitchProfile& profile,
   }
   std::printf("%-24s | %-14s | %-10s | paper: %s L2|L3, %s L2+L3\n", name,
               l2l3, bothbuf, paper_l2l3, paper_both);
+  report.json()
+      .add_row()
+      .col("switch", name)
+      .col("l2_rules", static_cast<double>(l2.first))
+      .col("l3_rules", static_cast<double>(l3.first))
+      .col("l2l3_rules", static_cast<double>(both.first))
+      .col("unbounded", l2.second ? "yes" : "no")
+      .col("paper_l2l3", paper_l2l3)
+      .col("paper_both", paper_both);
 }
 
 }  // namespace
@@ -75,11 +85,12 @@ int main() {
       "OVS unbounded; #1: 4K L2|L3 / 2K L2+L3 (configurable); #2: 2560 any; "
       "#3: 767 L2|L3 / 369 L2+L3");
 
+  bench::BenchReport report("table1_table_sizes");
   std::printf("%-24s | %-14s | %-10s |\n", "switch (hw fast table)",
               "L2-only/L3-only", "L2+L3");
   std::printf("-------------------------+----------------+------------+\n");
 
-  row("OVS", profiles::ovs(), "unbounded", "unbounded");
+  row(report, "OVS", profiles::ovs(), "unbounded", "unbounded");
 
   // Switch #1's TCAM mode is configurable (Table 1's 4K vs 2K): measure the
   // hardware table by capping the software spill detection — the fill stops
@@ -89,21 +100,21 @@ int main() {
     single.software_backing = false;  // isolate the hardware table
     single.arch = switchsim::Architecture::kTcamOnly;
     single.install_default_route = false;
-    row("HW #1 (single-wide)", single, "4K", "n/a");
+    row(report, "HW #1 (single-wide)", single, "4K", "n/a");
     auto dbl = profiles::switch1(tables::TcamMode::kDoubleWide);
     dbl.software_backing = false;
     dbl.arch = switchsim::Architecture::kTcamOnly;
     dbl.install_default_route = false;
-    row("HW #1 (double-wide)", dbl, "2K", "2K");
+    row(report, "HW #1 (double-wide)", dbl, "2K", "2K");
   }
 
   {
     auto p2 = profiles::switch2();
     p2.install_default_route = false;
-    row("HW #2", p2, "2560", "2560");
+    row(report, "HW #2", p2, "2560", "2560");
     auto p3 = profiles::switch3();
     p3.install_default_route = false;
-    row("HW #3", p3, "767", "369");
+    row(report, "HW #3", p3, "767", "369");
   }
 
   std::printf("\nNote: with software backing enabled (as shipped), HW #1 accepts\n"

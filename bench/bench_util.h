@@ -1,16 +1,22 @@
 // Shared helpers for the figure/table reproduction benches: consistent
-// headers, paper-vs-measured rows, and ACL installation runs.
+// headers, paper-vs-measured rows, ACL installation runs, and the
+// machine-readable BENCH_<name>.json run reports every bench emits
+// alongside its text output (schema: tango.run_report.v1 — see
+// docs/OBSERVABILITY.md).
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "net/network.h"
 #include "tango/latency_profiler.h"
 #include "tango/probe_engine.h"
+#include "telemetry/run_report.h"
 #include "workload/classbench.h"
 
 namespace tango::bench {
@@ -23,6 +29,44 @@ inline void print_header(const std::string& experiment, const std::string& paper
 }
 
 inline void print_footer() { std::printf("\n"); }
+
+/// Telemetry gate for benches: on by default, disabled with
+/// TANGO_TELEMETRY=0/off/false — the knob the zero-overhead acceptance
+/// check flips to prove disabled runs are bit-identical.
+inline bool telemetry_enabled() {
+  const char* v = std::getenv("TANGO_TELEMETRY");
+  if (v == nullptr) return true;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
+         std::strcmp(v, "false") != 0;
+}
+
+/// RAII run-report writer: collects results/rows (and optionally a metrics
+/// snapshot + key spans) during the bench, writes BENCH_<name>.json when it
+/// goes out of scope. Writing is unconditional — the report documents the
+/// run whether or not tracing was on.
+class BenchReport {
+ public:
+  explicit BenchReport(const std::string& name)
+      : report_(name), path_("BENCH_" + name + ".json") {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    if (report_.write(path_)) {
+      std::printf("  report: %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "bench: failed to write %s\n", path_.c_str());
+    }
+  }
+
+  [[nodiscard]] telemetry::RunReport& json() { return report_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  telemetry::RunReport report_;
+  std::string path_;
+};
 
 /// Mean and sample stddev of a series.
 struct Stats {

@@ -1,14 +1,54 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
 namespace tango::log {
 
-Level& threshold() {
-  static Level level = Level::kWarn;
+namespace {
+
+std::atomic<Level>& threshold_storage() {
+  static std::atomic<Level> level{Level::kWarn};
   return level;
 }
 
-void write(Level level, const std::string& msg) {
-  if (level < threshold()) return;
+/// Sink storage: swapped under a mutex, read as a shared_ptr copy so a
+/// writer replacing the sink never races a logger mid-call.
+struct SinkSlot {
+  std::mutex mu;
+  std::shared_ptr<const Sink> sink;
+};
+
+SinkSlot& sink_slot() {
+  static SinkSlot slot;
+  return slot;
+}
+
+std::shared_ptr<const Sink> current_sink() {
+  auto& slot = sink_slot();
+  std::lock_guard lock(slot.mu);
+  return slot.sink;
+}
+
+}  // namespace
+
+Level threshold() {
+  return threshold_storage().load(std::memory_order_relaxed);
+}
+
+void set_threshold(Level level) {
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+void set_sink(Sink sink) {
+  auto& slot = sink_slot();
+  std::lock_guard lock(slot.mu);
+  slot.sink = sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
+}
+
+void default_sink(Level level, const std::string& msg) {
   const char* tag = "?";
   switch (level) {
     case Level::kDebug: tag = "DEBUG"; break;
@@ -18,6 +58,15 @@ void write(Level level, const std::string& msg) {
     case Level::kOff: return;
   }
   std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+void write(Level level, const std::string& msg) {
+  if (level == Level::kOff || level < threshold()) return;
+  if (const auto sink = current_sink()) {
+    (*sink)(level, msg);
+    return;
+  }
+  default_sink(level, msg);
 }
 
 }  // namespace tango::log

@@ -1,15 +1,33 @@
 // Tiny leveled logger. Off by default above WARN so tests and benches stay
 // quiet; examples flip the level to INFO to narrate what they do.
+//
+// The threshold is atomic (components may log from anywhere, and nothing
+// here may become a data race when the simulator grows threads), and output
+// goes through a pluggable sink so telemetry can tee log lines into the
+// trace alongside the default stderr printer.
 #pragma once
 
-#include <cstdio>
+#include <functional>
 #include <string>
 
 namespace tango::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-Level& threshold();
+[[nodiscard]] Level threshold();
+void set_threshold(Level level);
+
+/// Where formatted lines go once they pass the threshold. Sinks receive the
+/// raw message (no level tag); `level` is always below kOff.
+using Sink = std::function<void(Level level, const std::string& msg)>;
+
+/// Replace the output sink; an empty function restores the default stderr
+/// printer. Returns nothing on purpose — compose by capturing the previous
+/// behaviour explicitly (see telemetry::tee_log_sink).
+void set_sink(Sink sink);
+
+/// The default stderr printer ("[WARN] msg"), usable from custom sinks.
+void default_sink(Level level, const std::string& msg);
 
 void write(Level level, const std::string& msg);
 

@@ -12,6 +12,37 @@ ControlChannel::ControlChannel(sim::EventQueue& events,
                                SimDuration one_way_latency)
     : events_(events), switch_(sw), latency_(one_way_latency) {}
 
+namespace {
+
+const char* command_name(of::FlowModCommand c) {
+  switch (c) {
+    case of::FlowModCommand::kAdd: return "flow_mod:add";
+    case of::FlowModCommand::kModify: return "flow_mod:modify";
+    case of::FlowModCommand::kModifyStrict: return "flow_mod:modify_strict";
+    case of::FlowModCommand::kDelete: return "flow_mod:delete";
+    case of::FlowModCommand::kDeleteStrict: return "flow_mod:delete_strict";
+  }
+  return "flow_mod";
+}
+
+}  // namespace
+
+void ControlChannel::set_telemetry(telemetry::Telemetry* t, SwitchId lane) {
+  telemetry_ = t;
+  lane_ = lane;
+  if (t == nullptr) {
+    ctr_flow_mods_ = nullptr;
+    ctr_rejected_ = nullptr;
+    hist_flow_mod_us_ = nullptr;
+    return;
+  }
+  ctr_flow_mods_ = &t->metrics.counter("switch.flow_mods");
+  ctr_rejected_ = &t->metrics.counter("switch.flow_mods_rejected");
+  hist_flow_mod_us_ = &t->metrics.histogram(
+      "switch.flow_mod_us",
+      {10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 50000});
+}
+
 void ControlChannel::send(of::Message msg) {
   // Round-trip through the codec: what arrives is what the wire carried.
   auto frame = of::encode(msg);
@@ -119,6 +150,12 @@ void ControlChannel::crash_agent(SimDuration downtime) {
   down_until_ = events_.now() + downtime;
   busy_until_ = down_until_;
   if (injector_) ++injector_->mutable_stats().crashes;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.instant(
+        "fault", "crash", lane_, events_.now(),
+        {telemetry::arg("downtime_ns", downtime.ns())});
+    telemetry_->metrics.counter("faults.crashes").inc();
+  }
   log::warn("channel: agent crashed; tables wiped, back at " +
             std::to_string(down_until_.ms()) + "ms");
   if (on_crash_) on_crash_();
@@ -127,6 +164,12 @@ void ControlChannel::crash_agent(SimDuration downtime) {
 void ControlChannel::stall_agent(SimDuration duration) {
   busy_until_ = std::max(busy_until_, events_.now() + duration);
   if (injector_) ++injector_->mutable_stats().stalls;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.instant(
+        "fault", "stall", lane_, events_.now(),
+        {telemetry::arg("duration_ns", duration.ns())});
+    telemetry_->metrics.counter("faults.stalls").inc();
+  }
 }
 
 void ControlChannel::on_arrival(const of::Message& msg) {
@@ -137,6 +180,12 @@ void ControlChannel::on_arrival(const of::Message& msg) {
     const SimDuration stall = injector_->draw_stall();
     if (stall.ns() > 0) {
       busy_until_ = std::max(busy_until_, events_.now() + stall);
+      if (telemetry_ != nullptr) {
+        telemetry_->trace.instant(
+            "fault", "stall", lane_, events_.now(),
+            {telemetry::arg("duration_ns", stall.ns())});
+        telemetry_->metrics.counter("faults.stalls").inc();
+      }
     }
   }
   handle(msg);
@@ -167,6 +216,17 @@ void ControlChannel::handle(const of::Message& msg) {
     auto outcome = switch_.apply_flow_mod(fm_copy, start);
     busy_until_ = start + outcome.processing_time;
     const bool accepted = outcome.accepted;
+    if (telemetry_ != nullptr) {
+      // The agent's busy slice for this command: queue wait excluded, so
+      // lanes show contention as gaps between arrival and start.
+      telemetry_->trace.span("switch", command_name(fm_copy.command), lane_,
+                             start, busy_until_,
+                             {telemetry::arg("xid", std::uint64_t{xid}),
+                              telemetry::arg("accepted", accepted)});
+      ctr_flow_mods_->inc();
+      if (!accepted) ctr_rejected_->inc();
+      hist_flow_mod_us_->observe(outcome.processing_time.us());
+    }
     if (outcome.error.has_value()) {
       reply(of::Message{xid, *outcome.error}, busy_until_);
     }

@@ -29,6 +29,7 @@
 #include "openflow/packet.h"
 #include "sim/event_queue.h"
 #include "switchsim/switch_model.h"
+#include "telemetry/trace.h"
 
 namespace tango::net {
 
@@ -66,6 +67,14 @@ class ControlChannel {
   void set_message_handler(MessageHandler h) { on_message_ = std::move(h); }
   void set_probe_handler(ProbeHandler h) { on_probe_ = std::move(h); }
   void set_crash_handler(CrashHandler h) { on_crash_ = std::move(h); }
+
+  /// Hook this channel into a telemetry context (non-owning; nullptr
+  /// detaches). `lane` is the trace lane — the switch's datapath id. The
+  /// channel emits one span per flow_mod the agent processes (its slice of
+  /// the per-switch swim-lane) plus crash/stall instants, and caches its
+  /// instrument pointers here so the per-message cost is a branch and a few
+  /// integer adds.
+  void set_telemetry(telemetry::Telemetry* t, SwitchId lane);
 
   /// Route all traffic through `injector` (non-owning; pass nullptr to
   /// detach). A configured crash_at schedules the crash immediately.
@@ -110,6 +119,13 @@ class ControlChannel {
   /// Bumped on every crash; in-flight deliveries from older epochs vanish.
   std::uint64_t epoch_ = 0;
   SimTime down_until_{};
+
+  // Telemetry (all nullptr when detached; see set_telemetry).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  SwitchId lane_ = 0;
+  telemetry::Counter* ctr_flow_mods_ = nullptr;
+  telemetry::Counter* ctr_rejected_ = nullptr;
+  telemetry::Histogram* hist_flow_mod_us_ = nullptr;
 };
 
 }  // namespace tango::net

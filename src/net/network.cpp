@@ -50,7 +50,30 @@ SwitchId Network::add_switch(const switchsim::SwitchProfile& profile,
 
   endpoints_.push_back(std::move(ep));
   topo_.add_node(profile.name + "#" + std::to_string(id));
+  if (telemetry_ != nullptr) attach_telemetry(id);
   return id;
+}
+
+void Network::attach_telemetry(SwitchId id) {
+  Endpoint& ep = endpoint(id);
+  ep.channel->set_telemetry(telemetry_, id);
+  telemetry_->trace.set_lane_name(
+      id, ep.sw->profile().name + " s" + std::to_string(id));
+}
+
+void Network::set_telemetry(telemetry::Telemetry* t) {
+  telemetry_ = t;
+  for (SwitchId id = 1; id <= endpoints_.size(); ++id) {
+    if (telemetry_ != nullptr) {
+      attach_telemetry(id);
+    } else {
+      endpoints_[id - 1].channel->set_telemetry(nullptr, id);
+    }
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.set_lane_name(telemetry::TraceCollector::kControllerLane,
+                                    "controller");
+  }
 }
 
 Network::Endpoint& Network::endpoint(SwitchId id) {

@@ -27,6 +27,7 @@
 #include "openflow/packet.h"
 #include "sim/event_queue.h"
 #include "switchsim/switch_model.h"
+#include "telemetry/trace.h"
 
 namespace tango::net {
 
@@ -48,6 +49,15 @@ class Network {
 
   static NodeId node_of(SwitchId id) { return static_cast<NodeId>(id - 1); }
   static SwitchId switch_of(NodeId n) { return static_cast<SwitchId>(n + 1); }
+
+  // --- telemetry -----------------------------------------------------------
+  /// Attach a telemetry context (non-owning; nullptr detaches). Propagates
+  /// to every channel, existing and future, and names one trace lane per
+  /// switch. With no context attached every instrumentation site is a
+  /// single null check — the fast path is bit-identical to an
+  /// un-instrumented build.
+  void set_telemetry(telemetry::Telemetry* t);
+  [[nodiscard]] telemetry::Telemetry* telemetry() { return telemetry_; }
 
   // --- fault injection -----------------------------------------------------
   /// Route all traffic to/from switch `id` through a FaultInjector with the
@@ -169,6 +179,8 @@ class Network {
 
   std::uint32_t next_xid() { return xid_++; }
   Endpoint& endpoint(SwitchId id);
+  /// Hook switch `id`'s channel into telemetry_ and name its trace lane.
+  void attach_telemetry(SwitchId id);
   /// Step the queue until `done`, the queue drains, or (if timeout != 0)
   /// the next event lies beyond now + timeout. Returns final `done`.
   bool run_until_done(const bool& done, SimDuration timeout);
@@ -176,6 +188,7 @@ class Network {
   sim::EventQueue events_;
   Topology topo_;
   SimDuration control_latency_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::vector<Endpoint> endpoints_;
   std::uint32_t xid_ = 1;
 

@@ -40,6 +40,34 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
   SimTime start{};
   bool finished = false;
 
+  // --- telemetry -----------------------------------------------------------
+  // All recovery/progress tallies live in a MetricsRegistry — the network's
+  // when telemetry is attached (so they surface in run reports), otherwise
+  // a private one — and ExecutionReport fields are *derived* from counter
+  // deltas when the run ends, never hand-incremented in parallel. The
+  // registry is cumulative across runs, hence the base_ snapshot.
+  telemetry::Telemetry* tele = nullptr;
+  telemetry::MetricsRegistry local_metrics;
+  struct Ctr {
+    telemetry::Counter* issued = nullptr;
+    telemetry::Counter* rejected = nullptr;
+    telemetry::Counter* scheduling_rounds = nullptr;
+    telemetry::Counter* deadline_misses = nullptr;
+    telemetry::Counter* timeouts = nullptr;
+    telemetry::Counter* retries = nullptr;
+    telemetry::Counter* echo_probes = nullptr;
+    telemetry::Counter* failed_requests = nullptr;
+  } ctr;
+  /// Counter values at run start (this run's report = value - base).
+  struct CtrBase {
+    std::uint64_t issued = 0, rejected = 0, scheduling_rounds = 0,
+                  deadline_misses = 0, timeouts = 0, retries = 0,
+                  echo_probes = 0, failed_requests = 0;
+  } ctr0;
+  telemetry::Histogram* latency_hist = nullptr;
+  /// Issue timestamps for request spans; sized only when telemetry is on.
+  std::vector<SimTime> issue_time;
+
   std::vector<std::size_t> remaining_preds;
   /// True once sent — or tombstoned by a failure before sending.
   std::vector<bool> issued;
@@ -84,13 +112,51 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
       remaining_preds[id] = dag.predecessors(id).size();
       if (remaining_preds[id] == 0) pending.push_back(id);
     }
+
+    tele = network.telemetry();
+    auto& reg = tele != nullptr ? tele->metrics : local_metrics;
+    ctr.issued = &reg.counter("executor.issued");
+    ctr.rejected = &reg.counter("executor.rejected");
+    ctr.scheduling_rounds = &reg.counter("executor.scheduling_rounds");
+    ctr.deadline_misses = &reg.counter("executor.deadline_misses");
+    ctr.timeouts = &reg.counter("executor.timeouts");
+    ctr.retries = &reg.counter("executor.retries");
+    ctr.echo_probes = &reg.counter("executor.echo_probes");
+    ctr.failed_requests = &reg.counter("executor.failed_requests");
+    ctr0 = CtrBase{ctr.issued->value(),          ctr.rejected->value(),
+                   ctr.scheduling_rounds->value(), ctr.deadline_misses->value(),
+                   ctr.timeouts->value(),        ctr.retries->value(),
+                   ctr.echo_probes->value(),     ctr.failed_requests->value()};
+    if (tele != nullptr) {
+      latency_hist = &reg.histogram(
+          "executor.request_latency_ms",
+          {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+      issue_time.assign(n, SimTime{});
+    }
+  }
+
+  /// Derive the report's tallies from the registry — the counters are the
+  /// single source of truth; the report is a per-run view over them.
+  void finalize_report() {
+    report.issued = ctr.issued->value() - ctr0.issued;
+    report.rejected = ctr.rejected->value() - ctr0.rejected;
+    report.scheduling_rounds =
+        ctr.scheduling_rounds->value() - ctr0.scheduling_rounds;
+    report.deadline_misses =
+        ctr.deadline_misses->value() - ctr0.deadline_misses;
+    report.timeouts = ctr.timeouts->value() - ctr0.timeouts;
+    report.retries = ctr.retries->value() - ctr0.retries;
+    report.echo_probes = ctr.echo_probes->value() - ctr0.echo_probes;
+    report.failed_requests =
+        ctr.failed_requests->value() - ctr0.failed_requests;
   }
 
   void send(std::size_t id) {
     issued[id] = true;
-    ++report.issued;
+    ctr.issued->inc();
     attempts[id] = 1;
     ++in_flight[dag.request(id).location];
+    if (tele != nullptr) issue_time[id] = network.now();
     post_attempt(id);
   }
 
@@ -117,12 +183,20 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     if (finished || terminal[id]) return;
     terminal[id] = true;
     ++done_count;
-    if (!accepted) ++report.rejected;
+    if (!accepted) ctr.rejected->inc();
     const auto& req = dag.request(id);
     auto& fl = in_flight[req.location];
     if (fl > 0) --fl;
     if (req.deadline.has_value() && at - start > *req.deadline) {
-      ++report.deadline_misses;
+      ctr.deadline_misses->inc();
+    }
+    if (tele != nullptr) {
+      tele->trace.span(
+          "executor", "request", req.location, issue_time[id], at,
+          {telemetry::arg("id", std::uint64_t{id}),
+           telemetry::arg("attempts", std::uint64_t{attempts[id]}),
+           telemetry::arg("accepted", accepted)});
+      latency_hist->observe((at - issue_time[id]).ms());
     }
     if (options.on_complete) options.on_complete(id, accepted);
     for (std::size_t succ : dag.successors(id)) {
@@ -138,8 +212,12 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
   void on_timeout(std::size_t id, std::uint64_t gen) {
     if (finished || terminal[id]) return;
     if (gen != attempt_gen[id]) return;  // a newer attempt superseded this one
-    ++report.timeouts;
+    ctr.timeouts->inc();
     const SwitchId loc = dag.request(id).location;
+    if (tele != nullptr) {
+      tele->trace.instant("executor", "timeout", loc, network.now(),
+                          {telemetry::arg("id", std::uint64_t{id})});
+    }
     if (dead.count(loc) != 0) {
       fail_request(id);
       dispatch();
@@ -150,7 +228,12 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
       const SimDuration backoff =
           options.backoff_base * (std::int64_t{1} << (attempts[id] - 1));
       ++attempts[id];
-      ++report.retries;
+      ctr.retries->inc();
+      if (tele != nullptr) {
+        tele->trace.instant("executor", "retry", loc, network.now(),
+                            {telemetry::arg("id", std::uint64_t{id}),
+                             telemetry::arg("backoff_ns", backoff.ns())});
+      }
       auto self = shared_from_this();
       network.events().schedule_after(backoff, [self, id]() {
         if (self->finished || self->terminal[id]) return;
@@ -185,7 +268,11 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
       return;
     }
     ++probe->sent;
-    ++report.echo_probes;
+    ctr.echo_probes->inc();
+    if (tele != nullptr) {
+      tele->trace.instant("executor", "echo_probe", loc, network.now(),
+                          {telemetry::arg("id", std::uint64_t{id})});
+    }
     auto self = shared_from_this();
     const std::uint32_t xid = network.post_echo(loc, [self, loc, id, probe]() {
       if (self->finished || probe->answered) return;
@@ -217,7 +304,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
       // The connection works; the losses were transient. Fresh round.
       ++rescued[id];
       attempts[id] = 1;
-      ++report.retries;
+      ctr.retries->inc();
       log::warn("executor: switch " + std::to_string(loc) +
                 " alive, rescuing request " + std::to_string(id));
       post_attempt(id);
@@ -230,6 +317,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
   void fail_request(std::size_t id) {
     if (terminal[id]) return;
     const SwitchId loc = dag.request(id).location;
+    const bool was_issued = issued[id];
     if (issued[id]) {
       auto& fl = in_flight[loc];
       if (fl > 0) --fl;
@@ -240,7 +328,20 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     }
     terminal[id] = true;
     ++done_count;
-    ++report.failed_requests;
+    ctr.failed_requests->inc();
+    if (tele != nullptr) {
+      if (was_issued) {
+        // The lifecycle span still closes — failure is an end state, not
+        // a missing one.
+        tele->trace.span("executor", "request_failed", loc, issue_time[id],
+                         network.now(),
+                         {telemetry::arg("id", std::uint64_t{id}),
+                          telemetry::arg("attempts", std::uint64_t{attempts[id]})});
+      } else {
+        tele->trace.instant("executor", "abandoned", loc, network.now(),
+                            {telemetry::arg("id", std::uint64_t{id})});
+      }
+    }
     if (options.on_failed) options.on_failed(id);
     // Successors wait on a completion that will never come; abandoning
     // them (transitively) is what keeps lost_requests at zero.
@@ -252,6 +353,10 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
   void fail_switch(SwitchId loc) {
     if (!dead.insert(loc).second) return;
     report.failed_switches.insert(loc);
+    if (tele != nullptr) {
+      tele->trace.instant("executor", "switch_dead", loc, network.now());
+      tele->metrics.counter("executor.switches_declared_dead").inc();
+    }
     log::warn("executor: switch " + std::to_string(loc) +
               " declared dead (no ECHO reply)");
     for (std::size_t id = 0; id < n; ++id) {
@@ -263,7 +368,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
   void dispatch() {
     if (finished) return;
     if (pending_dirty) {
-      ++report.scheduling_rounds;
+      ctr.scheduling_rounds->inc();
       ordered = scheduler.order(dag, pending);
       pending_dirty = false;
     }
@@ -404,10 +509,30 @@ ExecutionReport execute(net::Network& network, const RequestDag& dag,
   }
   // Timers still queued beyond this point hold the state alive and no-op.
   st->finished = true;
+  st->finalize_report();
   st->report.makespan = network.now() - st->start;
   st->report.lost_requests = st->n - st->done_count;
   assert(st->report.lost_requests == 0 || !st->retry_enabled());
   report_fault_deltas(network, faults_before, st->report);
+  if (auto* t = network.telemetry()) {
+    t->trace.span(
+        "executor", "execute", telemetry::TraceCollector::kControllerLane,
+        st->start, network.now(),
+        {telemetry::arg("requests", std::uint64_t{st->n}),
+         telemetry::arg("issued", std::uint64_t{st->report.issued}),
+         telemetry::arg("failed", std::uint64_t{st->report.failed_requests}),
+         telemetry::arg("makespan_ns", st->report.makespan.ns())});
+    t->metrics.counter("executor.runs").inc();
+    // Mirror the fault-injector deltas this run caused: the registry is
+    // where FaultStats surfaces for reports (crashes/stalls are counted at
+    // the channel as they happen).
+    t->metrics.counter("faults.dropped_to_switch")
+        .inc(st->report.fault_dropped_to_switch);
+    t->metrics.counter("faults.dropped_to_controller")
+        .inc(st->report.fault_dropped_to_controller);
+    t->metrics.counter("faults.lost_to_crash")
+        .inc(st->report.fault_lost_to_crash);
+  }
   return st->report;
 }
 

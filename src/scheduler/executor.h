@@ -76,6 +76,11 @@ struct ExecutorOptions {
   std::function<void(std::size_t id)> on_failed;
 };
 
+// Progress/recovery tallies are kept in a telemetry::MetricsRegistry during
+// the run (the network's registry when telemetry is attached, a private one
+// otherwise) under "executor.*" names; the report's count fields are
+// derived from counter deltas when execute() returns — one source of truth,
+// two views.
 struct ExecutionReport {
   SimDuration makespan{};
   std::size_t issued = 0;

@@ -42,6 +42,7 @@ of::FlowMod erase_strict(const of::Match& match, std::uint16_t priority) {
 UpdateTransaction::UpdateTransaction(net::Network& network, RequestDag dag,
                                      TransactionOptions options)
     : network_(network), dag_(std::move(dag)), options_(std::move(options)) {
+  const SimTime phase_begin = network_.now();
   static std::uint32_t next_txn_id = 1;
   txn_id_ = options_.txn_id != 0 ? options_.txn_id : next_txn_id++;
   report_.txn_id = txn_id_;
@@ -150,9 +151,35 @@ UpdateTransaction::UpdateTransaction(net::Network& network, RequestDag dag,
     const auto* injector = network_.fault_injector(sw);
     crashes_at_begin_[sw] = injector ? injector->stats().crashes : 0;
   }
+
+  if (auto* t = network_.telemetry()) {
+    t->trace.span("txn", "journal",
+                  telemetry::TraceCollector::kControllerLane, phase_begin,
+                  network_.now(),
+                  {telemetry::arg("txn", std::uint64_t{txn_id_}),
+                   telemetry::arg("entries", std::uint64_t{journal_.size()}),
+                   telemetry::arg("switches", std::uint64_t{affected.size()})});
+    t->metrics.counter("txn.journaled_entries").inc(journal_.size());
+  }
 }
 
 const TransactionReport& UpdateTransaction::commit(UpdateScheduler& scheduler) {
+  const SimTime commit_begin = network_.now();
+  auto* tele = network_.telemetry();
+  /// One "commit" span per call, recorded at whichever exit is taken;
+  /// nested under it are the executor's own "execute" span and, on the
+  /// recovery path, the "reconcile" span.
+  auto close_commit_span = [&] {
+    if (tele == nullptr) return;
+    tele->trace.span("txn", "commit",
+                     telemetry::TraceCollector::kControllerLane, commit_begin,
+                     network_.now(),
+                     {telemetry::arg("txn", std::uint64_t{txn_id_}),
+                      telemetry::arg("committed", report_.committed),
+                      telemetry::arg("reconciled", report_.reconciled)});
+    tele->metrics.counter("txn.commits").inc();
+    if (!report_.committed) tele->metrics.counter("txn.failed_commits").inc();
+  };
   ExecutorOptions exec = options_.exec;
   exec.on_complete = [this](std::size_t id, bool accepted) {
     const auto it = journal_of_dag_.find(id);
@@ -190,6 +217,7 @@ const TransactionReport& UpdateTransaction::commit(UpdateScheduler& scheduler) {
     // Fault-free fast path: the journal stays as evidence, nothing extra
     // touches the network.
     report_.committed = report_.unreconciled.empty();
+    close_commit_span();
     return report_;
   }
 
@@ -200,10 +228,12 @@ const TransactionReport& UpdateTransaction::commit(UpdateScheduler& scheduler) {
             " failed request(s) -> reconciling (" +
             to_string(options_.policy) + ")");
   reconcile();
+  close_commit_span();
   return report_;
 }
 
 void UpdateTransaction::reconcile() {
+  const SimTime phase_begin = network_.now();
   report_.reconciled = true;
   const bool forward = options_.policy == RecoveryPolicy::kRollForward;
   const auto& desired = forward ? post_ : pre_;
@@ -248,12 +278,41 @@ void UpdateTransaction::reconcile() {
   report_.readback_lost += stats.readback_lost;
   report_.unreconciled = stats.unreconciled;
   report_.committed = stats.converged;
+
+  if (auto* t = network_.telemetry()) {
+    t->trace.span("txn", "reconcile",
+                  telemetry::TraceCollector::kControllerLane, phase_begin,
+                  network_.now(),
+                  {telemetry::arg("txn", std::uint64_t{txn_id_}),
+                   telemetry::arg("rounds", std::uint64_t{stats.rounds}),
+                   telemetry::arg("repairs", std::uint64_t{stats.repairs_issued}),
+                   telemetry::arg("converged", stats.converged)});
+    t->metrics.counter("txn.reconciliations").inc();
+    t->metrics.counter("txn.repairs_issued").inc(stats.repairs_issued);
+    t->metrics.counter("txn.stale_rules_removed")
+        .inc(stats.stale_rules_removed);
+    t->metrics.counter("txn.readback_requests").inc(stats.readback_requests);
+    t->metrics.counter("txn.readback_lost").inc(stats.readback_lost);
+  }
 }
 
 const VerifierReport& UpdateTransaction::verify(
     const std::vector<FlowCheck>& flows) {
+  const SimTime phase_begin = network_.now();
   ConsistencyVerifier verifier(network_);
   report_.verify = verifier.verify(flows);
+  if (auto* t = network_.telemetry()) {
+    t->trace.span("txn", "verify",
+                  telemetry::TraceCollector::kControllerLane, phase_begin,
+                  network_.now(),
+                  {telemetry::arg("txn", std::uint64_t{txn_id_}),
+                   telemetry::arg("flows", std::uint64_t{flows.size()}),
+                   telemetry::arg("violations",
+                                  std::uint64_t{report_.verify.violations.size()})});
+    t->metrics.counter("txn.verified_flows").inc(flows.size());
+    t->metrics.counter("txn.verify_violations")
+        .inc(report_.verify.violations.size());
+  }
   return report_.verify;
 }
 

@@ -7,6 +7,11 @@ namespace tango::core {
 ProbeEngine::ProbeEngine(net::Network& network, SwitchId switch_id)
     : network_(network), switch_id_(switch_id) {}
 
+void ProbeEngine::count(telemetry::Counter& local, const char* global_name) {
+  local.inc();
+  if (auto* t = network_.telemetry()) t->metrics.counter(global_name).inc();
+}
+
 namespace {
 
 of::MacAddr probe_mac(std::uint32_t index) {
@@ -61,9 +66,9 @@ bool ProbeEngine::install(std::uint32_t index, std::uint16_t priority,
        ++attempt) {
     const auto r = network_.install(switch_id_, fm, recovery_.sync_timeout);
     if (!r.lost) return r.accepted;
-    ++lost_commands_;
+    count(lost_commands_, "probe.lost_commands");
   }
-  ++abandoned_installs_;
+  count(abandoned_installs_, "probe.abandoned_installs");
   return false;
 }
 
@@ -73,11 +78,11 @@ SimTime ProbeEngine::sync_barrier() {
     const auto arrival =
         network_.try_barrier_sync(switch_id_, recovery_.sync_timeout);
     if (arrival.has_value()) return *arrival;
-    ++lost_commands_;
+    count(lost_commands_, "probe.lost_commands");
   }
   // Every barrier vanished; fall back to the clock so the caller can at
   // least make progress (the measurement is marked lossy regardless).
-  ++abandoned_installs_;
+  count(abandoned_installs_, "probe.abandoned_installs");
   return network_.now();
 }
 
@@ -89,7 +94,7 @@ void ProbeEngine::clear_rules() {
        ++attempt) {
     const auto r = network_.install(switch_id_, fm, recovery_.sync_timeout);
     if (!r.lost) break;
-    ++lost_commands_;
+    count(lost_commands_, "probe.lost_commands");
   }
   sync_barrier();
 }
@@ -100,9 +105,9 @@ std::optional<SimDuration> ProbeEngine::try_probe(std::uint32_t index) {
        ++attempt) {
     const auto r = network_.probe(switch_id_, header, recovery_.sync_timeout);
     if (!r.lost) return r.rtt;
-    ++lost_probes_;
+    count(lost_probes_, "probe.lost_probes");
   }
-  ++abandoned_probes_;
+  count(abandoned_probes_, "probe.abandoned_probes");
   return std::nullopt;
 }
 
@@ -112,6 +117,7 @@ SimDuration ProbeEngine::probe_flow(std::uint32_t index) {
 
 SimDuration ProbeEngine::timed_batch(const std::vector<of::FlowMod>& commands,
                                      std::size_t* rejected) {
+  const SimTime batch_begin = network_.now();
   const SimTime start = sync_barrier();
   // Heap-held counter: under faults a duplicated completion notice can
   // arrive after this function returned.
@@ -123,16 +129,24 @@ SimDuration ProbeEngine::timed_batch(const std::vector<of::FlowMod>& commands,
   }
   const SimTime done = sync_barrier();
   if (rejected != nullptr) *rejected = *rejections;
+  if (auto* t = network_.telemetry()) {
+    t->trace.span("probe", "timed_batch", switch_id_, batch_begin, done,
+                  {telemetry::arg("commands", std::uint64_t{commands.size()}),
+                   telemetry::arg("rejected", std::uint64_t{*rejections}),
+                   telemetry::arg("span_ns", (done - start).ns())});
+    t->metrics.counter("probe.timed_batches").inc();
+  }
   return done - start;
 }
 
 PatternMeasurement ProbeEngine::apply(const TangoPattern& pattern, ScoreDb* scores) {
+  const SimTime round_begin = network_.now();
   PatternMeasurement m;
   m.pattern = pattern.name;
   m.switch_id = switch_id_;
   m.install_time = timed_batch(pattern.commands, &m.rejected);
   m.rtts.reserve(pattern.traffic.size());
-  const std::size_t lost_before = lost_probes_ + abandoned_probes_;
+  const std::size_t lost_before = lost_probes() + abandoned_probes();
   for (const auto& header : pattern.traffic) {
     for (std::size_t attempt = 0;; ++attempt) {
       const auto r = network_.probe(switch_id_, header, recovery_.sync_timeout);
@@ -140,15 +154,26 @@ PatternMeasurement ProbeEngine::apply(const TangoPattern& pattern, ScoreDb* scor
         m.rtts.push_back(r.rtt);
         break;
       }
-      ++lost_probes_;
+      count(lost_probes_, "probe.lost_probes");
       if (attempt >= recovery_.max_probe_retries) {
-        ++abandoned_probes_;
+        count(abandoned_probes_, "probe.abandoned_probes");
         m.rtts.push_back(SimDuration{});
         break;
       }
     }
   }
-  m.lost_probes = lost_probes_ + abandoned_probes_ - lost_before;
+  m.lost_probes = lost_probes() + abandoned_probes() - lost_before;
+  if (auto* t = network_.telemetry()) {
+    // One span per probe round: pattern application end-to-end (install,
+    // barrier, traffic) on the probed switch's lane.
+    t->trace.span("probe", "pattern", switch_id_, round_begin, network_.now(),
+                  {telemetry::arg_str("pattern", pattern.name),
+                   telemetry::arg("rtts", std::uint64_t{m.rtts.size()}),
+                   telemetry::arg("lost", std::uint64_t{m.lost_probes}),
+                   telemetry::arg("install_ns", m.install_time.ns())});
+    t->metrics.counter("probe.pattern_rounds").inc();
+    t->metrics.counter("probe.rtts_collected").inc(m.rtts.size());
+  }
   if (scores != nullptr) scores->record(m);
   return m;
 }

@@ -45,15 +45,23 @@ class ProbeEngine {
   void set_recovery(const Recovery& r) { recovery_ = r; }
   [[nodiscard]] const Recovery& recovery() const { return recovery_; }
 
+  // Loss tallies are telemetry::Counter instruments: per-engine values here
+  // (each engine probes one switch), mirrored into the network's
+  // MetricsRegistry under "probe.*" when telemetry is attached so run
+  // reports see the fleet-wide totals.
   /// Probe packets that vanished and were re-sent.
-  [[nodiscard]] std::size_t lost_probes() const { return lost_probes_; }
+  [[nodiscard]] std::size_t lost_probes() const { return lost_probes_.value(); }
   /// Commands/barriers that vanished and were re-sent.
-  [[nodiscard]] std::size_t lost_commands() const { return lost_commands_; }
+  [[nodiscard]] std::size_t lost_commands() const {
+    return lost_commands_.value();
+  }
   /// Probes given up on after max_probe_retries re-sends.
-  [[nodiscard]] std::size_t abandoned_probes() const { return abandoned_probes_; }
+  [[nodiscard]] std::size_t abandoned_probes() const {
+    return abandoned_probes_.value();
+  }
   /// Installs given up on after max_install_retries re-sends.
   [[nodiscard]] std::size_t abandoned_installs() const {
-    return abandoned_installs_;
+    return abandoned_installs_.value();
   }
 
   /// Match/packet construction for probe flow `index`. The default L3-only
@@ -99,13 +107,16 @@ class ProbeEngine {
   /// Barrier that survives loss: re-sends until a reply lands (bounded).
   SimTime sync_barrier();
 
+  /// Bump a per-engine counter and its fleet-wide registry mirror.
+  void count(telemetry::Counter& local, const char* global_name);
+
   net::Network& network_;
   SwitchId switch_id_;
   Recovery recovery_;
-  std::size_t lost_probes_ = 0;
-  std::size_t lost_commands_ = 0;
-  std::size_t abandoned_probes_ = 0;
-  std::size_t abandoned_installs_ = 0;
+  telemetry::Counter lost_probes_;
+  telemetry::Counter lost_commands_;
+  telemetry::Counter abandoned_probes_;
+  telemetry::Counter abandoned_installs_;
 };
 
 }  // namespace tango::core

@@ -1,0 +1,53 @@
+// Minimal JSON emission helpers shared by the trace exporter and the run
+// report writer. Emission only — parsing lives in the CI validator (python)
+// and the test-side mini parser.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace tango::telemetry {
+
+/// Append `s` as a quoted JSON string with the mandatory escapes.
+inline void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Append a double as a JSON number. JSON has no NaN/Inf; those degrade to
+/// null. Round-trippable via %.17g, with integral values kept integral so
+/// counters don't grow a spurious ".0".
+inline void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+}  // namespace tango::telemetry

@@ -1,0 +1,38 @@
+// Logging -> telemetry bridge: a log::Sink that tees every line that
+// passes the threshold into the trace (as an instant on the controller
+// lane, stamped with the *virtual* clock the caller provides) and into the
+// metrics registry, while still printing through the default stderr sink.
+// Install with log::set_sink(tee_log_sink(t, [&net]{ return net.now(); }));
+// remove with log::set_sink({}).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/logging.h"
+#include "telemetry/trace.h"
+
+namespace tango::telemetry {
+
+inline const char* level_name(log::Level level) {
+  switch (level) {
+    case log::Level::kDebug: return "debug";
+    case log::Level::kInfo: return "info";
+    case log::Level::kWarn: return "warn";
+    case log::Level::kError: return "error";
+    case log::Level::kOff: return "off";
+  }
+  return "?";
+}
+
+inline log::Sink tee_log_sink(Telemetry& t, std::function<SimTime()> now) {
+  return [&t, now = std::move(now)](log::Level level, const std::string& msg) {
+    const char* name = level_name(level);
+    t.trace.instant("log", name, TraceCollector::kControllerLane, now(),
+                    {arg_str("msg", msg)});
+    t.metrics.counter(std::string("log.") + name).inc();
+    log::default_sink(level, msg);
+  };
+}
+
+}  // namespace tango::telemetry

@@ -1,0 +1,67 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tango::telemetry {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  // First bound >= v: upper-inclusive buckets. v above every bound lands
+  // in the overflow slot that lower_bound naturally points at.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const auto it = counter_ix_.find(name);
+  if (it != counter_ix_.end()) return *it->second;
+  counters_.emplace_back();
+  return *(counter_ix_[name] = &counters_.back());
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const auto it = gauge_ix_.find(name);
+  if (it != gauge_ix_.end()) return *it->second;
+  gauges_.emplace_back();
+  return *(gauge_ix_[name] = &gauges_.back());
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = histogram_ix_.find(name);
+  if (it != histogram_ix_.end()) return *it->second;
+  histograms_.emplace_back(std::move(bounds));
+  return *(histogram_ix_[name] = &histograms_.back());
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counter_ix_.find(name);
+  return it == counter_ix_.end() ? nullptr : it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauge_ix_.find(name);
+  return it == gauge_ix_.end() ? nullptr : it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histogram_ix_.find(name);
+  return it == histogram_ix_.end() ? nullptr : it->second;
+}
+
+}  // namespace tango::telemetry

@@ -1,0 +1,110 @@
+// Metrics registry for the control plane: counters, gauges, and
+// fixed-bucket histograms.
+//
+// Designed for the simulator's hot paths: registration (by name) allocates
+// and may rehash, but every instrument hands back a stable reference whose
+// update methods never allocate — components look their instruments up once
+// at attach time and bump plain integers afterwards. Instruments live in
+// deques so references stay valid for the registry's lifetime; the name
+// index is an ordered map so snapshots serialize in a stable order.
+//
+// Everything here is deterministic: no clocks, no randomness — the same
+// run produces the same snapshot byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tango::telemetry {
+
+/// Monotone event count. Update is a single add; read is a load.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bound[i]
+/// (upper-inclusive, like Prometheus "le"); one implicit overflow bucket
+/// catches everything above the last bound. Bounds are fixed at
+/// registration; observe() is a binary search plus three adds — no
+/// allocation, no floating accumulation surprises beyond the sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Min/max of observed values; both 0 when count() == 0.
+  [[nodiscard]] double min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0 : max_; }
+
+ private:
+  std::vector<double> bounds_;        // sorted ascending
+  std::vector<std::uint64_t> counts_; // bounds_.size() + 1
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Name -> instrument store. Get-or-create by name; first caller wins on
+/// histogram bounds. Names are dotted paths ("executor.retries") — see
+/// docs/OBSERVABILITY.md for the registry's naming taxonomy.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Lookup without creating; nullptr when the name was never registered.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Iteration in name order (stable across runs).
+  [[nodiscard]] const std::map<std::string, Counter*>& counters() const {
+    return counter_ix_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge*>& gauges() const {
+    return gauge_ix_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram*>& histograms() const {
+    return histogram_ix_;
+  }
+
+ private:
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*> counter_ix_;
+  std::map<std::string, Gauge*> gauge_ix_;
+  std::map<std::string, Histogram*> histogram_ix_;
+};
+
+}  // namespace tango::telemetry

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate telemetry artifacts emitted by the benches.
+
+Checks two things, with stdlib json only:
+
+  1. A run report (BENCH_<name>.json) parses, carries the
+     tango.run_report.v1 schema, and has every required top-level key.
+
+  2. Optionally, a Chrome trace (BENCH_<name>.trace.json) parses, has
+     well-formed trace events, and — when the report carries a
+     trace_makespan_ns result — the per-switch lanes *reconstruct* that
+     makespan: the latest end of any executor request span across the
+     switch lanes, relative to the start of the controller's execute span,
+     must equal the execute span's duration and the reported makespan.
+
+Usage:
+  tools/validate_telemetry.py BENCH_fig10_network_wide.json \
+      [BENCH_fig10_network_wide.trace.json]
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+REPORT_SCHEMA = "tango.run_report.v1"
+REPORT_KEYS = [
+    "schema", "name", "results", "rows",
+    "counters", "gauges", "histograms", "spans",
+]
+# Sim-time in the trace is microseconds with ns precision (3 decimals);
+# allow one ns of slack per comparison.
+EPS_US = 0.002
+
+
+def fail(msg):
+    print(f"validate_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    for key in REPORT_KEYS:
+        if key not in report:
+            fail(f"{path}: missing top-level key {key!r}")
+    if report["schema"] != REPORT_SCHEMA:
+        fail(f"{path}: schema {report['schema']!r} != {REPORT_SCHEMA!r}")
+    for name, value in report["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name!r} is not a non-negative integer")
+    for name, h in report["histograms"].items():
+        if len(h["counts"]) != len(h["bounds"]) + 1:
+            fail(f"{path}: histogram {name!r}: counts/bounds length mismatch")
+        if sum(h["counts"]) != h["count"]:
+            fail(f"{path}: histogram {name!r}: bucket counts do not sum to count")
+    for span in report["spans"]:
+        for key in ("cat", "name", "lane", "begin_ns", "dur_ns"):
+            if key not in span:
+                fail(f"{path}: span missing key {key!r}")
+    print(f"  report ok: {path} ({len(report['rows'])} rows, "
+          f"{len(report['counters'])} counters, {len(report['spans'])} spans)")
+    return report
+
+
+def validate_trace(path, report):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents array")
+    for ev in events:
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                fail(f"{path}: event missing key {key!r}: {ev}")
+        if ev["ph"] == "X" and "dur" not in ev:
+            fail(f"{path}: complete span missing dur: {ev}")
+
+    lanes = {ev["args"]["name"]: ev["tid"] for ev in events
+             if ev["ph"] == "M" and ev["name"] == "thread_name"}
+    if 0 not in lanes.values():
+        fail(f"{path}: no controller lane (tid 0) metadata")
+    switch_lanes = {tid for tid in lanes.values() if tid != 0}
+    if not switch_lanes:
+        fail(f"{path}: no per-switch lanes")
+
+    execute = [ev for ev in events
+               if ev["ph"] == "X" and ev["name"] == "execute" and ev["tid"] == 0]
+    if not execute:
+        fail(f"{path}: no executor 'execute' span on the controller lane")
+    run = execute[-1]
+
+    # Reconstruct the makespan from the switch lanes alone: the last end of
+    # any request span, measured from the execute span's start.
+    requests = [ev for ev in events
+                if ev["ph"] == "X" and ev["name"] == "request"
+                and ev["tid"] in switch_lanes
+                and ev["ts"] + ev["dur"] >= run["ts"] - EPS_US]
+    if not requests:
+        fail(f"{path}: no per-switch request spans inside the execute span")
+    last_end = max(ev["ts"] + ev["dur"] for ev in requests)
+    reconstructed_us = last_end - run["ts"]
+    if abs(reconstructed_us - run["dur"]) > EPS_US:
+        fail(f"{path}: per-switch lanes reconstruct {reconstructed_us:.3f} us "
+             f"but the execute span reports {run['dur']:.3f} us")
+
+    reported_ns = report.get("results", {}).get("trace_makespan_ns")
+    if reported_ns is not None:
+        if abs(reconstructed_us - reported_ns / 1e3) > EPS_US:
+            fail(f"{path}: reconstructed makespan {reconstructed_us:.3f} us "
+                 f"!= reported trace_makespan_ns {reported_ns / 1e3:.3f} us")
+    print(f"  trace ok: {path} ({len(events)} events, "
+          f"{len(switch_lanes)} switch lanes, "
+          f"makespan {reconstructed_us / 1e6:.6f} s reconstructed)")
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    report = validate_report(argv[1])
+    if len(argv) == 3:
+        validate_trace(argv[2], report)
+    print("validate_telemetry: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
