@@ -1,0 +1,286 @@
+#include "chaos/harness.h"
+
+#include <set>
+
+#include "apps/acl_compiler.h"
+#include "common/logging.h"
+#include "net/network.h"
+#include "scheduler/reconciler.h"
+#include "scheduler/schedulers.h"
+#include "switchsim/profiles.h"
+#include "tango/probe_engine.h"
+#include "workload/classbench.h"
+#include "workload/scenarios.h"
+
+namespace tango::chaos {
+
+namespace {
+
+namespace profiles = switchsim::profiles;
+
+/// Zero the profile's latency jitter: chaos runs vary the *fault* schedule,
+/// not the switch timing, so every divergence is attributable to faults.
+switchsim::SwitchProfile quiet(switchsim::SwitchProfile profile) {
+  profile.costs.jitter_frac = 0;
+  profile.paths.jitter_frac = 0;
+  return profile;
+}
+
+void preinstall(net::Network& net, SwitchId id, std::uint32_t count) {
+  core::ProbeEngine probe(net, id);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    probe.install(i, static_cast<std::uint16_t>(100 + (i * 7) % 900));
+  }
+  net.barrier_sync(id);
+}
+
+/// Build the workload DAG and lay down its pre-state. Returns whether the
+/// verifier oracle may assert per-rule cookies (false for ACLs, whose
+/// first-match-wins overlap makes same-transaction shadowing legitimate).
+bool build_workload(const ChaosSpec& spec, net::Network& net,
+                    const workload::TestbedIds& tb, sched::RequestDag& dag) {
+  const auto params = params_of(spec.horizon);
+  const auto n = static_cast<std::uint32_t>(params.workload_size);
+  Rng rng(spec.seed * 7919 + 17);
+  switch (spec.workload) {
+    case Workload::kFig10:
+      preinstall(net, tb.s1, n);
+      dag = workload::link_failure_scenario(tb, n, rng, 0);
+      return true;
+    case Workload::kTrafficEngineering:
+      preinstall(net, tb.s1, n);
+      preinstall(net, tb.s2, n);
+      preinstall(net, tb.s3, n);
+      // existing_flows == n_requests, so every MOD/DEL hits a distinct
+      // preinstalled index — the journal's no-rule-races assumption holds.
+      dag = workload::traffic_engineering_scenario(tb, n, 2, 1, 1, rng,
+                                                   /*first_index=*/1000, n);
+      return true;
+    case Workload::kAcl: {
+      workload::ClassbenchProfile profile;
+      profile.name = "chaos";
+      profile.n_rules = params.workload_size;
+      profile.seed = spec.seed;
+      apps::AclCompileOptions opts;
+      opts.target = tb.s1;
+      opts.consistent = true;
+      dag = apps::compile_acl(workload::generate_classbench(profile), opts).dag;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Lower the schedule onto per-switch injector configs, offsets rebased to
+/// absolute times at `t0` (commit start).
+net::FaultConfig config_for(const ChaosSchedule& schedule, SwitchId id,
+                            SimTime t0) {
+  net::FaultConfig cfg;
+  cfg.drop_to_switch = schedule.base_loss;
+  cfg.drop_to_controller = schedule.base_loss;
+  cfg.seed = schedule.spec.seed * 1000003 + id;
+  for (const auto& ev : schedule.events) {
+    if (ev.target != id) continue;
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+        cfg.crashes.push_back({t0 + ev.at, ev.duration});
+        break;
+      case FaultKind::kStall:
+        cfg.stalls.push_back({t0 + ev.at, ev.duration});
+        break;
+      case FaultKind::kPartition:
+        cfg.partitions.push_back({t0 + ev.at, ev.duration});
+        break;
+      case FaultKind::kLossBurst:
+        cfg.loss_bursts.push_back({t0 + ev.at, ev.duration, ev.drop, ev.drop});
+        break;
+    }
+  }
+  return cfg;
+}
+
+// --- fingerprint ------------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fold(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void fold_str(std::uint64_t& h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  fold(h, s.size());
+}
+
+std::uint64_t fingerprint_of(const ChaosResult& r,
+                             const std::map<SwitchId, sched::TableImage>& tables) {
+  std::uint64_t h = kFnvOffset;
+  const auto& exec = r.report.exec;
+  fold(h, static_cast<std::uint64_t>(exec.makespan.ns()));
+  fold(h, exec.issued);
+  fold(h, exec.rejected);
+  fold(h, exec.timeouts);
+  fold(h, exec.retries);
+  fold(h, exec.echo_probes);
+  fold(h, exec.failed_requests);
+  fold(h, exec.lost_requests);
+  fold(h, r.report.committed ? 1 : 0);
+  fold(h, r.report.reconciled ? 1 : 0);
+  fold(h, r.report.reconcile_rounds);
+  fold(h, r.report.repairs_issued);
+  fold(h, r.report.stale_rules_removed);
+  fold(h, r.report.readback_requests);
+  fold(h, r.report.readback_lost);
+  for (const auto& [id, stats] : r.fault_stats) {
+    fold(h, id);
+    fold(h, stats.dropped_to_switch);
+    fold(h, stats.dropped_to_controller);
+    fold(h, stats.duplicated);
+    fold(h, stats.reordered);
+    fold(h, stats.corrupted);
+    fold(h, stats.undecodable);
+    fold(h, stats.notifications_dropped);
+    fold(h, stats.lost_to_crash);
+    fold(h, stats.lost_to_down);
+    fold(h, stats.stalls);
+    fold(h, stats.crashes);
+    fold(h, stats.partitions);
+    fold(h, stats.lost_to_partition);
+  }
+  for (const auto& [id, image] : tables) {
+    fold(h, id);
+    for (const auto& [key, rule] : image) {
+      fold_str(h, key);
+      fold(h, rule.cookie);
+      fold(h, rule.priority);
+      fold(h, rule.actions.size());
+      fold(h, of::output_port(rule.actions));
+    }
+  }
+  fold(h, static_cast<std::uint64_t>(r.end_time.ns()));
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::string> ChaosResult::violation_names() const {
+  std::vector<std::string> out;
+  for (const auto& v : violations) {
+    bool seen = false;
+    for (const auto& name : out) seen = seen || name == v.oracle;
+    if (!seen) out.push_back(v.oracle);
+  }
+  return out;
+}
+
+ChaosResult run_chaos(const ChaosSchedule& schedule) {
+  ChaosResult out;
+  out.schedule = schedule;
+  const auto& spec = schedule.spec;
+
+  net::Network net;
+  workload::TestbedIds tb;
+  tb.s1 = net.add_switch(quiet(profiles::switch1()));
+  tb.s2 = net.add_switch(quiet(profiles::switch1()));
+  tb.s3 = net.add_switch(quiet(profiles::switch3()));
+  const std::vector<SwitchId> all = {tb.s1, tb.s2, tb.s3};
+
+  sched::RequestDag dag;
+  const bool cookie_checks = build_workload(spec, net, tb, dag);
+
+  // Baseline images of every switch before the transaction: the re-sync
+  // target for a late crash on a switch the transaction never touched.
+  std::map<SwitchId, sched::TableImage> baseline;
+  for (const auto id : all) {
+    baseline.emplace(id,
+                     sched::image_of(net.sw(id).flow_stats(of::Match::any())));
+  }
+
+  sched::TransactionOptions topts;
+  topts.policy = spec.policy;
+  // Pinned so cookies replay identically; never 0 (0 draws a fresh id).
+  topts.txn_id = static_cast<std::uint32_t>(spec.seed % 0xfffff) + 1;
+  topts.exec.request_timeout = millis(200);
+  topts.exec.max_retries = 6;
+  topts.exec.backoff_base = millis(5);
+  topts.readback_timeout = millis(200);
+  topts.max_readback_retries = 6;
+  topts.max_reconcile_rounds = 6;
+
+  // Construct (snapshot + journal) over the still-clean channel, then arm
+  // the schedule relative to commit start.
+  sched::UpdateTransaction txn(net, std::move(dag), topts);
+  const SimTime t0 = net.now();
+  for (const auto id : all) {
+    net.enable_faults(id, config_for(schedule, id, t0));
+  }
+
+  sched::DionysusScheduler scheduler;
+  out.report = txn.commit(scheduler);
+
+  // Drain to quiescence: late scheduled faults (a crash landing after the
+  // commit finished) still fire here. Crashes past this point are the
+  // controller's standing re-sync duty, not the transaction's — record
+  // them and repair below, as a crash handler would.
+  std::set<SwitchId> late_crashes;
+  net.set_crash_handler([&late_crashes](SwitchId id) {
+    late_crashes.insert(id);
+  });
+  net.run_all();
+  net.set_crash_handler({});
+
+  for (const auto id : all) {
+    if (const auto* inj = net.fault_injector(id)) {
+      out.fault_stats[id] = inj->stats();
+    }
+  }
+
+  // Quiescent point: swap in clean injectors (no loss, no windows) so the
+  // oracle phase's readback traffic cannot itself be faulted.
+  for (const auto id : all) {
+    net::FaultConfig clean;
+    clean.seed = 1;
+    net.enable_faults(id, clean);
+  }
+
+  if (!late_crashes.empty()) {
+    std::set<SwitchId> in_txn;
+    for (const auto& entry : txn.journal()) in_txn.insert(entry.location);
+    std::map<SwitchId, sched::TableImage> desired;
+    for (const auto id : late_crashes) {
+      desired.emplace(id, in_txn.count(id) != 0 ? desired_image(txn, id)
+                                                : baseline.at(id));
+    }
+    sched::Reconciler reconciler(net, {});
+    const auto stats = reconciler.run(desired);
+    log::info("chaos: post-commit crash on " +
+              std::to_string(late_crashes.size()) +
+              " switch(es); re-sync issued " +
+              std::to_string(stats.repairs_issued) + " repairs");
+  }
+
+  OracleInput in;
+  in.net = &net;
+  in.txn = &txn;
+  in.schedule = &schedule;
+  in.fault_stats = out.fault_stats;
+  in.cookie_checks = cookie_checks;
+  out.violations = check_invariants(in);
+  out.end_time = net.now();
+
+  std::map<SwitchId, sched::TableImage> tables;
+  for (const auto id : all) {
+    tables.emplace(id, sched::image_of(net.sw(id).flow_stats(of::Match::any())));
+  }
+  out.fingerprint = fingerprint_of(out, tables);
+  return out;
+}
+
+}  // namespace tango::chaos

@@ -1,0 +1,49 @@
+// The chaos harness: run one workload under one fault schedule and judge
+// the outcome.
+//
+// run_chaos() builds a fresh three-switch network, preinstalls the
+// workload's pre-state, wraps the update in an UpdateTransaction, lowers
+// the schedule onto per-switch FaultInjector scheduled-event lists
+// (absolute times = commit start + event offset), commits through the
+// Dionysus scheduler, drains the event queue to a quiescent point, and
+// runs every invariant oracle (oracles.h) over the result.
+//
+// Everything is deterministic: the same ChaosSchedule always produces the
+// same virtual-time trace, byte for byte. The 64-bit `fingerprint` folds
+// the executor/transaction counters, per-switch fault stats, final table
+// images, and the final virtual clock into one value so "bit-identical
+// replay" is a single integer comparison.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/oracles.h"
+#include "chaos/schedule.h"
+#include "net/fault_injector.h"
+#include "scheduler/transaction.h"
+
+namespace tango::chaos {
+
+struct ChaosResult {
+  ChaosSchedule schedule;
+  sched::TransactionReport report;
+  std::vector<OracleViolation> violations;
+  /// FNV-1a over counters, fault stats, final tables, and the final clock.
+  std::uint64_t fingerprint = 0;
+  /// Virtual time when the run quiesced.
+  SimTime end_time{};
+  /// Per-switch injector stats captured before the oracle phase.
+  std::map<SwitchId, net::FaultStats> fault_stats;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// Oracle names, deduplicated in order — the repro metadata.
+  [[nodiscard]] std::vector<std::string> violation_names() const;
+};
+
+/// Execute one chaos run. Pure function of the schedule.
+ChaosResult run_chaos(const ChaosSchedule& schedule);
+
+}  // namespace tango::chaos

@@ -1,0 +1,480 @@
+#include "chaos/schedule.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/rng.h"
+#include "telemetry/json_util.h"
+
+namespace tango::chaos {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLossBurst: return "loss_burst";
+  }
+  return "?";
+}
+
+std::string to_string(Workload w) {
+  switch (w) {
+    case Workload::kFig10: return "fig10";
+    case Workload::kTrafficEngineering: return "te";
+    case Workload::kAcl: return "acl";
+  }
+  return "?";
+}
+
+std::string to_string(Horizon h) {
+  switch (h) {
+    case Horizon::kShort: return "short";
+    case Horizon::kMedium: return "medium";
+    case Horizon::kLong: return "long";
+  }
+  return "?";
+}
+
+HorizonParams params_of(Horizon h) {
+  switch (h) {
+    case Horizon::kShort: return {16, 6, millis(120)};
+    case Horizon::kMedium: return {48, 10, millis(300)};
+    case Horizon::kLong: return {120, 16, millis(800)};
+  }
+  return {};
+}
+
+ChaosSchedule generate_schedule(const ChaosSpec& spec) {
+  // Salt the stream so fault draws never correlate with workload or
+  // injector RNGs that also derive from spec.seed.
+  Rng rng(spec.seed * 0x9e3779b97f4a7c15ull + 0xc4a05);
+  const auto params = params_of(spec.horizon);
+
+  ChaosSchedule out;
+  out.spec = spec;
+  if (rng.chance(0.5)) out.base_loss = rng.uniform_real(0.01, 0.08);
+
+  // ACL churn only touches s1; faults elsewhere would be dead weight.
+  const std::size_t n_targets = spec.workload == Workload::kAcl ? 1 : 3;
+
+  const std::size_t n_events = 1 + rng.index(params.max_events);
+  for (std::size_t i = 0; i < n_events; ++i) {
+    FaultEvent ev;
+    const double roll = rng.uniform_real(0, 1);
+    ev.target = static_cast<SwitchId>(1 + rng.index(n_targets));
+    ev.at = nanos(rng.uniform_int(0, params.window.ns()));
+    // Window bounds are chosen so the executor/reconciler budgets
+    // (request_timeout 200ms x 6 retries + echo rescues; 6 readback
+    // retries x 6 rounds) always outlive any single fault — a clean seed
+    // must converge, so every violation the oracles flag is a real bug.
+    if (roll < 0.30) {
+      ev.kind = FaultKind::kCrash;
+      ev.duration = nanos(rng.uniform_int(millis(5).ns(), millis(40).ns()));
+    } else if (roll < 0.50) {
+      ev.kind = FaultKind::kStall;
+      ev.duration = nanos(rng.uniform_int(millis(5).ns(), millis(60).ns()));
+    } else if (roll < 0.75) {
+      ev.kind = FaultKind::kPartition;
+      ev.duration = nanos(rng.uniform_int(millis(10).ns(), millis(120).ns()));
+    } else {
+      ev.kind = FaultKind::kLossBurst;
+      ev.duration = nanos(rng.uniform_int(millis(10).ns(), millis(150).ns()));
+      ev.drop = rng.uniform_real(0.2, 0.9);
+    }
+    out.events.push_back(ev);
+  }
+  // Canonical order: by time, then kind/target, so equal schedules compare
+  // equal regardless of generation order and shrunk subsets stay stable.
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.target < b.target;
+                   });
+  return out;
+}
+
+// --- chaos_repro.v1 emission ------------------------------------------------
+
+namespace {
+
+std::string policy_name(sched::RecoveryPolicy p) {
+  return p == sched::RecoveryPolicy::kRollForward ? "roll_forward"
+                                                  : "roll_back";
+}
+
+}  // namespace
+
+std::string to_repro_json(const ChaosSchedule& schedule,
+                          std::uint64_t fingerprint,
+                          const std::vector<std::string>& violations) {
+  using telemetry::append_number;
+  using telemetry::append_quoted;
+  std::string out;
+  out += "{\n  \"schema\": \"chaos_repro.v1\",\n";
+  out += "  \"seed\": ";
+  append_number(out, static_cast<double>(schedule.spec.seed));
+  out += ",\n  \"workload\": ";
+  append_quoted(out, to_string(schedule.spec.workload));
+  out += ",\n  \"policy\": ";
+  append_quoted(out, policy_name(schedule.spec.policy));
+  out += ",\n  \"horizon\": ";
+  append_quoted(out, to_string(schedule.spec.horizon));
+  out += ",\n  \"base_loss\": ";
+  append_number(out, schedule.base_loss);
+  out += ",\n  \"events\": [";
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    const auto& ev = schedule.events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"kind\": ";
+    append_quoted(out, to_string(ev.kind));
+    out += ", \"target\": ";
+    append_number(out, static_cast<double>(ev.target));
+    out += ", \"at_ns\": ";
+    append_number(out, static_cast<double>(ev.at.ns()));
+    out += ", \"duration_ns\": ";
+    append_number(out, static_cast<double>(ev.duration.ns()));
+    out += ", \"drop\": ";
+    append_number(out, ev.drop);
+    out += "}";
+  }
+  out += schedule.events.empty() ? "]" : "\n  ]";
+  if (fingerprint != 0) {
+    // Hex string: a 64-bit value does not round-trip through a JSON double.
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    out += ",\n  \"fingerprint\": ";
+    append_quoted(out, buf);
+  }
+  if (!violations.empty()) {
+    out += ",\n  \"violations\": [";
+    for (std::size_t i = 0; i < violations.size(); ++i) {
+      if (i != 0) out += ", ";
+      append_quoted(out, violations[i]);
+    }
+    out += "]";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+// --- chaos_repro.v1 parsing -------------------------------------------------
+//
+// A minimal recursive-descent JSON reader, sufficient for the fixed repro
+// schema (objects, arrays, strings, numbers). Kept private to this file —
+// the repo's JSON surface is otherwise emit-only (telemetry/json_util.h).
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kNumber, kString, kArray, kObject, kBool };
+  Type type = Type::kNull;
+  double number = 0;
+  bool boolean = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    auto v = value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return Error{"trailing characters after JSON"};
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return Error{"unexpected end of JSON"};
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) == "null") {
+        pos_ += 4;
+        return JsonValue{};
+      }
+      return Error{"bad literal"};
+    }
+    return number();
+  }
+
+  Result<JsonValue> object() {
+    JsonValue out;
+    out.type = JsonValue::Type::kObject;
+    consume('{');
+    if (consume('}')) return out;
+    while (true) {
+      auto key = string_value();
+      if (!key.ok()) return Error{"object key: " + key.error()};
+      if (!consume(':')) return Error{"expected ':' after object key"};
+      auto val = value();
+      if (!val.ok()) return val;
+      out.object.emplace(key.value().string, std::move(val.value()));
+      if (consume(',')) continue;
+      if (consume('}')) return out;
+      return Error{"expected ',' or '}' in object"};
+    }
+  }
+
+  Result<JsonValue> array() {
+    JsonValue out;
+    out.type = JsonValue::Type::kArray;
+    consume('[');
+    if (consume(']')) return out;
+    while (true) {
+      auto val = value();
+      if (!val.ok()) return val;
+      out.array.push_back(std::move(val.value()));
+      if (consume(',')) continue;
+      if (consume(']')) return out;
+      return Error{"expected ',' or ']' in array"};
+    }
+  }
+
+  Result<JsonValue> string_value() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error{"expected string"};
+    }
+    ++pos_;
+    JsonValue out;
+    out.type = JsonValue::Type::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.string += '"'; break;
+          case '\\': out.string += '\\'; break;
+          case '/': out.string += '/'; break;
+          case 'n': out.string += '\n'; break;
+          case 'r': out.string += '\r'; break;
+          case 't': out.string += '\t'; break;
+          case 'u': {
+            // Repro files only ever escape control characters; decode the
+            // low byte and skip the rest.
+            if (pos_ + 4 > text_.size()) return Error{"bad \\u escape"};
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+              else return Error{"bad \\u escape"};
+            }
+            out.string += static_cast<char>(v & 0xff);
+            break;
+          }
+          default: return Error{"bad escape"};
+        }
+        continue;
+      }
+      out.string += c;
+    }
+    return Error{"unterminated string"};
+  }
+
+  Result<JsonValue> boolean() {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      JsonValue out;
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return out;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      JsonValue out;
+      out.type = JsonValue::Type::kBool;
+      return out;
+    }
+    return Error{"bad literal"};
+  }
+
+  Result<JsonValue> number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (start == pos_) return Error{"expected number"};
+    JsonValue out;
+    out.type = JsonValue::Type::kNumber;
+    try {
+      out.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return Error{"bad number"};
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<double> require_number(const JsonValue& obj, const std::string& key) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end() || it->second.type != JsonValue::Type::kNumber) {
+    return Error{"missing or non-numeric field \"" + key + "\""};
+  }
+  return it->second.number;
+}
+
+Result<std::string> require_string(const JsonValue& obj,
+                                   const std::string& key) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end() || it->second.type != JsonValue::Type::kString) {
+    return Error{"missing or non-string field \"" + key + "\""};
+  }
+  return it->second.string;
+}
+
+}  // namespace
+
+Result<ParsedRepro> parse_repro(std::string_view json) {
+  auto parsed = JsonReader(json).parse();
+  if (!parsed.ok()) return Error{parsed.error()};
+  const JsonValue& root = parsed.value();
+  if (root.type != JsonValue::Type::kObject) {
+    return Error{"repro root must be an object"};
+  }
+
+  auto schema = require_string(root, "schema");
+  if (!schema.ok()) return Error{schema.error()};
+  if (schema.value() != "chaos_repro.v1") {
+    return Error{"unsupported schema \"" + schema.value() + "\""};
+  }
+
+  ParsedRepro out;
+  auto seed = require_number(root, "seed");
+  if (!seed.ok()) return Error{seed.error()};
+  out.schedule.spec.seed = static_cast<std::uint64_t>(seed.value());
+
+  auto workload = require_string(root, "workload");
+  if (!workload.ok()) return Error{workload.error()};
+  if (workload.value() == "fig10") {
+    out.schedule.spec.workload = Workload::kFig10;
+  } else if (workload.value() == "te") {
+    out.schedule.spec.workload = Workload::kTrafficEngineering;
+  } else if (workload.value() == "acl") {
+    out.schedule.spec.workload = Workload::kAcl;
+  } else {
+    return Error{"unknown workload \"" + workload.value() + "\""};
+  }
+
+  auto policy = require_string(root, "policy");
+  if (!policy.ok()) return Error{policy.error()};
+  if (policy.value() == "roll_forward") {
+    out.schedule.spec.policy = sched::RecoveryPolicy::kRollForward;
+  } else if (policy.value() == "roll_back") {
+    out.schedule.spec.policy = sched::RecoveryPolicy::kRollBack;
+  } else {
+    return Error{"unknown policy \"" + policy.value() + "\""};
+  }
+
+  auto horizon = require_string(root, "horizon");
+  if (!horizon.ok()) return Error{horizon.error()};
+  if (horizon.value() == "short") {
+    out.schedule.spec.horizon = Horizon::kShort;
+  } else if (horizon.value() == "medium") {
+    out.schedule.spec.horizon = Horizon::kMedium;
+  } else if (horizon.value() == "long") {
+    out.schedule.spec.horizon = Horizon::kLong;
+  } else {
+    return Error{"unknown horizon \"" + horizon.value() + "\""};
+  }
+
+  auto base_loss = require_number(root, "base_loss");
+  if (!base_loss.ok()) return Error{base_loss.error()};
+  out.schedule.base_loss = base_loss.value();
+
+  const auto events = root.object.find("events");
+  if (events == root.object.end() ||
+      events->second.type != JsonValue::Type::kArray) {
+    return Error{"missing or non-array field \"events\""};
+  }
+  for (const auto& item : events->second.array) {
+    if (item.type != JsonValue::Type::kObject) {
+      return Error{"event must be an object"};
+    }
+    FaultEvent ev;
+    auto kind = require_string(item, "kind");
+    if (!kind.ok()) return Error{kind.error()};
+    if (kind.value() == "crash") {
+      ev.kind = FaultKind::kCrash;
+    } else if (kind.value() == "stall") {
+      ev.kind = FaultKind::kStall;
+    } else if (kind.value() == "partition") {
+      ev.kind = FaultKind::kPartition;
+    } else if (kind.value() == "loss_burst") {
+      ev.kind = FaultKind::kLossBurst;
+    } else {
+      return Error{"unknown fault kind \"" + kind.value() + "\""};
+    }
+    auto target = require_number(item, "target");
+    if (!target.ok()) return Error{target.error()};
+    ev.target = static_cast<SwitchId>(target.value());
+    auto at = require_number(item, "at_ns");
+    if (!at.ok()) return Error{at.error()};
+    ev.at = nanos(static_cast<std::int64_t>(at.value()));
+    auto duration = require_number(item, "duration_ns");
+    if (!duration.ok()) return Error{duration.error()};
+    ev.duration = nanos(static_cast<std::int64_t>(duration.value()));
+    auto drop = require_number(item, "drop");
+    if (!drop.ok()) return Error{drop.error()};
+    ev.drop = drop.value();
+    out.schedule.events.push_back(ev);
+  }
+
+  if (const auto fp = root.object.find("fingerprint");
+      fp != root.object.end() && fp->second.type == JsonValue::Type::kString) {
+    out.fingerprint = std::strtoull(fp->second.string.c_str(), nullptr, 0);
+  }
+  if (const auto vs = root.object.find("violations");
+      vs != root.object.end() && vs->second.type == JsonValue::Type::kArray) {
+    for (const auto& v : vs->second.array) {
+      if (v.type == JsonValue::Type::kString) out.violations.push_back(v.string);
+    }
+  }
+  return out;
+}
+
+}  // namespace tango::chaos

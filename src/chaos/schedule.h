@@ -1,0 +1,139 @@
+// Chaos schedules: seeded, randomized fault scripts layered over a real
+// update workload.
+//
+// A ChaosSchedule is data, not behaviour: a workload selector, a recovery
+// policy, a background loss rate, and a list of timed FaultEvents (crashes,
+// stalls, control-channel partitions, correlated loss bursts) with offsets
+// relative to commit start. generate_schedule() derives one deterministically
+// from a (seed, workload, policy, horizon) tuple; the harness (harness.h)
+// materializes it onto net::FaultInjector scheduled-event lists and runs the
+// workload under it. Because the schedule is plain data it can be serialized
+// to a `chaos_repro.v1` JSON file, minimized by the shrinker, and replayed
+// bit-identically — the same schedule always produces the same virtual-time
+// trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "scheduler/transaction.h"
+
+namespace tango::chaos {
+
+enum class FaultKind {
+  /// Agent reboot: tables wiped, in-flight traffic lost, back after
+  /// `duration` downtime (mid-transaction reboots are these with small
+  /// offsets).
+  kCrash,
+  /// Management CPU freeze for `duration`; state survives.
+  kStall,
+  /// Control-channel partition: both directions blackholed for `duration`.
+  kPartition,
+  /// Correlated loss burst: drop probability raised to `drop` in both
+  /// directions for `duration`.
+  kLossBurst,
+};
+
+std::string to_string(FaultKind kind);
+
+/// One scripted fault. `at` is an offset from the harness's commit start
+/// time (t0), so schedules are position-independent.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  SwitchId target = 1;
+  SimDuration at{};
+  SimDuration duration{};
+  /// Loss-burst drop probability (both directions); unused by other kinds.
+  double drop = 0.0;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+enum class Workload {
+  /// fig10 network-wide link-failure update (ADD on s3, then MOD on s1).
+  kFig10,
+  /// B4-style traffic-engineering churn (ADD/MOD/DEL chains across s1-s3).
+  kTrafficEngineering,
+  /// ACL compiler churn: classbench rules through apps::compile_acl.
+  kAcl,
+};
+
+std::string to_string(Workload w);
+
+enum class Horizon { kShort, kMedium, kLong };
+
+std::string to_string(Horizon h);
+
+/// The deterministic identity of one chaos run. Everything the generator
+/// and harness consume is derived from these four fields.
+struct ChaosSpec {
+  std::uint64_t seed = 1;
+  Workload workload = Workload::kFig10;
+  sched::RecoveryPolicy policy = sched::RecoveryPolicy::kRollForward;
+  Horizon horizon = Horizon::kShort;
+
+  bool operator==(const ChaosSpec&) const = default;
+};
+
+/// Workload/fault sizing per horizon.
+struct HorizonParams {
+  /// Flows for fig10, requests for TE, rules for ACL.
+  std::size_t workload_size = 16;
+  /// Upper bound on generated fault events.
+  std::size_t max_events = 6;
+  /// Fault event offsets are drawn from [0, window).
+  SimDuration window = millis(120);
+};
+
+HorizonParams params_of(Horizon h);
+
+struct ChaosSchedule {
+  ChaosSpec spec;
+  /// Background loss probability applied in both directions for the whole
+  /// run (on top of any loss bursts).
+  double base_loss = 0.0;
+  std::vector<FaultEvent> events;
+
+  bool operator==(const ChaosSchedule&) const = default;
+};
+
+/// Derive a schedule from a spec: seeded fault mix (multi-switch crashes,
+/// stalls, partitions, correlated loss bursts) with bounded windows so the
+/// executor/reconciler recovery budgets can always converge. Deterministic:
+/// equal specs yield equal schedules.
+ChaosSchedule generate_schedule(const ChaosSpec& spec);
+
+// --- chaos_repro.v1 ---------------------------------------------------------
+//
+// Replay-file schema (see docs/CHAOS.md):
+//   {
+//     "schema": "chaos_repro.v1",
+//     "seed": N, "workload": s, "policy": s, "horizon": s,
+//     "base_loss": x,
+//     "events": [ { "kind": s, "target": N, "at_ns": N,
+//                   "duration_ns": N, "drop": x }, ... ],
+//     "fingerprint": N,          // optional: expected run fingerprint
+//     "violations": [ s, ... ]   // optional: oracle names seen at capture
+//   }
+
+/// Serialize a schedule (plus optional capture metadata) to chaos_repro.v1.
+/// `fingerprint` 0 omits the field.
+std::string to_repro_json(const ChaosSchedule& schedule,
+                          std::uint64_t fingerprint = 0,
+                          const std::vector<std::string>& violations = {});
+
+struct ParsedRepro {
+  ChaosSchedule schedule;
+  /// 0 when the file carried no fingerprint.
+  std::uint64_t fingerprint = 0;
+  std::vector<std::string> violations;
+};
+
+/// Parse a chaos_repro.v1 document. Errors name the offending field.
+Result<ParsedRepro> parse_repro(std::string_view json);
+
+}  // namespace tango::chaos

@@ -1,0 +1,95 @@
+#include "chaos/shrinker.h"
+
+#include <algorithm>
+
+namespace tango::chaos {
+
+namespace {
+
+ChaosSchedule with_events(const ChaosSchedule& base,
+                          std::vector<FaultEvent> events) {
+  ChaosSchedule out = base;
+  out.events = std::move(events);
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_schedule(
+    const ChaosSchedule& failing,
+    const std::function<bool(const ChaosSchedule&)>& fails,
+    std::size_t max_probes) {
+  ShrinkResult out;
+  out.schedule = failing;
+
+  const auto probe = [&](const ChaosSchedule& candidate) {
+    ++out.probes;
+    return fails(candidate);
+  };
+
+  if (!probe(failing)) return out;  // not reproducible: nothing to shrink
+
+  // ddmin over the event list.
+  std::vector<FaultEvent> events = failing.events;
+  std::size_t n = std::min<std::size_t>(2, events.size());
+  while (events.size() >= 2 && n >= 2) {
+    if (out.probes >= max_probes) {
+      out.budget_exhausted = true;
+      break;
+    }
+    const std::size_t chunk = (events.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t i = 0; i < n && i * chunk < events.size(); ++i) {
+      const std::size_t lo = i * chunk;
+      const std::size_t hi = std::min(events.size(), lo + chunk);
+
+      // Try the chunk alone (fast win on single-cause failures)...
+      std::vector<FaultEvent> subset(events.begin() + lo, events.begin() + hi);
+      if (subset.size() < events.size() &&
+          probe(with_events(failing, subset))) {
+        events = std::move(subset);
+        n = std::min<std::size_t>(2, events.size());
+        reduced = true;
+        break;
+      }
+      if (out.probes >= max_probes) break;
+
+      // ...then its complement.
+      std::vector<FaultEvent> rest;
+      rest.reserve(events.size() - (hi - lo));
+      rest.insert(rest.end(), events.begin(), events.begin() + lo);
+      rest.insert(rest.end(), events.begin() + hi, events.end());
+      if (!rest.empty() && rest.size() < events.size() &&
+          probe(with_events(failing, rest))) {
+        events = std::move(rest);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+      if (out.probes >= max_probes) break;
+    }
+    if (!reduced) {
+      if (n >= events.size()) break;  // 1-minimal
+      n = std::min(events.size(), n * 2);
+    }
+  }
+  // A single remaining event may still be removable when the background
+  // loss alone reproduces the failure.
+  if (events.size() == 1 && out.probes < max_probes &&
+      probe(with_events(failing, {}))) {
+    events.clear();
+  }
+  out.schedule = with_events(failing, std::move(events));
+  out.budget_exhausted = out.budget_exhausted || out.probes >= max_probes;
+
+  // Final simplification: drop the background loss if the events alone
+  // still reproduce.
+  if (out.schedule.base_loss > 0 && out.probes < max_probes) {
+    ChaosSchedule no_loss = out.schedule;
+    no_loss.base_loss = 0;
+    if (probe(no_loss)) out.schedule = std::move(no_loss);
+  }
+  return out;
+}
+
+}  // namespace tango::chaos

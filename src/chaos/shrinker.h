@@ -1,0 +1,38 @@
+// Delta-debugging schedule shrinker (ddmin, Zeller & Hildebrandt).
+//
+// Given a failing schedule and a deterministic `fails` predicate, the
+// shrinker searches for a locally minimal sub-schedule that still fails:
+// it partitions the event list into n chunks, tries each chunk alone and
+// each complement, recurses with finer granularity on success, and stops
+// when removing any single remaining event makes the failure vanish
+// (1-minimality). A final pass tries zeroing the background loss rate.
+// Everything is deterministic — the same input always shrinks to the same
+// reproducer through the same probe sequence — so a shrunk repro can be
+// checked in as a regression test verbatim.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "chaos/schedule.h"
+
+namespace tango::chaos {
+
+struct ShrinkResult {
+  /// Locally minimal failing schedule (== input when nothing could go).
+  ChaosSchedule schedule;
+  /// Times the predicate was evaluated.
+  std::size_t probes = 0;
+  /// True when the probe budget ran out before reaching 1-minimality.
+  bool budget_exhausted = false;
+};
+
+/// Minimize `failing` against `fails`. The predicate must be deterministic
+/// and must hold for `failing` itself (checked; if it does not, the input
+/// is returned unchanged with probes == 1).
+ShrinkResult shrink_schedule(
+    const ChaosSchedule& failing,
+    const std::function<bool(const ChaosSchedule&)>& fails,
+    std::size_t max_probes = 512);
+
+}  // namespace tango::chaos

@@ -2,8 +2,13 @@
 
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <algorithm>
 #include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace tango::log {
 
@@ -30,6 +35,59 @@ std::shared_ptr<const Sink> current_sink() {
   auto& slot = sink_slot();
   std::lock_guard lock(slot.mu);
   return slot.sink;
+}
+
+/// Rate-limiter state: per-key line counts plus the level of the last
+/// suppressed line (summaries inherit it so a capped WARN storm still
+/// surfaces as WARN).
+struct RateLimiter {
+  std::mutex mu;
+  std::size_t max_per_key = 0;  // 0 = off
+  struct KeyState {
+    std::size_t emitted = 0;
+    std::size_t suppressed = 0;
+    Level level = Level::kInfo;
+  };
+  std::map<std::string, KeyState, std::less<>> keys;
+};
+
+RateLimiter& rate_limiter() {
+  static RateLimiter limiter;
+  return limiter;
+}
+
+std::string_view key_of(const std::string& msg) {
+  const auto colon = msg.find(':');
+  const auto cut = colon == std::string::npos ? std::size_t{24} : colon;
+  return std::string_view(msg).substr(0, std::min(cut, msg.size()));
+}
+
+/// True when the line should be dropped (budget for its key exhausted).
+bool rate_limited(Level level, const std::string& msg) {
+  auto& limiter = rate_limiter();
+  std::lock_guard lock(limiter.mu);
+  if (limiter.max_per_key == 0) return false;
+  const auto key = key_of(msg);
+  auto it = limiter.keys.find(key);
+  if (it == limiter.keys.end()) {
+    it = limiter.keys.emplace(std::string(key), RateLimiter::KeyState{}).first;
+  }
+  auto& state = it->second;
+  if (state.emitted < limiter.max_per_key) {
+    ++state.emitted;
+    return false;
+  }
+  ++state.suppressed;
+  state.level = level;
+  return true;
+}
+
+void emit(Level level, const std::string& msg) {
+  if (const auto sink = current_sink()) {
+    (*sink)(level, msg);
+    return;
+  }
+  default_sink(level, msg);
 }
 
 }  // namespace
@@ -60,13 +118,40 @@ void default_sink(Level level, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
 }
 
+std::size_t set_rate_limit(std::size_t max_per_key) {
+  std::size_t previous = 0;
+  {
+    auto& limiter = rate_limiter();
+    std::lock_guard lock(limiter.mu);
+    previous = limiter.max_per_key;
+    limiter.max_per_key = max_per_key;
+    if (max_per_key != 0) return previous;
+  }
+  flush_suppressed();  // turning the limiter off must not swallow counts
+  return previous;
+}
+
+void flush_suppressed() {
+  // Collect under the lock, emit outside it — a sink may log.
+  std::vector<std::pair<std::string, RateLimiter::KeyState>> pending;
+  {
+    auto& limiter = rate_limiter();
+    std::lock_guard lock(limiter.mu);
+    for (auto& [key, state] : limiter.keys) {
+      if (state.suppressed > 0) pending.emplace_back(key, state);
+    }
+    limiter.keys.clear();
+  }
+  for (const auto& [key, state] : pending) {
+    emit(state.level, key + ": suppressed " +
+                          std::to_string(state.suppressed) + " similar lines");
+  }
+}
+
 void write(Level level, const std::string& msg) {
   if (level == Level::kOff || level < threshold()) return;
-  if (const auto sink = current_sink()) {
-    (*sink)(level, msg);
-    return;
-  }
-  default_sink(level, msg);
+  if (rate_limited(level, msg)) return;
+  emit(level, msg);
 }
 
 }  // namespace tango::log

@@ -7,6 +7,7 @@
 // trace alongside the default stderr printer.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 
@@ -28,6 +29,20 @@ void set_sink(Sink sink);
 
 /// The default stderr printer ("[WARN] msg"), usable from custom sinks.
 void default_sink(Level level, const std::string& msg);
+
+/// Rate limiting for fault storms: at most `max_per_key` lines per message
+/// key reach the sink; further lines are counted, not printed. The key is
+/// the message prefix up to the first ':' (or the first 24 characters), so
+/// "channel: agent crashed..." lines share one budget regardless of their
+/// varying suffixes. 0 disables limiting and flushes pending suppression
+/// counts. Returns the previous cap.
+std::size_t set_rate_limit(std::size_t max_per_key);
+
+/// Emit one "suppressed N similar lines" summary per capped key (at the
+/// key's own level) and reset all per-key counts. Idempotent when nothing
+/// was suppressed. Call at quiescent points (end of a chaos run / soak
+/// iteration) so bounded logs still account for every event.
+void flush_suppressed();
 
 void write(Level level, const std::string& msg);
 

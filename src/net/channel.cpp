@@ -60,8 +60,8 @@ void ControlChannel::deliver_to_switch(std::vector<std::uint8_t> frame) {
     });
     return;
   }
-  for (auto& d :
-       injector_->plan(FaultInjector::Direction::kToSwitch, std::move(frame))) {
+  for (auto& d : injector_->plan(FaultInjector::Direction::kToSwitch,
+                                 std::move(frame), events_.now())) {
     const std::uint64_t epoch = epoch_;
     events_.schedule_after(
         latency_ + d.extra_delay, [this, epoch, f = std::move(d.frame)]() {
@@ -98,7 +98,7 @@ void ControlChannel::reply(of::Message msg, SimTime at) {
     return;
   }
   for (auto& d : injector_->plan(FaultInjector::Direction::kToController,
-                                 std::move(frame))) {
+                                 std::move(frame), at)) {
     const std::uint64_t epoch = epoch_;
     events_.schedule_at(
         at + latency_ + d.extra_delay, [this, epoch, f = std::move(d.frame)]() {
@@ -121,7 +121,7 @@ void ControlChannel::reply(of::Message msg, SimTime at) {
 void ControlChannel::notify(SimTime at, std::function<void()> fn) {
   SimDuration extra{};
   if (injector_ != nullptr) {
-    const auto plan = injector_->plan_notification();
+    const auto plan = injector_->plan_notification(at);
     if (!plan.has_value()) return;  // the controller never hears about it
     extra = *plan;
   }
@@ -137,10 +137,37 @@ void ControlChannel::notify(SimTime at, std::function<void()> fn) {
 
 void ControlChannel::attach_fault_injector(FaultInjector* injector) {
   injector_ = injector;
-  if (injector_ != nullptr && injector_->config().crash_at.ns() > 0) {
+  if (injector_ == nullptr) return;
+  if (injector_->config().crash_at.ns() > 0) {
     const SimDuration downtime = injector_->config().crash_downtime;
     events_.schedule_at(injector_->config().crash_at,
                         [this, downtime]() { crash_agent(downtime); });
+  }
+  // Declaratively scheduled faults (chaos schedules drive these lists).
+  const FaultInjector* expected = injector_;
+  for (const auto& c : injector_->config().crashes) {
+    events_.schedule_at(c.at, [this, expected, downtime = c.downtime]() {
+      if (injector_ == expected) crash_agent(downtime);
+    });
+  }
+  for (const auto& s : injector_->config().stalls) {
+    events_.schedule_at(s.at, [this, expected, duration = s.duration]() {
+      if (injector_ == expected) stall_agent(duration);
+    });
+  }
+  for (const auto& p : injector_->config().partitions) {
+    events_.schedule_at(p.at, [this, expected, duration = p.duration]() {
+      if (injector_ != expected) return;
+      ++injector_->mutable_stats().partitions;
+      if (telemetry_ != nullptr) {
+        telemetry_->trace.instant(
+            "fault", "partition", lane_, events_.now(),
+            {telemetry::arg("duration_ns", duration.ns())});
+        telemetry_->metrics.counter("faults.partitions").inc();
+      }
+      log::warn("channel: control-channel partition for " +
+                std::to_string(duration.ms()) + "ms");
+    });
   }
 }
 

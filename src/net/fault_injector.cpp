@@ -4,8 +4,39 @@
 
 namespace tango::net {
 
+bool FaultInjector::in_partition(SimTime now) const {
+  for (const auto& p : config_.partitions) {
+    if (now >= p.at && now < p.at + p.duration) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Effective drop probability at `now`: the configured base raised to any
+/// covering loss-burst window's rate (one Bernoulli draw either way, so the
+/// RNG stream stays aligned between bursty and quiet stretches).
+double burst_drop(const FaultConfig& c, bool to_switch, SimTime now) {
+  double p = to_switch ? c.drop_to_switch : c.drop_to_controller;
+  for (const auto& b : c.loss_bursts) {
+    if (now >= b.at && now < b.at + b.duration) {
+      p = std::max(p, to_switch ? b.drop_to_switch : b.drop_to_controller);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
 std::vector<FaultInjector::Delivery> FaultInjector::plan(
-    Direction dir, std::vector<std::uint8_t> frame) {
+    Direction dir, std::vector<std::uint8_t> frame, SimTime now) {
+  // A partition blackholes everything before any other fault gets a say
+  // (and before any RNG draw, so the post-partition stream is unaffected
+  // by how much traffic the window swallowed).
+  if (in_partition(now)) {
+    ++stats_.lost_to_partition;
+    return {};
+  }
   // Scripted drops take precedence over probabilistic faults so tests can
   // target exactly one message of a given type.
   if (frame.size() > 1) {
@@ -21,7 +52,7 @@ std::vector<FaultInjector::Delivery> FaultInjector::plan(
 
   const bool to_switch = dir == Direction::kToSwitch;
   const auto& c = config_;
-  if (rng_.chance(to_switch ? c.drop_to_switch : c.drop_to_controller)) {
+  if (rng_.chance(burst_drop(c, to_switch, now))) {
     ++(to_switch ? stats_.dropped_to_switch : stats_.dropped_to_controller);
     return {};
   }
@@ -56,8 +87,12 @@ std::vector<FaultInjector::Delivery> FaultInjector::plan(
   return out;
 }
 
-std::optional<SimDuration> FaultInjector::plan_notification() {
-  if (rng_.chance(config_.drop_to_controller)) {
+std::optional<SimDuration> FaultInjector::plan_notification(SimTime now) {
+  if (in_partition(now)) {
+    ++stats_.lost_to_partition;
+    return std::nullopt;
+  }
+  if (rng_.chance(burst_drop(config_, /*to_switch=*/false, now))) {
     ++stats_.notifications_dropped;
     return std::nullopt;
   }

@@ -25,6 +25,40 @@
 
 namespace tango::net {
 
+/// Declaratively scheduled faults, one list per fault type, so a chaos
+/// schedule (src/chaos) can drive the injector without touching its RNG.
+/// Times are absolute simulated times; events in the past fire immediately
+/// when the injector is attached (the event queue clamps to now).
+struct ScheduledCrash {
+  SimTime at{};
+  SimDuration downtime = millis(50);
+};
+
+struct ScheduledStall {
+  SimTime at{};
+  SimDuration duration = millis(10);
+};
+
+/// Control-channel partition: every frame and completion notice, in BOTH
+/// directions, is blackholed for the window [at, at + duration). The agent
+/// itself keeps running (state survives, unlike a crash) — the controller
+/// simply cannot reach it, and vice versa.
+struct ScheduledPartition {
+  SimTime at{};
+  SimDuration duration = millis(20);
+};
+
+/// Correlated loss burst: for the window [at, at + duration) the drop
+/// probabilities are raised to at least the burst's values (the per-frame
+/// Bernoulli draw still comes from the injector's one RNG, so bursts stay
+/// reproducible).
+struct ScheduledLossBurst {
+  SimTime at{};
+  SimDuration duration = millis(20);
+  double drop_to_switch = 0.5;
+  double drop_to_controller = 0.5;
+};
+
 struct FaultConfig {
   /// Per-direction Bernoulli fault probabilities, drawn once per frame.
   double drop_to_switch = 0.0;
@@ -53,6 +87,12 @@ struct FaultConfig {
   SimTime crash_at{};
   SimDuration crash_downtime = millis(50);
   std::uint64_t seed = 0xfa417u;
+
+  // --- scheduled-event lists (declarative chaos driving) --------------------
+  std::vector<ScheduledCrash> crashes;
+  std::vector<ScheduledStall> stalls;
+  std::vector<ScheduledPartition> partitions;
+  std::vector<ScheduledLossBurst> loss_bursts;
 };
 
 struct FaultStats {
@@ -72,6 +112,10 @@ struct FaultStats {
   std::uint64_t lost_to_down = 0;
   std::uint64_t stalls = 0;
   std::uint64_t crashes = 0;
+  /// Scheduled partition windows that opened.
+  std::uint64_t partitions = 0;
+  /// Frames and completion notices blackholed by an active partition.
+  std::uint64_t lost_to_partition = 0;
 };
 
 class FaultInjector {
@@ -87,12 +131,18 @@ class FaultInjector {
       : config_(config), rng_(config.seed) {}
 
   /// Turn one outgoing frame into its delivery plan (0, 1, or 2 copies).
-  std::vector<Delivery> plan(Direction dir, std::vector<std::uint8_t> frame);
+  /// `now` positions the frame against scheduled partition / loss-burst
+  /// windows; callers without a clock (unit tests) may omit it.
+  std::vector<Delivery> plan(Direction dir, std::vector<std::uint8_t> frame,
+                             SimTime now = {});
 
   /// Fault plan for an out-of-band completion notice (no wire bytes):
   /// nullopt = lost, otherwise the extra delivery delay (usually zero).
   /// Notices travel switch->controller, so to-controller rates apply.
-  std::optional<SimDuration> plan_notification();
+  std::optional<SimDuration> plan_notification(SimTime now = {});
+
+  /// True while a scheduled partition window covers `now`.
+  [[nodiscard]] bool in_partition(SimTime now) const;
 
   /// Agent stall drawn per arriving command (zero duration = no stall).
   SimDuration draw_stall();

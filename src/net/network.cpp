@@ -119,6 +119,11 @@ bool Network::run_until_done(const bool& done, SimDuration timeout) {
   while (!done && !events_.empty() && events_.peek_time() <= deadline) {
     events_.step();
   }
+  // Waiting out a timeout costs real (virtual) time even when the queue has
+  // nothing left before the deadline. Without this, a retry loop spins at a
+  // frozen clock and can never outlast a fault window — a rebooting agent
+  // looked permanently down to Reconciler::read_table's back-to-back retries.
+  if (!done) events_.run_until(deadline);
   return done;
 }
 

@@ -60,6 +60,13 @@ TableImage image_of(const of::FlowStatsReply& reply);
 void apply_to_image(TableImage& image, const of::FlowMod& fm);
 
 struct ReconcilerOptions {
+  /// Settle time before each readback round. A commit that aborted early
+  /// (crash detected, requests failed) can leave duplicated or reordered
+  /// frames of the dead attempt still in flight; without letting the queue
+  /// drain for a moment, those land AFTER the readback and re-apply a dead
+  /// transaction's intent behind the reconciler's back — catastrophic under
+  /// rollback, where they reinstate a rule that was just rolled back.
+  SimDuration quiesce = millis(5);
   /// Per-attempt timeout for one FLOW_STATS readback.
   SimDuration readback_timeout = millis(200);
   /// Extra attempts after a lost readback before the switch is declared

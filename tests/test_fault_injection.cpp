@@ -17,6 +17,7 @@
 #include "net/network.h"
 #include "scheduler/executor.h"
 #include "scheduler/schedulers.h"
+#include "scheduler/transaction.h"
 #include "switchsim/profiles.h"
 #include "tango/probe_engine.h"
 #include "workload/scenarios.h"
@@ -325,6 +326,132 @@ TEST(FaultScenarioTest, DeadSwitchIsDeclaredAndDependentsFail) {
   EXPECT_GE(report.echo_probes, 2u);  // silence confirmed by repeated echoes
   EXPECT_EQ(net.sw(s2).total_rules(), 2u);  // independent one + default route
   (void)independent;
+}
+
+// ---------------------------------------------------------------------------
+// Control-channel partitions
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, PartitionWindowBlackholesBothDirections) {
+  FaultConfig cfg;
+  cfg.partitions.push_back({SimTime{} + millis(10), millis(20)});
+  FaultInjector inj{cfg};
+  const std::vector<std::uint8_t> frame = {1, 14, 0, 8, 0, 0, 0, 1};
+
+  // Before the window: clean both ways.
+  EXPECT_FALSE(inj.in_partition(SimTime{} + millis(5)));
+  EXPECT_EQ(inj.plan(Direction::kToSwitch, frame, SimTime{} + millis(5)).size(),
+            1u);
+  EXPECT_TRUE(inj.plan_notification(SimTime{} + millis(5)).has_value());
+
+  // Inside: both directions blackholed, notifications included.
+  EXPECT_TRUE(inj.in_partition(SimTime{} + millis(15)));
+  EXPECT_TRUE(
+      inj.plan(Direction::kToSwitch, frame, SimTime{} + millis(15)).empty());
+  EXPECT_TRUE(inj.plan(Direction::kToController, frame, SimTime{} + millis(15))
+                  .empty());
+  EXPECT_FALSE(inj.plan_notification(SimTime{} + millis(15)).has_value());
+
+  // After: clean again, and every loss was accounted to the partition.
+  EXPECT_FALSE(inj.in_partition(SimTime{} + millis(30)));
+  EXPECT_EQ(
+      inj.plan(Direction::kToSwitch, frame, SimTime{} + millis(35)).size(),
+      1u);
+  EXPECT_EQ(inj.stats().lost_to_partition, 3u);
+  EXPECT_EQ(inj.stats().dropped_to_switch, 0u);
+  EXPECT_EQ(inj.stats().dropped_to_controller, 0u);
+}
+
+TEST(FaultScenarioTest, PartitionDelaysButDoesNotFailTheUpdate) {
+  Network net;
+  const auto s1 = net.add_switch(quiet_switch1());
+  FaultConfig cfg;
+  cfg.partitions.push_back({net.now(), millis(15)});
+  auto& inj = net.enable_faults(s1, cfg);
+
+  sched::RequestDag dag;
+  dag.add(add_req(s1, 0));
+  sched::DionysusScheduler sched;
+  sched::ExecutorOptions opts;
+  opts.request_timeout = millis(10);
+  opts.max_retries = 6;
+  opts.backoff_base = millis(2);
+  const auto report = execute(net, dag, sched, opts);
+
+  // The first issue vanished into the partition; a retry after the window
+  // closed landed the rule. Nothing failed, nothing was silently lost.
+  EXPECT_EQ(inj.stats().partitions, 1u);
+  EXPECT_GT(inj.stats().lost_to_partition, 0u);
+  EXPECT_GE(report.retries, 1u);
+  EXPECT_EQ(report.failed_requests, 0u);
+  EXPECT_EQ(report.lost_requests, 0u);
+  EXPECT_EQ(net.sw(s1).total_rules(), 2u);  // probe rule + default route
+}
+
+// ---------------------------------------------------------------------------
+// Correlated multi-switch crashes
+// ---------------------------------------------------------------------------
+
+TEST(FaultScenarioTest, CorrelatedDualCrashReconcilesCleanUnderBothPolicies) {
+  for (const auto policy : {sched::RecoveryPolicy::kRollForward,
+                            sched::RecoveryPolicy::kRollBack}) {
+    Network net;
+    const auto s1 = net.add_switch(quiet_switch1());
+    const auto s2 = net.add_switch(quiet_switch1());
+    for (const auto id : {s1, s2}) {
+      ProbeEngine probe(net, id);
+      for (std::uint32_t i = 0; i < 20; ++i) probe.install(i, 0x4000);
+      net.barrier_sync(id);
+    }
+
+    sched::RequestDag dag;
+    for (std::uint32_t i = 20; i < 40; ++i) {
+      dag.add(add_req(s1, i));
+      dag.add(add_req(s2, i));
+    }
+
+    sched::TransactionOptions topts;
+    topts.policy = policy;
+    topts.txn_id = 77;
+    topts.exec.request_timeout = millis(20);
+    topts.exec.max_retries = 6;
+    topts.exec.backoff_base = millis(2);
+    sched::UpdateTransaction txn(net, std::move(dag), topts);
+
+    // Both agents reboot in the same barrier window, mid-commit: every
+    // table is wiped at once, so recovery cannot lean on a surviving peer.
+    for (const auto id : {s1, s2}) {
+      FaultConfig cfg;
+      cfg.crashes.push_back({net.now() + millis(1), millis(5)});
+      net.enable_faults(id, cfg);
+    }
+
+    sched::DionysusScheduler sched;
+    const auto report = txn.commit(sched);
+
+    EXPECT_EQ(report.crashed_switches, (std::set<SwitchId>{s1, s2}))
+        << sched::to_string(policy);
+    EXPECT_TRUE(report.committed) << sched::to_string(policy);
+    EXPECT_TRUE(report.unreconciled.empty()) << sched::to_string(policy);
+
+    // Verifier-clean end state: roll-forward must deliver all 40 flows per
+    // switch, roll-back only the 20 preinstalled ones.
+    std::vector<sched::FlowCheck> flows;
+    const std::uint32_t upper =
+        policy == sched::RecoveryPolicy::kRollForward ? 40u : 20u;
+    for (std::uint32_t i = 0; i < upper; ++i) {
+      for (const auto id : {s1, s2}) {
+        sched::FlowCheck flow;
+        flow.ingress = id;
+        flow.packet = ProbeEngine::probe_packet(i);
+        flows.push_back(flow);
+      }
+    }
+    const auto& verify = txn.verify(flows);
+    EXPECT_TRUE(verify.clean())
+        << sched::to_string(policy) << ": "
+        << (verify.violations.empty() ? "" : verify.violations[0].detail);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,283 @@
+// chaos_soak: drive the chaos harness across a seed range, shrink any
+// violation to a minimal reproducer, and emit machine-readable artifacts.
+//
+//   chaos_soak --seeds 1-20 --horizon short --workload all --policy both
+//   chaos_soak --replay repro_seed42.json          # re-execute a repro file
+//
+// Every run is deterministic: a seed identifies a fault schedule, and the
+// run's 64-bit fingerprint (counters + fault stats + final tables + final
+// virtual clock) is printed so bit-identical replay is checkable by eye or
+// by CI. On violation the schedule is delta-debugged down to a locally
+// minimal event list and written as a chaos_repro.v1 JSON file into --out;
+// a CHAOS_soak.json run report (tango.run_report.v1) summarizes the sweep.
+//
+// Exit status: 0 = all runs clean (or replay clean), 1 = violations found
+// (or replay reproduced its violation), 2 = usage/file errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/harness.h"
+#include "chaos/schedule.h"
+#include "chaos/shrinker.h"
+#include "common/logging.h"
+#include "telemetry/run_report.h"
+
+namespace {
+
+using namespace tango;  // tool code: brevity over namespace hygiene
+
+struct Args {
+  std::uint64_t seed_lo = 1;
+  std::uint64_t seed_hi = 20;
+  chaos::Horizon horizon = chaos::Horizon::kShort;
+  std::vector<chaos::Workload> workloads = {
+      chaos::Workload::kFig10, chaos::Workload::kTrafficEngineering,
+      chaos::Workload::kAcl};
+  std::vector<sched::RecoveryPolicy> policies = {
+      sched::RecoveryPolicy::kRollForward, sched::RecoveryPolicy::kRollBack};
+  std::string replay;
+  std::string out_dir = ".";
+  bool shrink = true;
+  bool verbose = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: chaos_soak [--seeds A-B] [--horizon short|medium|long]\n"
+               "                  [--workload fig10|te|acl|all]\n"
+               "                  [--policy forward|rollback|both]\n"
+               "                  [--replay FILE] [--out DIR] [--no-shrink]\n"
+               "                  [--verbose]\n");
+}
+
+bool parse_seeds(const std::string& s, Args& args) {
+  const auto dash = s.find('-');
+  if (dash == std::string::npos) {
+    args.seed_lo = args.seed_hi = std::strtoull(s.c_str(), nullptr, 0);
+    return args.seed_lo > 0;
+  }
+  args.seed_lo = std::strtoull(s.substr(0, dash).c_str(), nullptr, 0);
+  args.seed_hi = std::strtoull(s.substr(dash + 1).c_str(), nullptr, 0);
+  return args.seed_lo > 0 && args.seed_hi >= args.seed_lo;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = value();
+      if (v == nullptr || !parse_seeds(v, args)) return false;
+    } else if (arg == "--horizon") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "short") == 0) args.horizon = chaos::Horizon::kShort;
+      else if (std::strcmp(v, "medium") == 0) args.horizon = chaos::Horizon::kMedium;
+      else if (std::strcmp(v, "long") == 0) args.horizon = chaos::Horizon::kLong;
+      else return false;
+    } else if (arg == "--workload") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "fig10") == 0) {
+        args.workloads = {chaos::Workload::kFig10};
+      } else if (std::strcmp(v, "te") == 0) {
+        args.workloads = {chaos::Workload::kTrafficEngineering};
+      } else if (std::strcmp(v, "acl") == 0) {
+        args.workloads = {chaos::Workload::kAcl};
+      } else if (std::strcmp(v, "all") != 0) {
+        return false;
+      }
+    } else if (arg == "--policy") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "forward") == 0) {
+        args.policies = {sched::RecoveryPolicy::kRollForward};
+      } else if (std::strcmp(v, "rollback") == 0) {
+        args.policies = {sched::RecoveryPolicy::kRollBack};
+      } else if (std::strcmp(v, "both") != 0) {
+        return false;
+      }
+    } else if (arg == "--replay") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.replay = v;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.out_dir = v;
+    } else if (arg == "--no-shrink") {
+      args.shrink = false;
+    } else if (arg == "--verbose") {
+      args.verbose = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string run_label(const chaos::ChaosSchedule& s) {
+  return "seed " + std::to_string(s.spec.seed) + " " +
+         chaos::to_string(s.spec.workload) + "/" +
+         sched::to_string(s.spec.policy);
+}
+
+int replay_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "chaos_soak: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = chaos::parse_repro(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "chaos_soak: %s: %s\n", path.c_str(),
+                 parsed.error().c_str());
+    return 2;
+  }
+  const auto& repro = parsed.value();
+  const auto result = chaos::run_chaos(repro.schedule);
+  std::printf("replay %s: %zu violation(s), fingerprint 0x%016llx\n",
+              run_label(repro.schedule).c_str(), result.violations.size(),
+              static_cast<unsigned long long>(result.fingerprint));
+  for (const auto& v : result.violations) {
+    std::printf("  %s\n", chaos::to_string(v).c_str());
+  }
+  if (repro.fingerprint != 0 && repro.fingerprint != result.fingerprint) {
+    std::printf("  note: fingerprint differs from capture (0x%016llx) — the\n"
+                "  code under test changed since the repro was recorded\n",
+                static_cast<unsigned long long>(repro.fingerprint));
+  }
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  log::set_threshold(args.verbose ? log::Level::kInfo : log::Level::kError);
+  // Fault storms repeat the same few lines thousands of times; cap each
+  // message family and account for the rest in flush summaries.
+  log::set_rate_limit(20);
+
+  if (!args.replay.empty()) {
+    const int rc = replay_file(args.replay);
+    log::flush_suppressed();
+    return rc;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "chaos_soak: cannot create %s: %s\n",
+                 args.out_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  telemetry::RunReport report("CHAOS_soak");
+  std::size_t runs = 0;
+  std::size_t violations_found = 0;
+  std::size_t repros_written = 0;
+
+  for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
+    for (const auto workload : args.workloads) {
+      for (const auto policy : args.policies) {
+        chaos::ChaosSpec spec;
+        spec.seed = seed;
+        spec.workload = workload;
+        spec.policy = policy;
+        spec.horizon = args.horizon;
+        const auto schedule = chaos::generate_schedule(spec);
+        auto result = chaos::run_chaos(schedule);
+        ++runs;
+
+        auto& row = report.add_row()
+                        .col("seed", static_cast<double>(seed))
+                        .col("workload", chaos::to_string(workload))
+                        .col("policy", sched::to_string(policy))
+                        .col("events", static_cast<double>(schedule.events.size()))
+                        .col("violations",
+                             static_cast<double>(result.violations.size()))
+                        .col("makespan_ns",
+                             static_cast<double>(result.report.exec.makespan.ns()));
+        if (result.ok()) {
+          if (args.verbose) {
+            std::printf("ok    %s (%zu events, fp 0x%016llx)\n",
+                        run_label(schedule).c_str(), schedule.events.size(),
+                        static_cast<unsigned long long>(result.fingerprint));
+          }
+          continue;
+        }
+
+        ++violations_found;
+        std::printf("FAIL  %s: %zu violation(s)\n", run_label(schedule).c_str(),
+                    result.violations.size());
+        for (const auto& v : result.violations) {
+          std::printf("      %s\n", chaos::to_string(v).c_str());
+        }
+
+        chaos::ChaosSchedule minimal = schedule;
+        if (args.shrink) {
+          const auto shrunk = chaos::shrink_schedule(
+              schedule, [](const chaos::ChaosSchedule& candidate) {
+                return !chaos::run_chaos(candidate).ok();
+              });
+          minimal = shrunk.schedule;
+          std::printf("      shrunk %zu -> %zu events in %zu probes\n",
+                      schedule.events.size(), minimal.events.size(),
+                      shrunk.probes);
+          // Re-run the minimal schedule so the repro captures ITS
+          // fingerprint and violations, not the original's.
+          result = chaos::run_chaos(minimal);
+        }
+
+        const std::string path =
+            args.out_dir + "/chaos_repro_seed" + std::to_string(seed) + "_" +
+            chaos::to_string(workload) + "_" +
+            (policy == sched::RecoveryPolicy::kRollForward ? "fwd" : "back") +
+            ".json";
+        std::ofstream repro(path);
+        if (repro) {
+          repro << chaos::to_repro_json(minimal, result.fingerprint,
+                                        result.violation_names());
+          ++repros_written;
+          std::printf("      repro written to %s\n", path.c_str());
+        } else {
+          std::fprintf(stderr, "chaos_soak: cannot write %s\n", path.c_str());
+        }
+        row.col("repro", path);
+      }
+    }
+  }
+
+  log::flush_suppressed();
+
+  report.set_result("chaos.runs", static_cast<double>(runs));
+  report.set_result("chaos.violations", static_cast<double>(violations_found));
+  report.set_result("chaos.repros_written",
+                    static_cast<double>(repros_written));
+  report.set_result("chaos.horizon", chaos::to_string(args.horizon));
+  report.set_result("chaos.seed_lo", static_cast<double>(args.seed_lo));
+  report.set_result("chaos.seed_hi", static_cast<double>(args.seed_hi));
+  const std::string report_path = args.out_dir + "/CHAOS_soak.json";
+  if (!report.write(report_path)) {
+    std::fprintf(stderr, "chaos_soak: cannot write %s\n", report_path.c_str());
+  }
+
+  std::printf("%zu run(s), %zu with violations; report at %s\n", runs,
+              violations_found, report_path.c_str());
+  return violations_found == 0 ? 0 : 1;
+}

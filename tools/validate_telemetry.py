@@ -13,9 +13,15 @@ Checks two things, with stdlib json only:
      switch lanes, relative to the start of the controller's execute span,
      must equal the execute span's duration and the reported makespan.
 
+With --chaos, the report is additionally validated as a chaos_soak sweep
+report (CHAOS_soak.json): the chaos.* result keys must be present and
+consistent with the per-run rows, and every violating run must reference
+its repro file.
+
 Usage:
   tools/validate_telemetry.py BENCH_fig10_network_wide.json \
       [BENCH_fig10_network_wide.trace.json]
+  tools/validate_telemetry.py --chaos CHAOS_soak.json
 
 Exits non-zero with a message on the first violation.
 """
@@ -114,13 +120,68 @@ def validate_trace(path, report):
           f"makespan {reconstructed_us / 1e6:.6f} s reconstructed)")
 
 
+CHAOS_RESULT_KEYS = [
+    "chaos.runs", "chaos.violations", "chaos.repros_written",
+    "chaos.horizon", "chaos.seed_lo", "chaos.seed_hi",
+]
+CHAOS_ROW_KEYS = ["seed", "workload", "policy", "events", "violations",
+                  "makespan_ns"]
+CHAOS_WORKLOADS = {"fig10", "te", "acl"}
+CHAOS_POLICIES = {"roll-forward", "roll-back"}
+CHAOS_HORIZONS = {"short", "medium", "long"}
+
+
+def validate_chaos(path, report):
+    results = report.get("results", {})
+    for key in CHAOS_RESULT_KEYS:
+        if key not in results:
+            fail(f"{path}: missing chaos result key {key!r}")
+    if results["chaos.horizon"] not in CHAOS_HORIZONS:
+        fail(f"{path}: chaos.horizon {results['chaos.horizon']!r} invalid")
+    if results["chaos.seed_lo"] > results["chaos.seed_hi"]:
+        fail(f"{path}: chaos.seed_lo > chaos.seed_hi")
+
+    rows = report["rows"]
+    if results["chaos.runs"] != len(rows):
+        fail(f"{path}: chaos.runs {results['chaos.runs']} != {len(rows)} rows")
+    violating = 0
+    for i, row in enumerate(rows):
+        for key in CHAOS_ROW_KEYS:
+            if key not in row:
+                fail(f"{path}: row {i}: missing key {key!r}")
+        if row["workload"] not in CHAOS_WORKLOADS:
+            fail(f"{path}: row {i}: workload {row['workload']!r} invalid")
+        if row["policy"] not in CHAOS_POLICIES:
+            fail(f"{path}: row {i}: policy {row['policy']!r} invalid")
+        if not (results["chaos.seed_lo"] <= row["seed"]
+                <= results["chaos.seed_hi"]):
+            fail(f"{path}: row {i}: seed {row['seed']} outside sweep range")
+        if row["violations"] < 0 or row["makespan_ns"] < 0:
+            fail(f"{path}: row {i}: negative count")
+        if row["violations"] > 0:
+            violating += 1
+            if "repro" not in row:
+                fail(f"{path}: row {i}: violating run has no repro reference")
+    if results["chaos.violations"] != violating:
+        fail(f"{path}: chaos.violations {results['chaos.violations']} != "
+             f"{violating} rows with violations")
+    print(f"  chaos ok: {path} ({len(rows)} runs, {violating} with violations, "
+          f"horizon {results['chaos.horizon']})")
+
+
 def main(argv):
-    if len(argv) < 2 or len(argv) > 3:
+    args = list(argv[1:])
+    chaos = "--chaos" in args
+    if chaos:
+        args.remove("--chaos")
+    if len(args) < 1 or len(args) > 2:
         print(__doc__, file=sys.stderr)
         return 2
-    report = validate_report(argv[1])
-    if len(argv) == 3:
-        validate_trace(argv[2], report)
+    report = validate_report(args[0])
+    if chaos:
+        validate_chaos(args[0], report)
+    if len(args) == 2:
+        validate_trace(args[1], report)
     print("validate_telemetry: OK")
     return 0
 
