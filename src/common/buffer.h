@@ -14,10 +14,20 @@ namespace tango {
 
 class BufWriter {
  public:
-  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  /// Owned mode: writes into an internal vector retrievable with take().
+  BufWriter() : out_(&owned_) {}
+
+  /// External-storage mode: appends to `out` starting at its current end.
+  /// Offsets (size(), patch_u16()) are relative to that starting point, so
+  /// codec code is oblivious to whether it writes a fresh frame or appends
+  /// one to a batch buffer. The caller keeps ownership; take() is invalid.
+  explicit BufWriter(std::vector<std::uint8_t>& out)
+      : out_(&out), base_(out.size()) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
   void u16(std::uint16_t v) {
-    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
-    bytes_.push_back(static_cast<std::uint8_t>(v));
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+    out_->push_back(static_cast<std::uint8_t>(v));
   }
   void u32(std::uint32_t v) {
     u16(static_cast<std::uint16_t>(v >> 16));
@@ -28,23 +38,28 @@ class BufWriter {
     u32(static_cast<std::uint32_t>(v));
   }
   void raw(std::span<const std::uint8_t> data) {
-    bytes_.insert(bytes_.end(), data.begin(), data.end());
+    out_->insert(out_->end(), data.begin(), data.end());
   }
-  void zeros(std::size_t n) { bytes_.insert(bytes_.end(), n, 0); }
+  void zeros(std::size_t n) { out_->insert(out_->end(), n, 0); }
 
   /// Overwrite a previously written big-endian u16 at `offset` (for length
-  /// fields that are only known once the body has been written).
+  /// fields that are only known once the body has been written). Relative
+  /// to this writer's first byte, not the external buffer's start.
   void patch_u16(std::size_t offset, std::uint16_t v) {
-    bytes_[offset] = static_cast<std::uint8_t>(v >> 8);
-    bytes_[offset + 1] = static_cast<std::uint8_t>(v);
+    (*out_)[base_ + offset] = static_cast<std::uint8_t>(v >> 8);
+    (*out_)[base_ + offset + 1] = static_cast<std::uint8_t>(v);
   }
 
-  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  /// Bytes written through this writer (excludes pre-existing bytes of an
+  /// external buffer).
+  [[nodiscard]] std::size_t size() const { return out_->size() - base_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return owned_; }
+  std::vector<std::uint8_t> take() { return std::move(owned_); }
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint8_t> owned_;
+  std::vector<std::uint8_t>* out_;
+  std::size_t base_ = 0;
 };
 
 class BufReader {

@@ -51,6 +51,50 @@ void ControlChannel::send(of::Message msg) {
   deliver_to_switch(std::move(frame));
 }
 
+void ControlChannel::send_batch(std::span<of::Message> msgs) {
+  if (msgs.empty()) return;
+  if (injector_ != nullptr) {
+    // Fault plans are per frame (drop/duplicate/corrupt decide message by
+    // message), so a faulted batch degenerates to sequential sends.
+    for (auto& m : msgs) send(std::move(m));
+    return;
+  }
+  auto buf = acquire_buffer();
+  const std::size_t bytes = of::encode_batch(msgs, buf);
+  stats_.messages_to_switch += msgs.size();
+  stats_.bytes_to_switch += bytes;
+  // One arrival event decodes the frames in order. Sequential send() calls
+  // would schedule one event per frame at this same instant with ascending
+  // sequence numbers; no other event can slot between them, so processing
+  // all frames inside one event is observationally identical.
+  events_.schedule_after(latency_, [this, f = std::move(buf)]() mutable {
+    std::size_t offset = 0;
+    while (offset + of::kHeaderLen <= f.size()) {
+      const std::size_t len =
+          (static_cast<std::size_t>(f[offset + 2]) << 8) | f[offset + 3];
+      auto decoded = of::decode(
+          std::span<const std::uint8_t>(f).subspan(offset, len));
+      assert(decoded.ok());
+      on_arrival(decoded.value());
+      offset += len;
+    }
+    release_buffer(std::move(f));
+  });
+}
+
+std::vector<std::uint8_t> ControlChannel::acquire_buffer() {
+  if (spare_bufs_.empty()) return {};
+  auto buf = std::move(spare_bufs_.back());
+  spare_bufs_.pop_back();
+  return buf;
+}
+
+void ControlChannel::release_buffer(std::vector<std::uint8_t> buf) {
+  if (spare_bufs_.size() >= 4) return;  // cap pooled capacity
+  buf.clear();
+  spare_bufs_.push_back(std::move(buf));
+}
+
 void ControlChannel::deliver_to_switch(std::vector<std::uint8_t> frame) {
   if (injector_ == nullptr) {
     events_.schedule_after(latency_, [this, frame = std::move(frame)]() {

@@ -21,7 +21,9 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "net/fault_injector.h"
@@ -63,6 +65,16 @@ class ControlChannel {
   /// channel latency, decoded, and handled by the switch agent.
   void send(of::Message msg);
 
+  /// Send many messages as one wire burst: all frames are encoded
+  /// back-to-back into a pooled buffer (reused across batches, so the
+  /// executor hot path stops allocating one vector per message) and the
+  /// switch processes them in order at the same simulated arrival instant
+  /// sequential send() calls would produce — observable behaviour is
+  /// bit-identical. With a fault injector attached, each frame must route
+  /// through its own per-frame delivery plan (drop/duplicate/corrupt are
+  /// per-message decisions), so the batch falls back to sequential sends.
+  void send_batch(std::span<of::Message> msgs);
+
   void set_flow_mod_handler(FlowModHandler h) { on_flow_mod_ = std::move(h); }
   void set_message_handler(MessageHandler h) { on_message_ = std::move(h); }
   void set_probe_handler(ProbeHandler h) { on_probe_ = std::move(h); }
@@ -99,6 +111,10 @@ class ControlChannel {
 
  private:
   void deliver_to_switch(std::vector<std::uint8_t> frame);
+  /// Pooled frame buffers for send_batch: capacity is recycled once a
+  /// batch has been delivered and decoded.
+  std::vector<std::uint8_t> acquire_buffer();
+  void release_buffer(std::vector<std::uint8_t> buf);
   void on_arrival(const of::Message& msg);
   void handle(const of::Message& msg);
   void reply(of::Message msg, SimTime at);
@@ -116,6 +132,7 @@ class ControlChannel {
   ProbeHandler on_probe_;
   CrashHandler on_crash_;
   FaultInjector* injector_ = nullptr;
+  std::vector<std::vector<std::uint8_t>> spare_bufs_;
   /// Bumped on every crash; in-flight deliveries from older epochs vanish.
   std::uint64_t epoch_ = 0;
   SimTime down_until_{};

@@ -153,6 +153,18 @@ void Network::post_flow_mod(SwitchId id, const of::FlowMod& fm, Completion done)
   endpoint(id).channel->send(of::Message{xid, fm});
 }
 
+void Network::post_flow_mod_batch(SwitchId id, std::span<const of::FlowMod> fms,
+                                  Completion done_each) {
+  std::vector<of::Message> msgs;
+  msgs.reserve(fms.size());
+  for (const auto& fm : fms) {
+    const std::uint32_t xid = next_xid();
+    flow_mod_cbs_[xid] = done_each;
+    msgs.push_back(of::Message{xid, fm});
+  }
+  endpoint(id).channel->send_batch(msgs);
+}
+
 SimTime Network::barrier_sync(SwitchId id) {
   const auto arrival = try_barrier_sync(id);
   assert(arrival.has_value());

@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -157,6 +158,13 @@ class Network {
   /// Queue a flow_mod; `done` fires (in simulated time) when the switch
   /// agent finishes it.
   void post_flow_mod(SwitchId id, const of::FlowMod& fm, Completion done);
+
+  /// Queue many flow_mods in one batched wire burst (see
+  /// ControlChannel::send_batch); `done_each` fires once per command, in
+  /// the same order and at the same simulated times as sequential
+  /// post_flow_mod() calls would produce.
+  void post_flow_mod_batch(SwitchId id, std::span<const of::FlowMod> fms,
+                           Completion done_each);
 
   /// Handler for unsolicited switch->controller messages (FLOW_REMOVED,
   /// asynchronous PACKET_INs) that match no outstanding xid.

@@ -424,6 +424,54 @@ struct BodyEncodeVisitor {
   }
 };
 
+// Body byte counts mirroring BodyEncodeVisitor field for field; the codec
+// test pins wire_size(msg) == encode(msg).size() for every message type so
+// the two visitors cannot drift apart.
+struct BodySizeVisitor {
+  std::size_t operator()(const Hello&) const { return 0; }
+  std::size_t operator()(const EchoRequest& m) const { return m.payload.size(); }
+  std::size_t operator()(const EchoReply& m) const { return m.payload.size(); }
+  std::size_t operator()(const ErrorMsg& m) const { return 4 + m.data.size(); }
+  std::size_t operator()(const FeaturesRequest&) const { return 0; }
+  std::size_t operator()(const FeaturesReply& m) const {
+    return 24 + 48 * m.ports.size();
+  }
+  std::size_t operator()(const FlowMod& m) const {
+    return 64 + actions_wire_size(m.actions);
+  }
+  std::size_t operator()(const FlowRemoved&) const { return 80; }
+  std::size_t operator()(const PacketIn& m) const { return 10 + m.data.size(); }
+  std::size_t operator()(const PacketOut& m) const {
+    return 8 + actions_wire_size(m.actions) + m.data.size();
+  }
+  std::size_t operator()(const BarrierRequest&) const { return 0; }
+  std::size_t operator()(const BarrierReply&) const { return 0; }
+  std::size_t operator()(const FlowStatsRequest&) const { return 48; }
+  std::size_t operator()(const FlowStatsReply& m) const {
+    std::size_t n = 4;
+    for (const auto& e : m.entries) n += 88 + actions_wire_size(e.actions);
+    return n;
+  }
+  std::size_t operator()(const GetConfigRequest&) const { return 0; }
+  std::size_t operator()(const GetConfigReply&) const { return 4; }
+  std::size_t operator()(const SetConfig&) const { return 4; }
+  std::size_t operator()(const PortStatus&) const { return 56; }
+  std::size_t operator()(const PortMod&) const { return 24; }
+  std::size_t operator()(const Vendor& m) const { return 4 + m.data.size(); }
+  std::size_t operator()(const AggregateStatsRequest&) const { return 48; }
+  std::size_t operator()(const AggregateStatsReply&) const { return 28; }
+  std::size_t operator()(const DescStatsRequest&) const { return 4; }
+  std::size_t operator()(const DescStatsReply&) const { return 4 + 1056; }
+  std::size_t operator()(const PortStatsRequest&) const { return 12; }
+  std::size_t operator()(const PortStatsReply& m) const {
+    return 4 + 72 * m.entries.size();
+  }
+  std::size_t operator()(const TableStatsRequest&) const { return 4; }
+  std::size_t operator()(const TableStatsReply& m) const {
+    return 4 + 64 * m.entries.size();
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Message body decoders
 // ---------------------------------------------------------------------------
@@ -727,18 +775,36 @@ Result<Match> decode_match_bytes(std::span<const std::uint8_t> bytes) {
   return m;
 }
 
-std::vector<std::uint8_t> encode(const Message& msg) {
-  BufWriter w;
+void encode_into(const Message& msg, std::vector<std::uint8_t>& out) {
+  BufWriter w(out);
   w.u8(kVersion);
   w.u8(static_cast<std::uint8_t>(type_of(msg.body)));
   w.u16(0);  // length: patched below
   w.u32(msg.xid);
   std::visit(BodyEncodeVisitor{w}, msg.body);
   w.patch_u16(2, static_cast<std::uint16_t>(w.size()));
-  return w.take();
 }
 
-std::size_t wire_size(const Message& msg) { return encode(msg).size(); }
+std::vector<std::uint8_t> encode(const Message& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size(msg));
+  encode_into(msg, out);
+  return out;
+}
+
+std::size_t encode_batch(std::span<const Message> msgs,
+                         std::vector<std::uint8_t>& out) {
+  const std::size_t before = out.size();
+  std::size_t total = 0;
+  for (const auto& m : msgs) total += wire_size(m);
+  out.reserve(before + total);
+  for (const auto& m : msgs) encode_into(m, out);
+  return out.size() - before;
+}
+
+std::size_t wire_size(const Message& msg) {
+  return kHeaderLen + std::visit(BodySizeVisitor{}, msg.body);
+}
 
 Result<Message> decode(std::span<const std::uint8_t> frame) {
   if (frame.size() < kHeaderLen) return Error{"frame shorter than header"};

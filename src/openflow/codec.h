@@ -17,6 +17,16 @@ namespace tango::of {
 
 std::vector<std::uint8_t> encode(const Message& msg);
 
+/// Append the encoded frame to `out` without clearing it. Byte-identical to
+/// appending encode(msg); exists so hot paths can reuse one write buffer
+/// across many frames instead of allocating per message.
+void encode_into(const Message& msg, std::vector<std::uint8_t>& out);
+
+/// Append all frames back-to-back to `out` (the stream form FrameAssembler
+/// consumes). Returns the number of bytes appended.
+std::size_t encode_batch(std::span<const Message> msgs,
+                         std::vector<std::uint8_t>& out);
+
 Result<Message> decode(std::span<const std::uint8_t> frame);
 
 /// Standalone ofp_match wire form (40 bytes) — used by tooling that stores
@@ -27,7 +37,9 @@ Result<Match> decode_match_bytes(std::span<const std::uint8_t> bytes);
 /// Serialized length of an encoded action (wire bytes).
 std::size_t wire_size(const Action& action);
 
-/// Serialized length of a whole message.
+/// Serialized length of a whole message, computed without encoding (no
+/// allocation). Always equals encode(msg).size(); the codec test asserts
+/// this for every message type.
 std::size_t wire_size(const Message& msg);
 
 /// Accumulates stream bytes and yields complete frames.

@@ -6,13 +6,15 @@
 
 namespace tango::of {
 
-namespace {
-
-std::uint32_t prefix_mask(int prefix_len) {
+std::uint32_t prefix_mask32(int prefix_len) {
   if (prefix_len <= 0) return 0;
   if (prefix_len >= 32) return 0xffffffffu;
   return ~((1u << (32 - prefix_len)) - 1);
 }
+
+namespace {
+
+std::uint32_t prefix_mask(int prefix_len) { return prefix_mask32(prefix_len); }
 
 int wildcard_count_to_prefix(std::uint32_t wc_bits) {
   // OF1.0 semantics: value is the number of wildcarded low-order bits,

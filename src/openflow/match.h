@@ -104,6 +104,11 @@ struct PacketHeaderHash {
   std::size_t operator()(const PacketHeader& h) const;
 };
 
+/// Netmask with `prefix_len` significant leading bits (0 -> 0, >=32 -> all
+/// ones). Shared by the match predicates and the tuple-space index, which
+/// must mask identically for masked-key equality to coincide with matches().
+std::uint32_t prefix_mask32(int prefix_len);
+
 /// Format helpers shared by to_string() and the examples.
 std::string format_ipv4(std::uint32_t addr);
 std::string format_mac(const MacAddr& mac);

@@ -2,27 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <utility>
 
 namespace tango::switchsim {
-
-namespace {
-
-/// Remove an entry from a TCAM by id and return it (plus compaction shifts).
-std::optional<tables::FlowEntry> take_entry(tables::Tcam& tcam, FlowId id,
-                                            std::size_t* shifts = nullptr) {
-  for (const auto& e : tcam.entries()) {
-    if (e.id == id) {
-      tables::FlowEntry copy = e;
-      const auto out = tcam.erase(id);
-      if (shifts != nullptr) *shifts += out.shifts;
-      return copy;
-    }
-  }
-  return std::nullopt;
-}
-
-}  // namespace
 
 std::string to_string(Architecture arch) {
   switch (arch) {
@@ -42,6 +25,12 @@ SimulatedSwitch::SimulatedSwitch(SwitchId id, SwitchProfile profile,
       software_(0),
       microflow_(profile_.microflow_capacity) {
   for (const auto& cfg : profile_.cache_levels) levels_.emplace_back(cfg);
+  if (profile_.arch == Architecture::kPolicyCache) {
+    // Levels keep a lazy eviction heap synced to the profile's policy so
+    // victim queries are O(log n). profile_ never moves (switches live
+    // behind unique_ptr / on the stack), so the pointer stays valid.
+    for (auto& level : levels_) level.set_eviction_policy(&profile_.policy);
+  }
   assert(profile_.paths.level_delay.size() >=
          levels_.size() + (profile_.software_backing ||
                                    profile_.arch == Architecture::kOvsMicroflow
@@ -144,9 +133,16 @@ FlowModOutcome SimulatedSwitch::do_add(tables::FlowEntry entry, SimTime now) {
   std::size_t existing_level = 0;
   if (auto* existing = find_strict_anywhere(entry.match, entry.priority,
                                             &existing_level)) {
-    entry.id = existing->id;
-    *existing = std::move(entry);
-    microflow_.invalidate_rule(existing->id);
+    const FlowId id = existing->id;
+    entry.id = id;
+    // replace() keeps position/shift state and re-ranks the entry in the
+    // level's eviction heap (the counters just reset).
+    if (existing_level < levels_.size()) {
+      levels_[existing_level].replace(id, std::move(entry));
+    } else {
+      software_.replace(id, std::move(entry));
+    }
+    microflow_.invalidate_rule(id);
     FlowModOutcome out;
     out.processing_time = latency_.flow_mod_cost(
         OpKind::kAdd, 0, /*same_priority=*/true,
@@ -229,15 +225,13 @@ bool SimulatedSwitch::cascade_insert(tables::FlowEntry entry, std::size_t* shift
     }
     // Level is full: the policy decides whether the newcomer displaces the
     // level's lowest-ordered entry (which then cascades down) or sinks.
-    auto resident = level_entries(static_cast<std::size_t>(&level - levels_.data()));
-    if (resident.empty()) {
-      continue;  // entry shape doesn't fit this level at all
+    const auto victim_id = level.victim_id();
+    if (!victim_id) {
+      continue;  // level is empty: entry shape doesn't fit it at all
     }
-    const std::size_t worst =
-        profile_.policy.victim_index({resident.data(), resident.size()});
-    const tables::FlowEntry& victim_ref = *resident[worst];
+    const tables::FlowEntry& victim_ref = *level.find_by_id(*victim_id);
     if (profile_.policy.prefers(pending, victim_ref)) {
-      auto victim = take_entry(level, victim_ref.id, shifts);
+      auto victim = level.take(*victim_id, shifts);
       assert(victim.has_value());
       auto res = level.insert(std::move(pending));
       assert(res.accepted);
@@ -266,14 +260,8 @@ FlowModOutcome SimulatedSwitch::do_modify(const of::FlowMod& fm, SimTime now,
   if (strict) {
     if (auto* e = find_strict_anywhere(fm.match, fm.priority, nullptr)) touch(*e);
   } else {
-    for (auto& level : levels_) {
-      for (auto& e : level.entries()) {
-        if (fm.match.subsumes(e.match)) touch(e);
-      }
-    }
-    for (auto& e : software_.entries()) {
-      if (fm.match.subsumes(e.match)) touch(e);
-    }
+    for (auto& level : levels_) level.for_each_matching(fm.match, touch);
+    software_.for_each_matching(fm.match, touch);
   }
 
   if (updated == 0) {
@@ -305,7 +293,7 @@ FlowModOutcome SimulatedSwitch::do_delete(const of::FlowMod& fm, SimTime now,
     if (auto* e = find_strict_anywhere(fm.match, fm.priority, &level)) {
       const FlowId id = e->id;
       if (level < levels_.size()) {
-        auto taken = take_entry(levels_[level], id, &shifts);
+        auto taken = levels_[level].take(id, &shifts);
         if (taken) removed.push_back(std::move(*taken));
       } else if (auto taken = software_.erase(id)) {
         removed.push_back(std::move(*taken));
@@ -368,7 +356,7 @@ void SimulatedSwitch::rebalance() {
       if (!upper.can_fit(best->match)) break;
       std::optional<tables::FlowEntry> moved;
       if (i + 1 < levels_.size()) {
-        moved = take_entry(levels_[i + 1], best->id);
+        moved = levels_[i + 1].take(best->id);
       } else {
         moved = software_.erase(best->id);
       }
@@ -379,23 +367,17 @@ void SimulatedSwitch::rebalance() {
 }
 
 void SimulatedSwitch::sweep_timeouts(SimTime now) {
+  // One table API for expiry everywhere (this used to be two hand-rolled
+  // reverse-erase loops); take_expired() is O(1) when no resident entry
+  // carries a timeout, which is the common case on the forwarding path.
   std::vector<tables::FlowEntry> expired;
-  auto sweep_tcam = [&](tables::Tcam& tcam) {
-    for (std::size_t i = tcam.entries().size(); i-- > 0;) {
-      if (tcam.entries()[i].expired(now)) {
-        tables::FlowEntry copy = tcam.entries()[i];
-        tcam.erase(copy.id);
-        expired.push_back(std::move(copy));
-      }
-    }
-  };
-  for (auto& level : levels_) sweep_tcam(level);
-  for (std::size_t i = software_.entries().size(); i-- > 0;) {
-    if (software_.entries()[i].expired(now)) {
-      tables::FlowEntry copy = software_.entries()[i];
-      software_.erase(copy.id);
-      expired.push_back(std::move(copy));
-    }
+  for (auto& level : levels_) {
+    auto taken = level.take_expired(now);
+    std::move(taken.begin(), taken.end(), std::back_inserter(expired));
+  }
+  {
+    auto taken = software_.take_expired(now);
+    std::move(taken.begin(), taken.end(), std::back_inserter(expired));
   }
   if (expired.empty()) return;
 
@@ -456,6 +438,9 @@ ForwardOutcome SimulatedSwitch::forward(const of::Packet& pkt, SimTime now) {
   auto hit_at = [&](tables::FlowEntry& e, std::size_t level) {
     ++matched_count_;
     e.record_hit(now, pkt.total_len());
+    // record_hit changes policy attributes, so the level's eviction heap
+    // needs a fresh rank record (no-op when no policy is attached).
+    if (level < levels_.size()) levels_[level].note_attrs_changed(e.id);
     out.kind = ForwardOutcome::Kind::kForwarded;
     out.level = level;
     out.delay = latency_.path_delay(level);
@@ -470,11 +455,8 @@ ForwardOutcome SimulatedSwitch::forward(const of::Packet& pkt, SimTime now) {
     if (auto hit = microflow_.lookup(pkt.header, now)) {
       ++matched_count_;
       // Attribute the hit to the wildcard rule that spawned the microflow.
-      for (auto& e : software_.entries()) {
-        if (e.id == hit->source_rule) {
-          e.record_hit(now, pkt.total_len());
-          break;
-        }
+      if (auto* e = software_.find_by_id(hit->source_rule)) {
+        e->record_hit(now, pkt.total_len());
       }
       out.kind = ForwardOutcome::Kind::kForwarded;
       out.level = 0;
@@ -537,7 +519,7 @@ ForwardOutcome SimulatedSwitch::forward(const of::Packet& pkt, SimTime now) {
     const FlowId id = best->id;
     const std::size_t above = best_level - 1;
     auto take_hit = [&]() -> std::optional<tables::FlowEntry> {
-      if (best_level < levels_.size()) return take_entry(levels_[best_level], id);
+      if (best_level < levels_.size()) return levels_[best_level].take(id);
       return software_.erase(id);
     };
     auto put_back_down = [&](tables::FlowEntry entry) {
@@ -547,16 +529,13 @@ ForwardOutcome SimulatedSwitch::forward(const of::Packet& pkt, SimTime now) {
         software_.insert(std::move(entry));
       }
     };
-    auto above_entries = level_entries(above);
     if (levels_[above].can_fit(best->match)) {
       auto moved = take_hit();
       levels_[above].insert(std::move(*moved));
-    } else if (!above_entries.empty()) {
-      const std::size_t worst = profile_.policy.victim_index(
-          {above_entries.data(), above_entries.size()});
-      const tables::FlowEntry& victim_ref = *above_entries[worst];
+    } else if (const auto vid = levels_[above].victim_id()) {
+      const tables::FlowEntry& victim_ref = *levels_[above].find_by_id(*vid);
       if (profile_.policy.prefers(*best, victim_ref)) {
-        auto victim = take_entry(levels_[above], victim_ref.id);
+        auto victim = levels_[above].take(*vid);
         auto moved = take_hit();
         levels_[above].insert(std::move(*moved));
         put_back_down(std::move(*victim));

@@ -1,0 +1,77 @@
+#include "tables/eviction_heap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tango::tables {
+
+void EvictionHeap::set_policy(const LexCachePolicy* policy) {
+  policy_ = policy;
+  heap_.clear();
+  hit_sensitive_ = false;
+  if (policy_ != nullptr) {
+    assert(policy_->keys().size() <= kMaxKeys);
+    for (const auto& key : policy_->keys()) {
+      if (key.attr == Attribute::kUseTime ||
+          key.attr == Attribute::kTrafficCount) {
+        hit_sensitive_ = true;
+      }
+    }
+  }
+}
+
+EvictionHeap::Record EvictionHeap::snapshot(const FlowEntry& e) const {
+  Record r;
+  const auto& keys = policy_->keys();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    r.key[i] = attribute_value(e, keys[i].attr);
+  }
+  r.id = e.id;
+  return r;
+}
+
+bool EvictionHeap::fresh(const Record& r, const FlowEntry& live) const {
+  const auto& keys = policy_->keys();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (r.key[i] != attribute_value(live, keys[i].attr)) return false;
+  }
+  return true;
+}
+
+bool EvictionHeap::record_prefers(const Record& a, const Record& b) const {
+  const auto& keys = policy_->keys();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const double va = a.key[i];
+    const double vb = b.key[i];
+    if (va == vb) continue;
+    const bool a_higher = va > vb;
+    return keys[i].dir == Direction::kPreferHigh ? a_higher : !a_higher;
+  }
+  return a.id < b.id;
+}
+
+void EvictionHeap::push(const FlowEntry& e) {
+  if (policy_ == nullptr) return;
+  heap_.push_back(snapshot(e));
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [this](const Record& a, const Record& b) {
+                   return record_prefers(a, b);
+                 });
+}
+
+void EvictionHeap::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [this](const Record& a, const Record& b) {
+                  return record_prefers(a, b);
+                });
+  heap_.pop_back();
+}
+
+void EvictionHeap::rebuild() {
+  std::make_heap(heap_.begin(), heap_.end(),
+                 [this](const Record& a, const Record& b) {
+                   return record_prefers(a, b);
+                 });
+}
+
+}  // namespace tango::tables

@@ -4,81 +4,241 @@
 
 namespace tango::tables {
 
+// Min-heap order on (insert time, insertion serial): the heap top is the
+// oldest entry, ties resolved towards the earlier insertion — which is also
+// the earlier table position, matching the original front-to-back scan.
+bool SoftwareTable::age_after(const AgeRecord& a, const AgeRecord& b) {
+  if (a.insert_ns != b.insert_ns) return a.insert_ns > b.insert_ns;
+  return a.seq > b.seq;
+}
+
+void SoftwareTable::push_age(const FlowEntry& e, std::uint64_t seq) {
+  age_heap_.push_back(AgeRecord{e.attrs.insert_time.ns(), seq, e.id});
+  std::push_heap(age_heap_.begin(), age_heap_.end(), age_after);
+}
+
+void SoftwareTable::compact_age_heap() {
+  if (age_heap_.size() <= 2 * entries_.size() + 64) return;
+  std::vector<AgeRecord> kept;
+  kept.reserve(entries_.size());
+  for (const auto& r : age_heap_) {
+    const auto it = pos_.find(r.id);
+    if (it != pos_.end() &&
+        entries_[it->second].attrs.insert_time.ns() == r.insert_ns) {
+      kept.push_back(r);
+    }
+  }
+  age_heap_ = std::move(kept);
+  std::make_heap(age_heap_.begin(), age_heap_.end(), age_after);
+}
+
 bool SoftwareTable::insert(FlowEntry entry) {
   if (capacity_ != 0 && entries_.size() >= capacity_) return false;
+  const std::size_t pos = entries_.size();
+  const std::uint64_t seq = next_seq_++;
   entries_.push_back(std::move(entry));
+  seqs_.push_back(seq);
+  const FlowEntry& e = entries_[pos];
+  pos_[e.id] = pos;
+  tuple_.insert(e.match, e.id);
+  strict_.insert(e.match, e.priority, e.id);
+  if (is_timed(e)) ++timed_;
+  push_age(e, seq);
+  compact_age_heap();
   return true;
 }
 
+void SoftwareTable::remove_at(std::size_t pos) {
+  FlowEntry& e = entries_[pos];
+  if (is_timed(e)) --timed_;
+  tuple_.erase(e.match, e.id);
+  strict_.erase(e.match, e.priority, e.id);
+  pos_.erase(e.id);
+  for (std::size_t i = pos + 1; i < entries_.size(); ++i) --pos_[entries_[i].id];
+  entries_.erase(entries_.begin() + static_cast<long>(pos));
+  seqs_.erase(seqs_.begin() + static_cast<long>(pos));
+}
+
 std::optional<FlowEntry> SoftwareTable::erase(FlowId id) {
-  const auto it = std::find_if(entries_.begin(), entries_.end(),
-                               [&](const FlowEntry& e) { return e.id == id; });
-  if (it == entries_.end()) return std::nullopt;
-  FlowEntry out = std::move(*it);
-  entries_.erase(it);
+  const auto it = pos_.find(id);
+  if (it == pos_.end()) return std::nullopt;
+  const std::size_t pos = it->second;
+  FlowEntry out = entries_[pos];
+  remove_at(pos);
   return out;
 }
 
-std::vector<FlowEntry> SoftwareTable::erase_matching(const of::Match& filter) {
+std::vector<FlowEntry> SoftwareTable::remove_batch(
+    const std::vector<std::size_t>& desc) {
   std::vector<FlowEntry> removed;
-  for (std::size_t i = entries_.size(); i-- > 0;) {
-    if (filter.subsumes(entries_[i].match)) {
-      removed.push_back(std::move(entries_[i]));
-      entries_.erase(entries_.begin() + static_cast<long>(i));
-    }
+  removed.reserve(desc.size());
+  for (const std::size_t p : desc) {
+    FlowEntry& e = entries_[p];
+    if (is_timed(e)) --timed_;
+    tuple_.erase(e.match, e.id);
+    strict_.erase(e.match, e.priority, e.id);
+    pos_.erase(e.id);
+    removed.push_back(std::move(e));
   }
+  // One-pass compaction over the holes (desc is strictly descending, so its
+  // reverse view is ascending).
+  const std::size_t n = entries_.size();
+  std::size_t write = desc.back();
+  std::size_t next = desc.size();
+  std::size_t next_hole = desc[next - 1];
+  for (std::size_t read = write; read < n; ++read) {
+    if (next > 0 && read == next_hole) {
+      --next;
+      next_hole = next > 0 ? desc[next - 1] : n;
+      continue;
+    }
+    entries_[write] = std::move(entries_[read]);
+    seqs_[write] = seqs_[read];
+    pos_[entries_[write].id] = write;
+    ++write;
+  }
+  entries_.resize(write);
+  seqs_.resize(write);
   return removed;
 }
 
-std::optional<FlowEntry> SoftwareTable::pop_oldest() {
-  if (entries_.empty()) return std::nullopt;
-  auto oldest = entries_.begin();
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->attrs.insert_time < oldest->attrs.insert_time) oldest = it;
+std::vector<FlowEntry> SoftwareTable::erase_matching(const of::Match& filter) {
+  scratch_.clear();
+  tuple_.for_each_subsumable(filter, [&](FlowId id) {
+    const std::size_t pos = pos_.find(id)->second;
+    if (filter.subsumes(entries_[pos].match)) scratch_.push_back(pos);
+  });
+  if (scratch_.empty()) return {};
+  // Removed entries come back in descending table order — the order the
+  // original one-at-a-time reverse sweep produced.
+  std::sort(scratch_.begin(), scratch_.end(), std::greater<>());
+  return remove_batch(scratch_);
+}
+
+std::vector<FlowEntry> SoftwareTable::take_expired(SimTime now) {
+  if (timed_ == 0) return {};
+  // Expiry is time-based, not match-based, so collect by scan; the timed_
+  // fast path above keeps the common (no timeouts resident) case O(1).
+  scratch_.clear();
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].expired(now)) scratch_.push_back(i);
   }
-  FlowEntry out = std::move(*oldest);
-  entries_.erase(oldest);
-  return out;
+  if (scratch_.empty()) return {};
+  return remove_batch(scratch_);
+}
+
+std::optional<FlowEntry> SoftwareTable::pop_oldest() {
+  while (!age_heap_.empty()) {
+    const AgeRecord top = age_heap_.front();
+    std::pop_heap(age_heap_.begin(), age_heap_.end(), age_after);
+    age_heap_.pop_back();
+    const auto it = pos_.find(top.id);
+    if (it == pos_.end()) continue;  // stale: entry left the table
+    const std::size_t pos = it->second;
+    if (entries_[pos].attrs.insert_time.ns() != top.insert_ns) continue;
+    FlowEntry out = entries_[pos];
+    remove_at(pos);
+    return out;
+  }
+  return std::nullopt;
 }
 
 FlowEntry* SoftwareTable::lookup(const of::PacketHeader& pkt) {
-  FlowEntry* best = nullptr;
-  for (auto& e : entries_) {
-    if (!e.match.matches(pkt)) continue;
-    if (best == nullptr || e.priority > best->priority) best = &e;
-  }
-  return best;
+  // Winner: highest priority; ties go to the earliest-inserted entry
+  // (lowest position), matching the original front-to-back strict-> scan.
+  std::size_t best_pos = 0;
+  bool found = false;
+  tuple_.for_each_candidate(pkt, [&](FlowId id) {
+    const std::size_t pos = pos_.find(id)->second;
+    const FlowEntry& e = entries_[pos];
+    if (!e.match.matches(pkt)) return;
+    if (!found || e.priority > entries_[best_pos].priority ||
+        (e.priority == entries_[best_pos].priority && pos < best_pos)) {
+      best_pos = pos;
+      found = true;
+    }
+  });
+  return found ? &entries_[best_pos] : nullptr;
 }
 
 FlowEntry* SoftwareTable::find_strict(const of::Match& match, std::uint16_t priority) {
-  for (auto& e : entries_) {
+  const auto* ids = strict_.candidates(match, priority);
+  if (ids == nullptr) return nullptr;
+  // Bucket order is insertion order, and relative table order among equal
+  // (match, priority) keys is insertion order too, so the first verified
+  // candidate is the front-to-back scan's first hit.
+  for (const FlowId id : *ids) {
+    FlowEntry& e = entries_[pos_.find(id)->second];
     if (e.priority == priority && e.match == match) return &e;
   }
   return nullptr;
 }
 
+const FlowEntry* SoftwareTable::find_by_id(FlowId id) const {
+  const auto it = pos_.find(id);
+  return it == pos_.end() ? nullptr : &entries_[it->second];
+}
+
+FlowEntry* SoftwareTable::find_by_id(FlowId id) {
+  const auto it = pos_.find(id);
+  return it == pos_.end() ? nullptr : &entries_[it->second];
+}
+
 std::size_t SoftwareTable::modify_matching(const of::Match& filter,
                                            const of::ActionList& actions) {
-  std::size_t updated = 0;
-  for (auto& e : entries_) {
-    if (filter.subsumes(e.match)) {
-      e.actions = actions;
-      ++updated;
-    }
-  }
-  return updated;
+  return for_each_matching(filter, [&](FlowEntry& e) { e.actions = actions; });
+}
+
+bool SoftwareTable::replace(FlowId id, FlowEntry entry) {
+  const auto it = pos_.find(id);
+  if (it == pos_.end()) return false;
+  FlowEntry& old = entries_[it->second];
+  if (is_timed(old)) --timed_;
+  if (is_timed(entry)) ++timed_;
+  old = std::move(entry);
+  // The replacement restarts the entry's clock; record the new insertion
+  // time under the original serial so age order still follows position.
+  push_age(old, seqs_[it->second]);
+  compact_age_heap();
+  return true;
+}
+
+void SoftwareTable::clear() {
+  entries_.clear();
+  seqs_.clear();
+  timed_ = 0;
+  pos_.clear();
+  tuple_.clear();
+  strict_.clear();
+  age_heap_.clear();
 }
 
 void MicroflowCache::insert(const of::PacketHeader& key, FlowId source_rule,
                             const of::ActionList& actions, SimTime now) {
-  if (map_.find(key) == map_.end()) {
+  const std::uint64_t rule_seq = next_seq_++;
+  const auto it = map_.find(key);
+  std::uint64_t fifo_seq;
+  if (it == map_.end()) {
+    // Evict in FIFO order until a slot opens. Stale pairs (key since
+    // evicted, invalidated, or re-keyed) don't shrink the map, so the loop
+    // skips past them and removes exactly the victims an eagerly-maintained
+    // FIFO would have.
     while (capacity_ != 0 && map_.size() >= capacity_ && !fifo_.empty()) {
-      map_.erase(fifo_.front());
+      const auto& [k, fseq] = fifo_.front();
+      const auto vit = map_.find(k);
+      if (vit != map_.end() && vit->second.fifo_seq == fseq) map_.erase(vit);
       fifo_.pop_front();
     }
-    fifo_.push_back(key);
+    fifo_seq = rule_seq;
+    fifo_.emplace_back(key, fifo_seq);
+  } else {
+    // Overwriting a resident key keeps its FIFO position.
+    fifo_seq = it->second.fifo_seq;
   }
-  map_[key] = Entry{source_rule, actions, now};
+  map_[key] = Entry{source_rule, actions, now, fifo_seq, rule_seq};
+  by_rule_[source_rule].emplace_back(key, rule_seq);
+  ++by_rule_total_;
+  maybe_compact();
 }
 
 std::optional<MicroflowCache::Hit> MicroflowCache::lookup(
@@ -90,22 +250,47 @@ std::optional<MicroflowCache::Hit> MicroflowCache::lookup(
 }
 
 void MicroflowCache::invalidate_rule(FlowId source_rule) {
-  for (auto it = map_.begin(); it != map_.end();) {
-    if (it->second.source_rule == source_rule) {
-      it = map_.erase(it);
-    } else {
-      ++it;
+  const auto it = by_rule_.find(source_rule);
+  if (it == by_rule_.end()) return;
+  for (const auto& [key, rseq] : it->second) {
+    const auto mit = map_.find(key);
+    if (mit != map_.end() && mit->second.rule_seq == rseq) map_.erase(mit);
+  }
+  by_rule_total_ -= it->second.size();
+  by_rule_.erase(it);
+  // fifo_ may keep stale pairs; eviction and compaction skip them lazily.
+}
+
+void MicroflowCache::maybe_compact() {
+  if (fifo_.size() > 2 * map_.size() + 64) {
+    std::erase_if(fifo_, [this](const auto& pair) {
+      const auto it = map_.find(pair.first);
+      return it == map_.end() || it->second.fifo_seq != pair.second;
+    });
+  }
+  if (by_rule_total_ > 4 * map_.size() + 64) {
+    by_rule_total_ = 0;
+    for (auto it = by_rule_.begin(); it != by_rule_.end();) {
+      auto& vec = it->second;
+      std::erase_if(vec, [this](const auto& pair) {
+        const auto mit = map_.find(pair.first);
+        return mit == map_.end() || mit->second.rule_seq != pair.second;
+      });
+      if (vec.empty()) {
+        it = by_rule_.erase(it);
+      } else {
+        by_rule_total_ += vec.size();
+        ++it;
+      }
     }
   }
-  // fifo_ may keep stale keys; they are skipped lazily on eviction.
-  std::erase_if(fifo_, [this](const of::PacketHeader& k) {
-    return map_.find(k) == map_.end();
-  });
 }
 
 void MicroflowCache::clear() {
   map_.clear();
   fifo_.clear();
+  by_rule_.clear();
+  by_rule_total_ = 0;
 }
 
 }  // namespace tango::tables

@@ -11,14 +11,27 @@
 // single-wide mode (entries match only L2 *or* only L3 headers, 1 slot
 // each), double-wide mode (every entry occupies 2 slots, any layer mix), or
 // adaptive mode (L2-only/L3-only cost 1 slot, L2+L3 cost 2 — Switch #3).
+//
+// The physical array is the source of truth (entries() order is the
+// observable physical order and the shift counts derive from it), but all
+// point operations go through side indexes so nothing scans the array:
+// a tuple-space index for lookup/subsumption, a strict (match, priority)
+// hash for OpenFlow strict ops, an id -> position map, and a lazy eviction
+// heap when a cache policy is attached. The indexes are accelerators only —
+// results are bit-identical to the linear scans they replaced (see the
+// ReferenceTcam differential suite in tests/test_table_diff.cpp).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "tables/eviction_heap.h"
 #include "tables/flow_entry.h"
+#include "tables/tuple_index.h"
 
 namespace tango::tables {
 
@@ -60,10 +73,18 @@ class Tcam {
   /// Remove by flow id. Counts compaction shifts.
   TcamEraseOutcome erase(FlowId id);
 
+  /// Remove by flow id, returning the entry. Compaction shifts are *added*
+  /// to `*shifts` when non-null (callers accumulate across levels).
+  std::optional<FlowEntry> take(FlowId id, std::size_t* shifts = nullptr);
+
   /// Remove all entries whose match is subsumed by `filter` (non-strict
   /// OpenFlow delete). Returns removed entries.
   std::vector<FlowEntry> erase_matching(const of::Match& filter,
                                         std::size_t* shifts_out = nullptr);
+
+  /// Remove every entry whose idle/hard timeout elapsed by `now`. O(1) when
+  /// no resident entry carries a timeout.
+  std::vector<FlowEntry> take_expired(SimTime now);
 
   /// Highest-priority entry matching the packet (ties: most recent insert).
   FlowEntry* lookup(const of::PacketHeader& pkt);
@@ -71,9 +92,47 @@ class Tcam {
   /// Exact (match, priority) find, nullptr if absent.
   FlowEntry* find_strict(const of::Match& match, std::uint16_t priority);
 
+  [[nodiscard]] const FlowEntry* find_by_id(FlowId id) const;
+  FlowEntry* find_by_id(FlowId id);
+
+  /// Apply `fn` to every entry subsumed by `filter`, in physical order.
+  /// `fn` must not change an entry's match, priority, or id (use
+  /// note_attrs_changed() after mutating policy attributes). Returns the
+  /// number of entries visited.
+  template <typename Fn>
+  std::size_t for_each_matching(const of::Match& filter, Fn&& fn) {
+    scratch_.clear();
+    tuple_.for_each_subsumable(filter, [&](FlowId id) {
+      const std::size_t pos = pos_.find(id)->second;
+      if (filter.subsumes(entries_[pos].match)) scratch_.push_back(pos);
+    });
+    std::sort(scratch_.begin(), scratch_.end());
+    for (const std::size_t pos : scratch_) fn(entries_[pos]);
+    return scratch_.size();
+  }
+
   /// In-place modification of actions for all entries subsumed by `filter`
   /// (OpenFlow MODIFY). Returns number updated; no shifts are incurred.
   std::size_t modify_matching(const of::Match& filter, const of::ActionList& actions);
+
+  /// Overwrite the entry with this id in place (the OpenFlow ADD-replaces-
+  /// duplicate path). The replacement must carry the same id, match, and
+  /// priority; position and shift state are untouched. False if absent.
+  bool replace(FlowId id, FlowEntry entry);
+
+  // --- cache-policy eviction (kPolicyCache levels) -------------------------
+  /// Attach the owning switch's policy (non-owning; nullptr detaches).
+  /// Enables victim_id(); resident entries are re-indexed into the heap.
+  void set_eviction_policy(const LexCachePolicy* policy);
+
+  /// The policy's eviction victim among resident entries — identical to
+  /// LexCachePolicy::victim_index over entries() — or nullopt when empty.
+  /// Requires an attached policy.
+  std::optional<FlowId> victim_id();
+
+  /// Re-rank `id` after an external mutation of its policy attributes
+  /// (e.g. record_hit). No-op when no policy is attached.
+  void note_attrs_changed(FlowId id);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t slots_used() const { return slots_used_; }
@@ -82,14 +141,28 @@ class Tcam {
 
   /// Entries in physical (ascending-priority) order.
   [[nodiscard]] const std::vector<FlowEntry>& entries() const { return entries_; }
-  [[nodiscard]] std::vector<FlowEntry>& entries() { return entries_; }
 
   void clear();
 
  private:
+  static bool is_timed(const FlowEntry& e) {
+    return e.idle_timeout != 0 || e.hard_timeout != 0;
+  }
+  void index_entry(const FlowEntry& e, std::size_t pos);
+  /// Remove the entries at `desc` (positions, strictly descending), in that
+  /// order, mirroring the shift accounting of one-at-a-time erasure.
+  std::vector<FlowEntry> remove_batch(const std::vector<std::size_t>& desc,
+                                      std::size_t* shifts_out);
+
   TcamConfig config_;
   std::vector<FlowEntry> entries_;  // ascending priority; equal-priority FIFO
   std::size_t slots_used_ = 0;
+  std::size_t timed_ = 0;           // resident entries with a timeout set
+  std::unordered_map<FlowId, std::size_t> pos_;
+  TupleSpaceIndex tuple_;
+  StrictIndex strict_;
+  EvictionHeap heap_;
+  std::vector<std::size_t> scratch_;  // candidate positions, reused
 };
 
 }  // namespace tango::tables

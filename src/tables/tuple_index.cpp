@@ -1,0 +1,161 @@
+#include "tables/tuple_index.h"
+
+#include <algorithm>
+
+#include "openflow/constants.h"
+
+namespace tango::tables {
+
+namespace {
+
+// Exact-field bits of MaskSignature::exact, in the mixing order below.
+enum : std::uint16_t {
+  kFieldInPort = 1u << 0,
+  kFieldDlSrc = 1u << 1,
+  kFieldDlDst = 1u << 2,
+  kFieldDlVlan = 1u << 3,
+  kFieldDlVlanPcp = 1u << 4,
+  kFieldDlType = 1u << 5,
+  kFieldNwTos = 1u << 6,
+  kFieldNwProto = 1u << 7,
+  kFieldTpSrc = 1u << 8,
+  kFieldTpDst = 1u << 9,
+};
+
+struct Fnv {
+  std::uint64_t x = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    x ^= v;
+    x *= 1099511628211ULL;
+  }
+  void mix_mac(const of::MacAddr& mac) {
+    std::uint64_t v = 0;
+    for (auto b : mac) v = (v << 8) | b;
+    mix(v);
+  }
+};
+
+}  // namespace
+
+MaskSignature MaskSignature::of(const of::Match& m) {
+  MaskSignature sig;
+  auto set = [&](std::uint32_t wildcard_bit, std::uint16_t field_bit) {
+    if (!m.field_wildcarded(wildcard_bit)) sig.exact |= field_bit;
+  };
+  set(of::kWildcardInPort, kFieldInPort);
+  set(of::kWildcardDlSrc, kFieldDlSrc);
+  set(of::kWildcardDlDst, kFieldDlDst);
+  set(of::kWildcardDlVlan, kFieldDlVlan);
+  set(of::kWildcardDlVlanPcp, kFieldDlVlanPcp);
+  set(of::kWildcardDlType, kFieldDlType);
+  set(of::kWildcardNwTos, kFieldNwTos);
+  set(of::kWildcardNwProto, kFieldNwProto);
+  set(of::kWildcardTpSrc, kFieldTpSrc);
+  set(of::kWildcardTpDst, kFieldTpDst);
+  sig.src_plen = static_cast<std::uint8_t>(m.nw_src_prefix_len());
+  sig.dst_plen = static_cast<std::uint8_t>(m.nw_dst_prefix_len());
+  return sig;
+}
+
+// The two masked_key_of overloads must mix the same value sequence for any
+// (match, packet) pair the match accepts; keep them structurally parallel.
+
+std::uint64_t masked_key_of(const MaskSignature& sig, const of::Match& m) {
+  Fnv h;
+  if (sig.exact & kFieldInPort) h.mix(m.in_port);
+  if (sig.exact & kFieldDlSrc) h.mix_mac(m.dl_src);
+  if (sig.exact & kFieldDlDst) h.mix_mac(m.dl_dst);
+  if (sig.exact & kFieldDlVlan) h.mix(m.dl_vlan);
+  if (sig.exact & kFieldDlVlanPcp) h.mix(m.dl_vlan_pcp);
+  if (sig.exact & kFieldDlType) h.mix(m.dl_type);
+  if (sig.exact & kFieldNwTos) h.mix(m.nw_tos);
+  if (sig.exact & kFieldNwProto) h.mix(m.nw_proto);
+  if (sig.exact & kFieldTpSrc) h.mix(m.tp_src);
+  if (sig.exact & kFieldTpDst) h.mix(m.tp_dst);
+  h.mix(m.nw_src & of::prefix_mask32(sig.src_plen));
+  h.mix(m.nw_dst & of::prefix_mask32(sig.dst_plen));
+  return h.x;
+}
+
+std::uint64_t masked_key_of(const MaskSignature& sig, const of::PacketHeader& p) {
+  Fnv h;
+  if (sig.exact & kFieldInPort) h.mix(p.in_port);
+  if (sig.exact & kFieldDlSrc) h.mix_mac(p.dl_src);
+  if (sig.exact & kFieldDlDst) h.mix_mac(p.dl_dst);
+  if (sig.exact & kFieldDlVlan) h.mix(p.dl_vlan);
+  if (sig.exact & kFieldDlVlanPcp) h.mix(p.dl_vlan_pcp);
+  if (sig.exact & kFieldDlType) h.mix(p.dl_type);
+  if (sig.exact & kFieldNwTos) h.mix(p.nw_tos);
+  if (sig.exact & kFieldNwProto) h.mix(p.nw_proto);
+  if (sig.exact & kFieldTpSrc) h.mix(p.tp_src);
+  if (sig.exact & kFieldTpDst) h.mix(p.tp_dst);
+  h.mix(p.nw_src & of::prefix_mask32(sig.src_plen));
+  h.mix(p.nw_dst & of::prefix_mask32(sig.dst_plen));
+  return h.x;
+}
+
+void TupleSpaceIndex::insert(const of::Match& m, FlowId id) {
+  const MaskSignature sig = MaskSignature::of(m);
+  auto& group = groups_[sig.packed()];
+  group.sig = sig;
+  group.buckets[masked_key_of(sig, m)].push_back(id);
+  ++group.size;
+}
+
+void TupleSpaceIndex::erase(const of::Match& m, FlowId id) {
+  const MaskSignature sig = MaskSignature::of(m);
+  const auto git = groups_.find(sig.packed());
+  if (git == groups_.end()) return;
+  auto& group = git->second;
+  const auto bit = group.buckets.find(masked_key_of(sig, m));
+  if (bit == group.buckets.end()) return;
+  auto& ids = bit->second;
+  const auto it = std::find(ids.begin(), ids.end(), id);
+  if (it == ids.end()) return;
+  ids.erase(it);
+  if (ids.empty()) group.buckets.erase(bit);
+  if (--group.size == 0) groups_.erase(git);
+}
+
+void TupleSpaceIndex::clear() { groups_.clear(); }
+
+std::uint64_t StrictIndex::key_of(const of::Match& m, std::uint16_t priority) {
+  Fnv h;
+  h.mix(m.wildcards);
+  h.mix(m.in_port);
+  h.mix_mac(m.dl_src);
+  h.mix_mac(m.dl_dst);
+  h.mix(m.dl_vlan);
+  h.mix(m.dl_vlan_pcp);
+  h.mix(m.dl_type);
+  h.mix(m.nw_tos);
+  h.mix(m.nw_proto);
+  h.mix(m.nw_src);
+  h.mix(m.nw_dst);
+  h.mix(m.tp_src);
+  h.mix(m.tp_dst);
+  h.mix(priority);
+  return h.x;
+}
+
+void StrictIndex::insert(const of::Match& m, std::uint16_t priority, FlowId id) {
+  buckets_[key_of(m, priority)].push_back(id);
+}
+
+void StrictIndex::erase(const of::Match& m, std::uint16_t priority, FlowId id) {
+  const auto bit = buckets_.find(key_of(m, priority));
+  if (bit == buckets_.end()) return;
+  auto& ids = bit->second;
+  const auto it = std::find(ids.begin(), ids.end(), id);
+  if (it == ids.end()) return;
+  ids.erase(it);
+  if (ids.empty()) buckets_.erase(bit);
+}
+
+const std::vector<FlowId>* StrictIndex::candidates(const of::Match& m,
+                                                   std::uint16_t priority) const {
+  const auto it = buckets_.find(key_of(m, priority));
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tango::tables

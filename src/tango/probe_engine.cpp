@@ -122,11 +122,10 @@ SimDuration ProbeEngine::timed_batch(const std::vector<of::FlowMod>& commands,
   // Heap-held counter: under faults a duplicated completion notice can
   // arrive after this function returned.
   auto rejections = std::make_shared<std::size_t>(0);
-  for (const auto& fm : commands) {
-    network_.post_flow_mod(switch_id_, fm, [rejections](bool accepted, SimTime) {
-      if (!accepted) ++*rejections;
-    });
-  }
+  network_.post_flow_mod_batch(
+      switch_id_, commands, [rejections](bool accepted, SimTime) {
+        if (!accepted) ++*rejections;
+      });
   const SimTime done = sync_barrier();
   if (rejected != nullptr) *rejected = *rejections;
   if (auto* t = network_.telemetry()) {

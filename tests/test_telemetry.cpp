@@ -442,5 +442,122 @@ TEST(TelemetryDeterminismTest, ReportCountersMatchRegistry) {
   EXPECT_NE(json.find("s1"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Bit-identity acceptance for the indexed table core and batched wire path.
+// The fig10 (link-failure) and fig12-style (traffic-engineering) scenarios,
+// fault-free and under a fault seed, must export byte-identical RunReport
+// and trace JSON across repeat runs — the indexes and the batching layer
+// are allowed to change speed, never behaviour.
+// ---------------------------------------------------------------------------
+
+struct AcceptanceRun {
+  std::string report_json;
+  std::string trace_json;
+};
+
+AcceptanceRun run_acceptance(bool traffic_engineering, bool with_faults) {
+  net::Network net;
+  workload::TestbedIds ids;
+  ids.s1 = net.add_switch(profiles::switch1());
+  ids.s2 = net.add_switch(profiles::switch1());
+  ids.s3 = net.add_switch(profiles::switch3());
+  Telemetry tele;
+  net.set_telemetry(&tele);
+  if (with_faults) {
+    for (const auto id : {ids.s1, ids.s2, ids.s3}) {
+      net::FaultConfig cfg;
+      cfg.drop_to_switch = 0.03;
+      cfg.drop_to_controller = 0.03;
+      cfg.seed = 90 + id;
+      net.enable_faults(id, cfg);
+    }
+  }
+  Rng rng(13);
+  const auto dag =
+      traffic_engineering
+          ? workload::traffic_engineering_scenario(ids, 80, 2.0, 1.0, 1.0, rng)
+          : workload::link_failure_scenario(ids, 60, rng, 0);
+  sched::DionysusScheduler sched;
+  sched::ExecutorOptions opts;
+  opts.request_timeout = millis(50);
+  opts.max_retries = 5;
+  opts.backoff_base = millis(2);
+  const auto report = execute(net, dag, sched, opts);
+
+  RunReport rr(traffic_engineering ? "fig12_te" : "fig10_lf");
+  rr.set_result("makespan_s", report.makespan.sec());
+  rr.set_result("issued", static_cast<double>(report.issued));
+  rr.set_result("retries", static_cast<double>(report.retries));
+  rr.set_result("timeouts", static_cast<double>(report.timeouts));
+  rr.set_result("failed", static_cast<double>(report.failed_requests));
+  rr.add_metrics(tele.metrics);
+  rr.add_spans(tele.trace, {"exec"});
+  return {rr.to_json(), tele.trace.to_chrome_json()};
+}
+
+TEST(BitIdentityAcceptance, Fig10AndFig12RunsAreByteStable) {
+  for (const bool te : {false, true}) {
+    for (const bool faults : {false, true}) {
+      SCOPED_TRACE(std::string(te ? "fig12_te" : "fig10_lf") +
+                   (faults ? " faulted" : " fault-free"));
+      const auto a = run_acceptance(te, faults);
+      const auto b = run_acceptance(te, faults);
+      ASSERT_FALSE(a.trace_json.empty());
+      EXPECT_EQ(a.report_json, b.report_json);
+      EXPECT_EQ(a.trace_json, b.trace_json);  // byte-for-byte
+    }
+  }
+}
+
+TEST(BitIdentityAcceptance, BatchedFlowModsMatchSequentialSends) {
+  // The batched wire path (one burst, one arrival event) must produce the
+  // same completion order, the same simulated completion times, the same
+  // channel byte counts, and the same trace as N sequential sends.
+  struct Outcome {
+    std::vector<std::pair<bool, std::int64_t>> completions;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::string trace_json;
+  };
+  const auto run = [](bool batched) {
+    Outcome out;
+    net::Network net;
+    const SwitchId id = net.add_switch(profiles::switch1());
+    Telemetry tele;
+    net.set_telemetry(&tele);
+    std::vector<of::FlowMod> fms;
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      of::FlowMod fm;
+      fm.command = of::FlowModCommand::kAdd;
+      fm.match.with_dl_type(0x0800);
+      fm.match.set_nw_src_prefix(0x0a000000u + i, 32);
+      fm.priority = static_cast<std::uint16_t>(0x3000 + (i % 5));
+      fm.cookie = i;
+      fm.actions = of::output_to(2);
+      fms.push_back(fm);
+    }
+    const auto done = [&out](bool accepted, SimTime at) {
+      out.completions.emplace_back(accepted, at.ns());
+    };
+    if (batched) {
+      net.post_flow_mod_batch(id, fms, done);
+    } else {
+      for (const auto& fm : fms) net.post_flow_mod(id, fm, done);
+    }
+    net.run_all();
+    out.messages = net.stats(id).messages_to_switch;
+    out.bytes = net.stats(id).bytes_to_switch;
+    out.trace_json = tele.trace.to_chrome_json();
+    return out;
+  };
+  const auto sequential = run(false);
+  const auto batched = run(true);
+  ASSERT_EQ(sequential.completions.size(), 32u);
+  EXPECT_EQ(batched.completions, sequential.completions);
+  EXPECT_EQ(batched.messages, sequential.messages);
+  EXPECT_EQ(batched.bytes, sequential.bytes);
+  EXPECT_EQ(batched.trace_json, sequential.trace_json);
+}
+
 }  // namespace
 }  // namespace tango::telemetry
