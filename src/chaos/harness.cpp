@@ -1,5 +1,6 @@
 #include "chaos/harness.h"
 
+#include <optional>
 #include <set>
 
 #include "apps/acl_compiler.h"
@@ -71,8 +72,45 @@ bool build_workload(const ChaosSpec& spec, net::Network& net,
   return true;
 }
 
+/// True for semantic (switch-model) faults, false for wire faults.
+bool is_misbehavior(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSilentInstallDrop:
+    case FaultKind::kStaleFlowStats:
+    case FaultKind::kSpuriousFlowRemoved:
+    case FaultKind::kPriorityInversion:
+    case FaultKind::kLatencyDrift:
+    case FaultKind::kCapacityShrink:
+      return true;
+    case FaultKind::kCrash:
+    case FaultKind::kStall:
+    case FaultKind::kPartition:
+    case FaultKind::kLossBurst:
+      return false;
+  }
+  return false;
+}
+
+switchsim::MisbehaviorKind misbehavior_kind_of(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSilentInstallDrop:
+      return switchsim::MisbehaviorKind::kSilentInstallDrop;
+    case FaultKind::kStaleFlowStats:
+      return switchsim::MisbehaviorKind::kStaleFlowStats;
+    case FaultKind::kSpuriousFlowRemoved:
+      return switchsim::MisbehaviorKind::kSpuriousFlowRemoved;
+    case FaultKind::kPriorityInversion:
+      return switchsim::MisbehaviorKind::kPriorityInversion;
+    case FaultKind::kLatencyDrift:
+      return switchsim::MisbehaviorKind::kLatencyDrift;
+    default:
+      return switchsim::MisbehaviorKind::kCapacityShrink;
+  }
+}
+
 /// Lower the schedule onto per-switch injector configs, offsets rebased to
-/// absolute times at `t0` (commit start).
+/// absolute times at `t0` (commit start). Misbehavior events are not wire
+/// faults; they are lowered separately onto switchsim::MisbehaviorProfile.
 net::FaultConfig config_for(const ChaosSchedule& schedule, SwitchId id,
                             SimTime t0) {
   net::FaultConfig cfg;
@@ -80,7 +118,7 @@ net::FaultConfig config_for(const ChaosSchedule& schedule, SwitchId id,
   cfg.drop_to_controller = schedule.base_loss;
   cfg.seed = schedule.spec.seed * 1000003 + id;
   for (const auto& ev : schedule.events) {
-    if (ev.target != id) continue;
+    if (ev.target != id || is_misbehavior(ev.kind)) continue;
     switch (ev.kind) {
       case FaultKind::kCrash:
         cfg.crashes.push_back({t0 + ev.at, ev.duration});
@@ -94,9 +132,41 @@ net::FaultConfig config_for(const ChaosSchedule& schedule, SwitchId id,
       case FaultKind::kLossBurst:
         cfg.loss_bursts.push_back({t0 + ev.at, ev.duration, ev.drop, ev.drop});
         break;
+      default:
+        break;
     }
   }
   return cfg;
+}
+
+/// Ground-truth knowledge synthesized from the switch profile — what a
+/// completed learn() would have produced, minus the probing cost. Chaos
+/// runs adopt it so the knowledge-health loop starts from accurate priors
+/// and every post-drift divergence is attributable to the schedule.
+core::SwitchKnowledge synthetic_knowledge(net::Network& net, SwitchId id) {
+  const auto& profile = net.sw(id).profile();
+  core::SwitchKnowledge know;
+  know.switch_id = id;
+  know.name = profile.name;
+  std::size_t total = 0;
+  for (const auto& lvl : profile.cache_levels) total += lvl.capacity_slots;
+  know.sizes.installed = total;
+  know.sizes.hit_rule_cap = false;
+  if (!profile.cache_levels.empty()) {
+    know.sizes.layer_sizes.push_back(
+        static_cast<double>(profile.cache_levels.front().capacity_slots));
+  }
+  // Per-rule batched costs: base + the amortized message overhead a
+  // same-type run pays (LatencyModel::flow_mod_cost with batching active).
+  const auto& c = profile.costs;
+  const double overhead_ms = c.batch_factor * c.msg_overhead.ms();
+  know.costs.add_ascending_ms = c.add_base.ms() + overhead_ms;
+  know.costs.add_descending_ms = c.add_base.ms() + overhead_ms;
+  know.costs.add_same_priority_ms = c.add_same_priority.ms() + overhead_ms;
+  know.costs.add_random_ms = c.add_base.ms() + overhead_ms;
+  know.costs.mod_ms = c.mod_base.ms() + overhead_ms;
+  know.costs.del_ms = c.del_base.ms() + overhead_ms;
+  return know;
 }
 
 // --- fingerprint ------------------------------------------------------------
@@ -164,6 +234,28 @@ std::uint64_t fingerprint_of(const ChaosResult& r,
       fold(h, of::output_port(rule.actions));
     }
   }
+  // Misbehavior-mode folds — all empty for wire-fault-only specs, so their
+  // frozen v1 fingerprints are unchanged.
+  for (const auto& [id, n] : r.report.readback_mismatches) {
+    fold(h, id);
+    fold(h, n);
+  }
+  for (const auto& [id, m] : r.misbehavior_stats) {
+    fold(h, id);
+    fold(h, m.events_activated);
+    fold(h, m.silent_drops);
+    fold(h, m.stale_stats_replies);
+    fold(h, m.spurious_removals);
+    fold(h, m.priority_inversions);
+    fold(h, m.latency_drifts);
+    fold(h, m.capacity_shrinks);
+    fold(h, m.entries_evicted);
+  }
+  for (const auto& act : r.sentinel) {
+    fold(h, act.switch_id);
+    fold(h, (act.probed ? 1u : 0u) | (act.confirmed ? 2u : 0u) |
+                (act.reinferred ? 4u : 0u) | (act.quarantined ? 8u : 0u));
+  }
   fold(h, static_cast<std::uint64_t>(r.end_time.ns()));
   return h;
 }
@@ -214,13 +306,44 @@ ChaosResult run_chaos(const ChaosSchedule& schedule) {
   topts.max_readback_retries = 6;
   topts.max_reconcile_rounds = 6;
 
+  // Misbehavior mode routes the transaction through the TangoController so
+  // the knowledge-health wiring is exercised end-to-end: every switch
+  // starts suspected (operator distrust), so its commit runs with
+  // conservative cost hints and readback verification — the only defense
+  // against a switch that acknowledges installs it never performed.
+  std::optional<core::TangoController> ctl;
+  if (spec.misbehavior) {
+    ctl.emplace(net);
+    for (const auto id : all) {
+      ctl->adopt(synthetic_knowledge(net, id));
+      ctl->health().suspect(id);
+    }
+  }
+
   // Construct (snapshot + journal) over the still-clean channel, then arm
   // the schedule relative to commit start.
-  sched::UpdateTransaction txn(net, std::move(dag), topts);
+  sched::UpdateTransaction txn =
+      spec.misbehavior ? ctl->begin_update(std::move(dag), topts)
+                       : sched::UpdateTransaction(net, std::move(dag), topts);
   const SimTime t0 = net.now();
   for (const auto id : all) {
     net.enable_faults(id, config_for(schedule, id, t0));
   }
+  std::map<SwitchId, switchsim::MisbehaviorProfile> mis;
+  for (const auto& ev : schedule.events) {
+    if (!is_misbehavior(ev.kind)) continue;
+    switchsim::MisbehaviorEvent me;
+    me.kind = misbehavior_kind_of(ev.kind);
+    me.at = t0 + ev.at;
+    if (ev.kind == FaultKind::kLatencyDrift ||
+        ev.kind == FaultKind::kCapacityShrink) {
+      me.magnitude = ev.magnitude;
+    } else {
+      me.count = static_cast<std::size_t>(ev.magnitude);
+    }
+    mis[ev.target].events.push_back(me);
+  }
+  for (auto& [id, profile] : mis) net.set_misbehavior(id, std::move(profile));
 
   sched::DionysusScheduler scheduler;
   out.report = txn.commit(scheduler);
@@ -242,12 +365,21 @@ ChaosResult run_chaos(const ChaosSchedule& schedule) {
     }
   }
 
-  // Quiescent point: swap in clean injectors (no loss, no windows) so the
-  // oracle phase's readback traffic cannot itself be faulted.
+  // Quiescent point: swap in clean injectors (no loss, no windows) and
+  // disarm any leftover misbehavior budgets so the oracle phase's readback
+  // traffic cannot itself be faulted or lied to. A final explicit sweep
+  // first activates any still-pending events (their activation echo-poke
+  // may have been dropped by the wire faults) so drift lands before the
+  // sentinel and the activation counters reconcile with the schedule.
   for (const auto id : all) {
     net::FaultConfig clean;
     clean.seed = 1;
     net.enable_faults(id, clean);
+    if (spec.misbehavior) {
+      net.sw(id).sweep_timeouts(net.now());
+      out.misbehavior_stats[id] = net.sw(id).misbehavior_stats();
+      net.sw(id).clear_misbehavior();
+    }
   }
 
   if (!late_crashes.empty()) {
@@ -273,12 +405,76 @@ ChaosResult run_chaos(const ChaosSchedule& schedule) {
   in.fault_stats = out.fault_stats;
   in.cookie_checks = cookie_checks;
   out.violations = check_invariants(in);
-  out.end_time = net.now();
 
+  // Final tables captured before any sentinel activity: re-inference
+  // probing wipes and rewrites them.
   std::map<SwitchId, sched::TableImage> tables;
   for (const auto id : all) {
     tables.emplace(id, sched::image_of(net.sw(id).flow_stats(of::Match::any())));
   }
+
+  if (spec.misbehavior) {
+    // Accounting: every scheduled semantic fault must have activated.
+    std::map<SwitchId, std::uint64_t> scheduled_mis;
+    for (const auto& ev : schedule.events) {
+      if (is_misbehavior(ev.kind)) ++scheduled_mis[ev.target];
+    }
+    for (const auto& [id, m] : out.misbehavior_stats) {
+      const auto it = scheduled_mis.find(id);
+      const std::uint64_t want = it == scheduled_mis.end() ? 0 : it->second;
+      if (m.events_activated != want) {
+        out.violations.push_back(
+            {"misbehavior-counters",
+             "switch " + std::to_string(id) + ": " +
+                 std::to_string(m.events_activated) +
+                 " misbehavior events activated vs " + std::to_string(want) +
+                 " scheduled"});
+      }
+    }
+
+    // Knowledge reconvergence: a forced sentinel sweep must confirm and
+    // re-infer every latency drift. A switch that only drifted (or was
+    // never faulted semantically) must come out of quarantine — drift is
+    // cured by re-inference, and honest switches recover trust through
+    // their clean verified commits. A switch that *lied* (silent drops,
+    // stale stats, spurious removals, inversions) may legitimately stay
+    // quarantined: readback mismatches discredit trust, and re-inference
+    // cannot restore faith in a switch that misreports its own state.
+    out.sentinel = ctl->run_sentinel({}, /*force_probe=*/true);
+    std::set<SwitchId> drifted;
+    std::set<SwitchId> lied_to;
+    for (const auto& ev : schedule.events) {
+      switch (ev.kind) {
+        case FaultKind::kLatencyDrift:
+          drifted.insert(ev.target);
+          break;
+        case FaultKind::kSilentInstallDrop:
+        case FaultKind::kStaleFlowStats:
+        case FaultKind::kSpuriousFlowRemoved:
+        case FaultKind::kPriorityInversion:
+          lied_to.insert(ev.target);
+          break;
+        default:
+          break;
+      }
+    }
+    for (const auto& act : out.sentinel) {
+      if (drifted.count(act.switch_id) != 0 &&
+          !(act.confirmed && act.reinferred)) {
+        out.violations.push_back(
+            {"knowledge",
+             "switch " + std::to_string(act.switch_id) +
+                 ": latency drift not detected/re-inferred by the sentinel"});
+      }
+      if (act.quarantined && lied_to.count(act.switch_id) == 0) {
+        out.violations.push_back(
+            {"knowledge", "switch " + std::to_string(act.switch_id) +
+                              " still quarantined after the sentinel sweep"});
+      }
+    }
+  }
+
+  out.end_time = net.now();
   out.fingerprint = fingerprint_of(out, tables);
   return out;
 }

@@ -24,6 +24,8 @@
 #include "chaos/schedule.h"
 #include "net/fault_injector.h"
 #include "scheduler/transaction.h"
+#include "switchsim/misbehavior.h"
+#include "tango/tango.h"
 
 namespace tango::chaos {
 
@@ -31,12 +33,18 @@ struct ChaosResult {
   ChaosSchedule schedule;
   sched::TransactionReport report;
   std::vector<OracleViolation> violations;
-  /// FNV-1a over counters, fault stats, final tables, and the final clock.
+  /// FNV-1a over counters, fault stats, final tables, and the final clock
+  /// (plus misbehavior stats, health counters, and sentinel outcomes when
+  /// the spec enables misbehavior).
   std::uint64_t fingerprint = 0;
   /// Virtual time when the run quiesced.
   SimTime end_time{};
   /// Per-switch injector stats captured before the oracle phase.
   std::map<SwitchId, net::FaultStats> fault_stats;
+  /// Per-switch semantic-fault stats (misbehavior specs only).
+  std::map<SwitchId, switchsim::MisbehaviorStats> misbehavior_stats;
+  /// Post-oracle forced sentinel sweep (misbehavior specs only).
+  std::vector<core::SentinelAction> sentinel;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   /// Oracle names, deduplicated in order — the repro metadata.

@@ -16,7 +16,8 @@ std::string to_string(const OracleViolation& v) {
 const sched::TableImage& desired_image(const sched::UpdateTransaction& txn,
                                        SwitchId id) {
   const auto& report = txn.report();
-  if (report.policy == sched::RecoveryPolicy::kRollBack && report.reconciled) {
+  if (report.policy == sched::RecoveryPolicy::kRollBack &&
+      report.rolled_back) {
     return txn.pre_image(id);
   }
   return txn.post_image(id);

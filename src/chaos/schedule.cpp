@@ -17,6 +17,12 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kStall: return "stall";
     case FaultKind::kPartition: return "partition";
     case FaultKind::kLossBurst: return "loss_burst";
+    case FaultKind::kSilentInstallDrop: return "silent_install_drop";
+    case FaultKind::kStaleFlowStats: return "stale_flow_stats";
+    case FaultKind::kSpuriousFlowRemoved: return "spurious_flow_removed";
+    case FaultKind::kPriorityInversion: return "priority_inversion";
+    case FaultKind::kLatencyDrift: return "latency_drift";
+    case FaultKind::kCapacityShrink: return "capacity_shrink";
   }
   return "?";
 }
@@ -87,6 +93,44 @@ ChaosSchedule generate_schedule(const ChaosSpec& spec) {
     }
     out.events.push_back(ev);
   }
+
+  // Semantic misbehavior draws happen strictly after every wire-fault draw,
+  // so schedules with misbehavior=false are byte-identical to pre-v2 ones
+  // (frozen repro fingerprints stay valid).
+  if (spec.misbehavior) {
+    const std::size_t n_mis = 1 + rng.index(3);
+    for (std::size_t i = 0; i < n_mis; ++i) {
+      FaultEvent ev;
+      ev.target = static_cast<SwitchId>(1 + rng.index(n_targets));
+      ev.at = nanos(rng.uniform_int(0, params.window.ns()));
+      const double roll = rng.uniform_real(0, 1);
+      // Lie counts are small (budgets), so the transaction's repair budget
+      // (6 readback retries x 6 rounds) always outlasts them; drift scales
+      // keep every op far below the 200ms request timeout; shrink keep
+      // fractions never evict a chaos-sized workload from a 2048/767-slot
+      // fast table.
+      if (roll < 0.25) {
+        ev.kind = FaultKind::kSilentInstallDrop;
+        ev.magnitude = static_cast<double>(1 + rng.index(3));
+      } else if (roll < 0.45) {
+        ev.kind = FaultKind::kStaleFlowStats;
+        ev.magnitude = static_cast<double>(1 + rng.index(2));
+      } else if (roll < 0.60) {
+        ev.kind = FaultKind::kSpuriousFlowRemoved;
+        ev.magnitude = static_cast<double>(1 + rng.index(2));
+      } else if (roll < 0.75) {
+        ev.kind = FaultKind::kPriorityInversion;
+        ev.magnitude = static_cast<double>(1 + rng.index(2));
+      } else if (roll < 0.90) {
+        ev.kind = FaultKind::kLatencyDrift;
+        ev.magnitude = rng.uniform_real(0.5, 3.0);  // cost scale 1.5x..4x
+      } else {
+        ev.kind = FaultKind::kCapacityShrink;
+        ev.magnitude = rng.uniform_real(0.6, 0.9);  // keep fraction
+      }
+      out.events.push_back(ev);
+    }
+  }
   // Canonical order: by time, then kind/target, so equal schedules compare
   // equal regardless of generation order and shrunk subsets stay stable.
   std::stable_sort(out.events.begin(), out.events.end(),
@@ -115,7 +159,7 @@ std::string to_repro_json(const ChaosSchedule& schedule,
   using telemetry::append_number;
   using telemetry::append_quoted;
   std::string out;
-  out += "{\n  \"schema\": \"chaos_repro.v1\",\n";
+  out += "{\n  \"schema\": \"chaos_repro.v2\",\n";
   out += "  \"seed\": ";
   append_number(out, static_cast<double>(schedule.spec.seed));
   out += ",\n  \"workload\": ";
@@ -124,6 +168,8 @@ std::string to_repro_json(const ChaosSchedule& schedule,
   append_quoted(out, policy_name(schedule.spec.policy));
   out += ",\n  \"horizon\": ";
   append_quoted(out, to_string(schedule.spec.horizon));
+  out += ",\n  \"misbehavior\": ";
+  out += schedule.spec.misbehavior ? "true" : "false";
   out += ",\n  \"base_loss\": ";
   append_number(out, schedule.base_loss);
   out += ",\n  \"events\": [";
@@ -140,6 +186,8 @@ std::string to_repro_json(const ChaosSchedule& schedule,
     append_number(out, static_cast<double>(ev.duration.ns()));
     out += ", \"drop\": ";
     append_number(out, ev.drop);
+    out += ", \"magnitude\": ";
+    append_number(out, ev.magnitude);
     out += "}";
   }
   out += schedule.events.empty() ? "]" : "\n  ]";
@@ -379,7 +427,8 @@ Result<ParsedRepro> parse_repro(std::string_view json) {
 
   auto schema = require_string(root, "schema");
   if (!schema.ok()) return Error{schema.error()};
-  if (schema.value() != "chaos_repro.v1") {
+  if (schema.value() != "chaos_repro.v1" &&
+      schema.value() != "chaos_repro.v2") {
     return Error{"unsupported schema \"" + schema.value() + "\""};
   }
 
@@ -422,6 +471,12 @@ Result<ParsedRepro> parse_repro(std::string_view json) {
     return Error{"unknown horizon \"" + horizon.value() + "\""};
   }
 
+  // v2-only field; absent (v1) means wire faults only.
+  if (const auto mis = root.object.find("misbehavior");
+      mis != root.object.end() && mis->second.type == JsonValue::Type::kBool) {
+    out.schedule.spec.misbehavior = mis->second.boolean;
+  }
+
   auto base_loss = require_number(root, "base_loss");
   if (!base_loss.ok()) return Error{base_loss.error()};
   out.schedule.base_loss = base_loss.value();
@@ -446,6 +501,18 @@ Result<ParsedRepro> parse_repro(std::string_view json) {
       ev.kind = FaultKind::kPartition;
     } else if (kind.value() == "loss_burst") {
       ev.kind = FaultKind::kLossBurst;
+    } else if (kind.value() == "silent_install_drop") {
+      ev.kind = FaultKind::kSilentInstallDrop;
+    } else if (kind.value() == "stale_flow_stats") {
+      ev.kind = FaultKind::kStaleFlowStats;
+    } else if (kind.value() == "spurious_flow_removed") {
+      ev.kind = FaultKind::kSpuriousFlowRemoved;
+    } else if (kind.value() == "priority_inversion") {
+      ev.kind = FaultKind::kPriorityInversion;
+    } else if (kind.value() == "latency_drift") {
+      ev.kind = FaultKind::kLatencyDrift;
+    } else if (kind.value() == "capacity_shrink") {
+      ev.kind = FaultKind::kCapacityShrink;
     } else {
       return Error{"unknown fault kind \"" + kind.value() + "\""};
     }
@@ -461,6 +528,12 @@ Result<ParsedRepro> parse_repro(std::string_view json) {
     auto drop = require_number(item, "drop");
     if (!drop.ok()) return Error{drop.error()};
     ev.drop = drop.value();
+    // v2-only field; absent (v1) means zero.
+    if (const auto mag = item.object.find("magnitude");
+        mag != item.object.end() &&
+        mag->second.type == JsonValue::Type::kNumber) {
+      ev.magnitude = mag->second.number;
+    }
     out.schedule.events.push_back(ev);
   }
 

@@ -3,12 +3,14 @@
 //
 // A ChaosSchedule is data, not behaviour: a workload selector, a recovery
 // policy, a background loss rate, and a list of timed FaultEvents (crashes,
-// stalls, control-channel partitions, correlated loss bursts) with offsets
-// relative to commit start. generate_schedule() derives one deterministically
-// from a (seed, workload, policy, horizon) tuple; the harness (harness.h)
-// materializes it onto net::FaultInjector scheduled-event lists and runs the
-// workload under it. Because the schedule is plain data it can be serialized
-// to a `chaos_repro.v1` JSON file, minimized by the shrinker, and replayed
+// stalls, control-channel partitions, correlated loss bursts — plus, when
+// the spec opts in, semantic switch misbehavior) with offsets relative to
+// commit start. generate_schedule() derives one deterministically from a
+// (seed, workload, policy, horizon, misbehavior) tuple; the harness
+// (harness.h) materializes it onto net::FaultInjector scheduled-event lists
+// and switchsim::MisbehaviorProfile activations and runs the workload under
+// it. Because the schedule is plain data it can be serialized
+// to a `chaos_repro.v2` JSON file, minimized by the shrinker, and replayed
 // bit-identically — the same schedule always produces the same virtual-time
 // trace.
 #pragma once
@@ -36,6 +38,21 @@ enum class FaultKind {
   /// Correlated loss burst: drop probability raised to `drop` in both
   /// directions for `duration`.
   kLossBurst,
+
+  // --- semantic misbehavior (switchsim::MisbehaviorProfile, not the wire
+  // injector) — only generated when ChaosSpec::misbehavior is set ----------
+  /// Next `magnitude` flow-mod ADDs are acknowledged but never installed.
+  kSilentInstallDrop,
+  /// Next `magnitude` FLOW_STATS replies serve a frozen snapshot.
+  kStaleFlowStats,
+  /// Fabricate `magnitude` spurious FLOW_REMOVED notifications.
+  kSpuriousFlowRemoved,
+  /// Next `magnitude` ADDs install at a skewed priority.
+  kPriorityInversion,
+  /// Rule-op costs scaled by (1 + `magnitude`) from `at` onward.
+  kLatencyDrift,
+  /// Fast-table capacity shrunk to `magnitude` (keep fraction) of its size.
+  kCapacityShrink,
 };
 
 std::string to_string(FaultKind kind);
@@ -49,6 +66,10 @@ struct FaultEvent {
   SimDuration duration{};
   /// Loss-burst drop probability (both directions); unused by other kinds.
   double drop = 0.0;
+  /// Misbehavior parameter: a count for the lie kinds (silent drops, stale
+  /// stats, spurious removals, inversions), a scale factor for latency
+  /// drift, a keep fraction for capacity shrink. Unused by wire faults.
+  double magnitude = 0.0;
 
   bool operator==(const FaultEvent&) const = default;
 };
@@ -75,6 +96,11 @@ struct ChaosSpec {
   Workload workload = Workload::kFig10;
   sched::RecoveryPolicy policy = sched::RecoveryPolicy::kRollForward;
   Horizon horizon = Horizon::kShort;
+  /// Also draw semantic misbehavior events (lying/drifting switches) and
+  /// run the workload through the knowledge-health path. Off by default —
+  /// and all misbehavior draws happen after the wire-fault draws, so
+  /// misbehavior=false schedules are byte-identical to pre-v2 ones.
+  bool misbehavior = false;
 
   bool operator==(const ChaosSpec&) const = default;
 };
@@ -107,20 +133,24 @@ struct ChaosSchedule {
 /// equal specs yield equal schedules.
 ChaosSchedule generate_schedule(const ChaosSpec& spec);
 
-// --- chaos_repro.v1 ---------------------------------------------------------
+// --- chaos_repro.v2 ---------------------------------------------------------
 //
 // Replay-file schema (see docs/CHAOS.md):
 //   {
-//     "schema": "chaos_repro.v1",
+//     "schema": "chaos_repro.v2",
 //     "seed": N, "workload": s, "policy": s, "horizon": s,
+//     "misbehavior": b,          // v2: semantic-fault mode
 //     "base_loss": x,
 //     "events": [ { "kind": s, "target": N, "at_ns": N,
-//                   "duration_ns": N, "drop": x }, ... ],
+//                   "duration_ns": N, "drop": x, "magnitude": x }, ... ],
 //     "fingerprint": N,          // optional: expected run fingerprint
 //     "violations": [ s, ... ]   // optional: oracle names seen at capture
 //   }
+//
+// parse_repro also accepts chaos_repro.v1 documents (no "misbehavior"
+// field, no per-event "magnitude") — old captured seeds stay replayable.
 
-/// Serialize a schedule (plus optional capture metadata) to chaos_repro.v1.
+/// Serialize a schedule (plus optional capture metadata) to chaos_repro.v2.
 /// `fingerprint` 0 omits the field.
 std::string to_repro_json(const ChaosSchedule& schedule,
                           std::uint64_t fingerprint = 0,
@@ -133,7 +163,7 @@ struct ParsedRepro {
   std::vector<std::string> violations;
 };
 
-/// Parse a chaos_repro.v1 document. Errors name the offending field.
+/// Parse a chaos_repro.v1 or .v2 document. Errors name the offending field.
 Result<ParsedRepro> parse_repro(std::string_view json);
 
 }  // namespace tango::chaos

@@ -302,8 +302,8 @@ void ControlChannel::handle(const of::Message& msg) {
       reply(of::Message{xid, *outcome.error}, busy_until_);
     }
     const SimTime done = busy_until_;
-    notify(done, [this, xid, accepted, done]() {
-      if (on_flow_mod_) on_flow_mod_(xid, accepted, done);
+    notify(done, [this, xid, accepted, done, err = outcome.error]() {
+      if (on_flow_mod_) on_flow_mod_(xid, accepted, done, err);
     });
     return;
   }

@@ -46,9 +46,12 @@ struct ChannelStats {
 
 class ControlChannel {
  public:
-  /// Fires when the switch finishes a flow_mod this controller sent.
+  /// Fires when the switch finishes a flow_mod this controller sent. On a
+  /// rejection `error` carries the switch's ErrorMsg (type + code) so the
+  /// controller can classify it; nullopt on success.
   using FlowModHandler =
-      std::function<void(std::uint32_t xid, bool accepted, SimTime completed_at)>;
+      std::function<void(std::uint32_t xid, bool accepted, SimTime completed_at,
+                         const std::optional<of::ErrorMsg>& error)>;
   /// Fires for any message the switch sends up (errors, packet_in, replies).
   using MessageHandler = std::function<void(const of::Message&)>;
   /// Fires when a probe packet completes its data-plane trip.

@@ -19,12 +19,21 @@ SwitchId Network::add_switch(const switchsim::SwitchProfile& profile,
       std::make_unique<ControlChannel>(events_, *ep.sw, control_latency_);
 
   ep.channel->set_flow_mod_handler(
-      [this](std::uint32_t xid, bool accepted, SimTime completed_at) {
+      [this](std::uint32_t xid, bool accepted, SimTime completed_at,
+             const std::optional<of::ErrorMsg>& error) {
         auto it = flow_mod_cbs_.find(xid);
         if (it == flow_mod_cbs_.end()) return;
         auto cb = std::move(it->second);
         flow_mod_cbs_.erase(it);
-        cb(accepted, completed_at);
+        FlowModResult res;
+        res.accepted = accepted;
+        res.completed_at = completed_at;
+        if (error.has_value()) {
+          res.has_error = true;
+          res.error_type = error->type;
+          res.error_code = error->code;
+        }
+        cb(res);
       });
   ep.channel->set_probe_handler(
       [this](std::uint32_t xid, const switchsim::ForwardOutcome& outcome) {
@@ -109,6 +118,22 @@ void Network::stall_agent(SwitchId id, SimDuration duration) {
   endpoint(id).channel->stall_agent(duration);
 }
 
+void Network::set_misbehavior(SwitchId id,
+                              switchsim::MisbehaviorProfile profile) {
+  // Schedule a no-op ECHO at each event time: its arrival sweeps the switch
+  // (activating the event) and drains any fabricated FLOW_REMOVED notices —
+  // the same trick set_link_state uses to flush PORT_STATUS.
+  std::vector<SimTime> pokes;
+  pokes.reserve(profile.events.size());
+  for (const auto& ev : profile.events) pokes.push_back(ev.at);
+  sw(id).set_misbehavior(std::move(profile));
+  for (const SimTime at : pokes) {
+    events_.schedule_at(at, [this, id]() {
+      endpoint(id).channel->send(of::Message{next_xid(), of::EchoRequest{}});
+    });
+  }
+}
+
 bool Network::run_until_done(const bool& done, SimDuration timeout) {
   if (timeout.ns() == 0) {
     while (!done && events_.step()) {
@@ -127,14 +152,25 @@ bool Network::run_until_done(const bool& done, SimDuration timeout) {
   return done;
 }
 
+namespace {
+
+/// Adapt a plain Completion to the detailed completion form.
+Network::CompletionEx wrap_completion(Network::Completion done) {
+  return [cb = std::move(done)](const Network::FlowModResult& res) {
+    cb(res.accepted, res.completed_at);
+  };
+}
+
+}  // namespace
+
 Network::InstallResult Network::install(SwitchId id, const of::FlowMod& fm,
                                         SimDuration timeout) {
   InstallResult result;
   bool done = false;
   const std::uint32_t xid = next_xid();
-  flow_mod_cbs_[xid] = [&](bool accepted, SimTime completed_at) {
-    result.accepted = accepted;
-    result.completed_at = completed_at;
+  flow_mod_cbs_[xid] = [&](const FlowModResult& res) {
+    result.accepted = res.accepted;
+    result.completed_at = res.completed_at;
     done = true;
   };
   endpoint(id).channel->send(of::Message{xid, fm});
@@ -148,6 +184,11 @@ Network::InstallResult Network::install(SwitchId id, const of::FlowMod& fm,
 }
 
 void Network::post_flow_mod(SwitchId id, const of::FlowMod& fm, Completion done) {
+  post_flow_mod_ex(id, fm, wrap_completion(std::move(done)));
+}
+
+void Network::post_flow_mod_ex(SwitchId id, const of::FlowMod& fm,
+                               CompletionEx done) {
   const std::uint32_t xid = next_xid();
   flow_mod_cbs_[xid] = std::move(done);
   endpoint(id).channel->send(of::Message{xid, fm});
@@ -157,9 +198,10 @@ void Network::post_flow_mod_batch(SwitchId id, std::span<const of::FlowMod> fms,
                                   Completion done_each) {
   std::vector<of::Message> msgs;
   msgs.reserve(fms.size());
+  const CompletionEx each = wrap_completion(std::move(done_each));
   for (const auto& fm : fms) {
     const std::uint32_t xid = next_xid();
-    flow_mod_cbs_[xid] = done_each;
+    flow_mod_cbs_[xid] = each;
     msgs.push_back(of::Message{xid, fm});
   }
   endpoint(id).channel->send_batch(msgs);

@@ -74,6 +74,13 @@ class Network {
   /// Freeze switch `id`'s agent for `duration` (state survives).
   void stall_agent(SwitchId id, SimDuration duration);
 
+  /// Arm a semantic misbehavior profile on switch `id` (orthogonal to
+  /// channel faults; see switchsim/misbehavior.h). A no-op echo is
+  /// scheduled at each event time so activation — and any fabricated
+  /// notifications it produces — happens at the scheduled instant rather
+  /// than at the next incidental controller interaction.
+  void set_misbehavior(SwitchId id, switchsim::MisbehaviorProfile profile);
+
   /// Observer for agent crashes (tables wiped), fired at crash time for
   /// both injector-scheduled and forced crashes. One handler; the
   /// transaction layer installs it for the duration of a commit.
@@ -159,6 +166,19 @@ class Network {
   /// agent finishes it.
   void post_flow_mod(SwitchId id, const of::FlowMod& fm, Completion done);
 
+  /// Completion detail for post_flow_mod_ex: rejections carry the switch's
+  /// error type/code so the executor can classify retryable vs. fatal.
+  struct FlowModResult {
+    bool accepted = false;
+    SimTime completed_at{};
+    bool has_error = false;
+    of::ErrorType error_type = of::ErrorType::kFlowModFailed;
+    std::uint16_t error_code = 0;
+  };
+  using CompletionEx = std::function<void(const FlowModResult&)>;
+  /// post_flow_mod, with the rejection error surfaced to the completion.
+  void post_flow_mod_ex(SwitchId id, const of::FlowMod& fm, CompletionEx done);
+
   /// Queue many flow_mods in one batched wire burst (see
   /// ControlChannel::send_batch); `done_each` fires once per command, in
   /// the same order and at the same simulated times as sequential
@@ -177,6 +197,7 @@ class Network {
   void run_all() { events_.run(); }
 
   [[nodiscard]] const ChannelStats& stats(SwitchId id) const;
+  [[nodiscard]] SimDuration control_latency() const { return control_latency_; }
 
  private:
   struct Endpoint {
@@ -200,8 +221,9 @@ class Network {
   std::vector<Endpoint> endpoints_;
   std::uint32_t xid_ = 1;
 
-  // Dispatch tables keyed by xid.
-  std::unordered_map<std::uint32_t, Completion> flow_mod_cbs_;
+  // Dispatch tables keyed by xid. Flow-mod completions are stored in the
+  // detailed form; plain Completion callers are wrapped on entry.
+  std::unordered_map<std::uint32_t, CompletionEx> flow_mod_cbs_;
   std::unordered_map<std::uint32_t, std::function<void(const switchsim::ForwardOutcome&)>>
       probe_cbs_;
   std::unordered_map<std::uint32_t, std::function<void(const of::Message&)>> reply_cbs_;

@@ -51,6 +51,8 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
   struct Ctr {
     telemetry::Counter* issued = nullptr;
     telemetry::Counter* rejected = nullptr;
+    telemetry::Counter* rejected_retryable = nullptr;
+    telemetry::Counter* rejected_fatal = nullptr;
     telemetry::Counter* scheduling_rounds = nullptr;
     telemetry::Counter* deadline_misses = nullptr;
     telemetry::Counter* timeouts = nullptr;
@@ -60,13 +62,21 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
   } ctr;
   /// Counter values at run start (this run's report = value - base).
   struct CtrBase {
-    std::uint64_t issued = 0, rejected = 0, scheduling_rounds = 0,
+    std::uint64_t issued = 0, rejected = 0, rejected_retryable = 0,
+                  rejected_fatal = 0, scheduling_rounds = 0,
                   deadline_misses = 0, timeouts = 0, retries = 0,
                   echo_probes = 0, failed_requests = 0;
   } ctr0;
   telemetry::Histogram* latency_hist = nullptr;
   /// Issue timestamps for request spans; sized only when telemetry is on.
   std::vector<SimTime> issue_time;
+  /// Post timestamps / agent backlog at post, for cost observations; sized
+  /// only when options.on_cost_observation is set. A timing sample is only
+  /// trustworthy when this request was alone in flight at post time —
+  /// commands still on the wire aren't reflected in the agent backlog yet.
+  std::vector<SimTime> obs_post;
+  std::vector<SimTime> obs_busy;
+  std::vector<std::uint8_t> obs_solo;
 
   std::vector<std::size_t> remaining_preds;
   /// True once sent — or tombstoned by a failure before sending.
@@ -117,6 +127,8 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     auto& reg = tele != nullptr ? tele->metrics : local_metrics;
     ctr.issued = &reg.counter("executor.issued");
     ctr.rejected = &reg.counter("executor.rejected");
+    ctr.rejected_retryable = &reg.counter("executor.rejected_retryable");
+    ctr.rejected_fatal = &reg.counter("executor.rejected_fatal");
     ctr.scheduling_rounds = &reg.counter("executor.scheduling_rounds");
     ctr.deadline_misses = &reg.counter("executor.deadline_misses");
     ctr.timeouts = &reg.counter("executor.timeouts");
@@ -124,6 +136,8 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     ctr.echo_probes = &reg.counter("executor.echo_probes");
     ctr.failed_requests = &reg.counter("executor.failed_requests");
     ctr0 = CtrBase{ctr.issued->value(),          ctr.rejected->value(),
+                   ctr.rejected_retryable->value(),
+                   ctr.rejected_fatal->value(),
                    ctr.scheduling_rounds->value(), ctr.deadline_misses->value(),
                    ctr.timeouts->value(),        ctr.retries->value(),
                    ctr.echo_probes->value(),     ctr.failed_requests->value()};
@@ -133,6 +147,11 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
           {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
       issue_time.assign(n, SimTime{});
     }
+    if (options.on_cost_observation) {
+      obs_post.assign(n, SimTime{});
+      obs_busy.assign(n, SimTime{});
+      obs_solo.assign(n, 0);
+    }
   }
 
   /// Derive the report's tallies from the registry — the counters are the
@@ -140,6 +159,9 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
   void finalize_report() {
     report.issued = ctr.issued->value() - ctr0.issued;
     report.rejected = ctr.rejected->value() - ctr0.rejected;
+    report.rejected_retryable =
+        ctr.rejected_retryable->value() - ctr0.rejected_retryable;
+    report.rejected_fatal = ctr.rejected_fatal->value() - ctr0.rejected_fatal;
     report.scheduling_rounds =
         ctr.scheduling_rounds->value() - ctr0.scheduling_rounds;
     report.deadline_misses =
@@ -164,11 +186,16 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     const std::uint64_t gen = ++attempt_gen[id];
     auto self = shared_from_this();
     const auto& req = dag.request(id);
-    network.post_flow_mod(req.location,
-                          to_flow_mod(req, options.default_priority),
-                          [self, id](bool accepted, SimTime at) {
-                            self->complete(id, accepted, at);
-                          });
+    if (options.on_cost_observation) {
+      obs_post[id] = network.now();
+      obs_busy[id] = network.channel(req.location).agent_busy_until();
+      obs_solo[id] = in_flight[req.location] == 1 ? 1 : 0;
+    }
+    network.post_flow_mod_ex(req.location,
+                             to_flow_mod(req, options.default_priority),
+                             [self, id](const net::Network::FlowModResult& res) {
+                               self->complete(id, res);
+                             });
     if (retry_enabled()) {
       network.events().schedule_after(
           options.request_timeout,
@@ -176,11 +203,51 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     }
   }
 
-  void complete(std::size_t id, bool accepted, SimTime at) {
+  /// Error classes a switch rejection falls into. Table pressure can clear
+  /// (an agent rebalancing, a timeout sweep freeing slots); a permissions
+  /// or malformed-command error never will.
+  [[nodiscard]] static bool rejection_retryable(
+      const net::Network::FlowModResult& res) {
+    return res.has_error && res.error_type == of::ErrorType::kFlowModFailed &&
+           res.error_code ==
+               static_cast<std::uint16_t>(of::FlowModFailedCode::kAllTablesFull);
+  }
+
+  void complete(std::size_t id, const net::Network::FlowModResult& res) {
     // First completion wins; later ones (a duplicated frame, or the
     // original answer racing a retry) are harmless echoes of the same
     // idempotent flow_mod.
     if (finished || terminal[id]) return;
+    const bool accepted = res.accepted;
+    const SimTime at = res.completed_at;
+    if (!accepted) {
+      const bool retryable = rejection_retryable(res);
+      if (retryable) {
+        ctr.rejected_retryable->inc();
+      } else {
+        ctr.rejected_fatal->inc();
+      }
+      if (retryable && options.retry_rejections && retry_enabled() &&
+          attempts[id] <= options.max_retries &&
+          dead.count(dag.request(id).location) == 0) {
+        // Mirror the timeout-retry path: back off, re-post, same budget.
+        const SimDuration backoff =
+            options.backoff_base * (std::int64_t{1} << (attempts[id] - 1));
+        ++attempts[id];
+        ctr.retries->inc();
+        auto self = shared_from_this();
+        network.events().schedule_after(backoff, [self, id]() {
+          if (self->finished || self->terminal[id]) return;
+          if (self->dead.count(self->dag.request(id).location) != 0) {
+            self->fail_request(id);
+            self->dispatch();
+            return;
+          }
+          self->post_attempt(id);
+        });
+        return;
+      }
+    }
     terminal[id] = true;
     ++done_count;
     if (!accepted) ctr.rejected->inc();
@@ -197,6 +264,33 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
            telemetry::arg("attempts", std::uint64_t{attempts[id]}),
            telemetry::arg("accepted", accepted)});
       latency_hist->observe((at - issue_time[id]).ms());
+    }
+    if (accepted && options.on_cost_observation && attempts[id] == 1 &&
+        obs_solo[id] != 0) {
+      // A clean first-attempt completion is a free cost measurement: the
+      // agent started no earlier than max(backlog at post, arrival), so
+      // completed_at minus that start is the op's processing time. Retried
+      // or rescued requests are skipped — their timing is polluted.
+      const auto hint = options.cost_hints.find(req.location);
+      if (hint != options.cost_hints.end()) {
+        const SimTime arrival = obs_post[id] + network.control_latency();
+        const SimTime started = std::max(obs_busy[id], arrival);
+        const double actual_ms = (at - started).ms();
+        double predicted_ms = options.default_op_estimate.ms();
+        switch (req.type) {
+          case RequestType::kAdd:
+            predicted_ms = hint->second.add_ascending_ms;
+            break;
+          case RequestType::kMod:
+            predicted_ms = hint->second.mod_ms;
+            break;
+          case RequestType::kDel:
+            predicted_ms = hint->second.del_ms;
+            break;
+        }
+        options.on_cost_observation(req.location, req.type, actual_ms,
+                                    predicted_ms);
+      }
     }
     if (options.on_complete) options.on_complete(id, accepted);
     for (std::size_t succ : dag.successors(id)) {

@@ -64,6 +64,21 @@ struct ExecutorOptions {
   /// After an ECHO proves the switch alive, the request gets a fresh round
   /// of retries — at most this many times before the request is failed.
   std::size_t max_echo_rescues = 2;
+  /// Re-issue requests the switch rejected with a *retryable* error class
+  /// (today: OFPET_FLOW_MOD_FAILED / ALL_TABLES_FULL — transient table
+  /// pressure can clear; EPERM or a bad command never will). Uses the same
+  /// backoff and attempt budget as timeout retries. Off by default so
+  /// existing runs are bit-identical: rejections stay terminal.
+  bool retry_rejections = false;
+
+  // --- knowledge-health observer -------------------------------------------
+  /// Fires on each clean first-attempt acceptance for a switch with a cost
+  /// hint: `actual_ms` is the agent's measured processing time for the op,
+  /// `predicted_ms` the hint's estimate. The drift sentinel feeds on these
+  /// mispredictions. Null = off; no timestamps are recorded when unset.
+  std::function<void(SwitchId loc, RequestType type, double actual_ms,
+                     double predicted_ms)>
+      on_cost_observation;
 
   // --- transaction observers -----------------------------------------------
   /// Fires once when a request reaches its terminal completed state (first
@@ -84,7 +99,13 @@ struct ExecutorOptions {
 struct ExecutionReport {
   SimDuration makespan{};
   std::size_t issued = 0;
+  /// Requests whose *terminal* state is a rejection.
   std::size_t rejected = 0;
+  /// Rejection completions by error class (counts every rejection the
+  /// switch returned, including ones a retry later recovered — so
+  /// rejected_retryable + rejected_fatal >= rejected).
+  std::size_t rejected_retryable = 0;
+  std::size_t rejected_fatal = 0;
   std::size_t scheduling_rounds = 0;
   std::size_t deadline_misses = 0;
   /// Busy time charged per switch (diagnostics).

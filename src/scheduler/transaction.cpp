@@ -215,9 +215,15 @@ const TransactionReport& UpdateTransaction::commit(UpdateScheduler& scheduler) {
        report_.exec.rejected > 0);
   if (!needs_reconcile) {
     // Fault-free fast path: the journal stays as evidence, nothing extra
-    // touches the network.
+    // touches the network — unless readback verification was requested for
+    // quarantined switches, which is exactly the case where "nothing
+    // failed" cannot be taken at the switch's word.
     report_.committed = report_.unreconciled.empty();
+    if (!options_.readback_verify.empty()) {
+      verify_readback(post_, /*forward=*/true);
+    }
     close_commit_span();
+    if (options_.on_report) options_.on_report(report_);
     return report_;
   }
 
@@ -228,14 +234,118 @@ const TransactionReport& UpdateTransaction::commit(UpdateScheduler& scheduler) {
             " failed request(s) -> reconciling (" +
             to_string(options_.policy) + ")");
   reconcile();
+  if (!options_.readback_verify.empty()) {
+    // The reconciler trusts its own readbacks, but a quarantined switch can
+    // lie to it once (a stale-stats budget) and get marked converged while
+    // the real table still diverges. Re-verify against the image this
+    // policy was supposed to converge to — the re-read drains any remaining
+    // lie budget or sees the truth, and repairs what it finds.
+    const bool forward = options_.policy == RecoveryPolicy::kRollForward;
+    verify_readback(forward ? post_ : pre_, forward);
+  }
   close_commit_span();
+  if (options_.on_report) options_.on_report(report_);
   return report_;
+}
+
+void UpdateTransaction::verify_readback(
+    const std::map<SwitchId, TableImage>& want_images, bool forward) {
+  const SimTime phase_begin = network_.now();
+  ReconcilerOptions ropts;
+  ropts.readback_timeout = options_.readback_timeout;
+  ropts.max_readback_retries = options_.max_readback_retries;
+  Reconciler reader(network_, ropts);
+  ReconcileStats snap;
+  std::map<SwitchId, TableImage> repair;
+  for (const SwitchId sw : options_.readback_verify) {
+    const auto want = want_images.find(sw);
+    if (want == want_images.end()) continue;  // transaction didn't touch it
+    auto actual = reader.read_table(sw, snap);
+    if (!actual.has_value()) {
+      report_.unreconciled.insert(sw);
+      report_.committed = false;
+      continue;
+    }
+    std::size_t mismatches = 0;
+    for (const auto& [key, rule] : want->second) {
+      const auto hit = actual->find(key);
+      if (hit == actual->end() || !(hit->second == rule)) ++mismatches;
+    }
+    for (const auto& [key, rule] : *actual) {
+      if (want->second.count(key) == 0) ++mismatches;
+    }
+    if (mismatches > 0) {
+      report_.readback_mismatches[sw] = mismatches;
+      repair[sw] = want->second;
+      log::warn("transaction " + std::to_string(txn_id_) + ": switch " +
+                std::to_string(sw) + " diverged from " +
+                (forward ? "post" : "pre") + " image (" +
+                std::to_string(mismatches) +
+                " rule(s)) despite acknowledging every request");
+    }
+  }
+  report_.readback_requests += snap.readback_requests;
+  report_.readback_lost += snap.readback_lost;
+
+  if (!repair.empty()) {
+    // The switch lied (e.g. silent install drops): converge it to the post
+    // image with the same attribution/order machinery a crash would use.
+    report_.reconciled = true;
+    Reconciler::Author author = [this, forward](SwitchId sw,
+                                                const RuleImage& rule)
+        -> std::optional<std::size_t> {
+      if (txn_of_cookie(rule.cookie) == txn_id_) {
+        const auto id =
+            static_cast<std::size_t>(static_cast<std::uint32_t>(rule.cookie));
+        if (id < dag_.size()) return id;
+      }
+      const std::string key = rule_key(rule.match, rule.priority);
+      const auto& attribution = forward ? writers_ : touched_;
+      const auto per_switch = attribution.find(sw);
+      if (per_switch != attribution.end()) {
+        const auto hit = per_switch->second.find(key);
+        if (hit != per_switch->second.end()) return hit->second;
+      }
+      return std::nullopt;
+    };
+    Reconciler::MustPrecede precede = [this, forward](std::size_t a,
+                                                      std::size_t b) {
+      return forward ? reaches(a, b) : reaches(b, a);
+    };
+    ReconcilerOptions fix = ropts;
+    fix.max_rounds = options_.max_reconcile_rounds;
+    fix.exec = options_.exec;
+    Reconciler reconciler(network_, fix);
+    const ReconcileStats stats = reconciler.run(repair, author, precede);
+    report_.reconcile_rounds += stats.rounds;
+    report_.repairs_issued += stats.repairs_issued;
+    report_.stale_rules_removed += stats.stale_rules_removed;
+    report_.readback_requests += stats.readback_requests;
+    report_.readback_lost += stats.readback_lost;
+    for (const SwitchId sw : stats.unreconciled) report_.unreconciled.insert(sw);
+    report_.committed = report_.unreconciled.empty() && stats.converged;
+  }
+
+  if (auto* t = network_.telemetry()) {
+    std::size_t total = 0;
+    for (const auto& [sw, n] : report_.readback_mismatches) total += n;
+    t->trace.span("txn", "readback_verify",
+                  telemetry::TraceCollector::kControllerLane, phase_begin,
+                  network_.now(),
+                  {telemetry::arg("txn", std::uint64_t{txn_id_}),
+                   telemetry::arg("switches",
+                                  std::uint64_t{options_.readback_verify.size()}),
+                   telemetry::arg("mismatches", std::uint64_t{total})});
+    t->metrics.counter("txn.readback_verified_commits").inc();
+    t->metrics.counter("txn.readback_verify_mismatches").inc(total);
+  }
 }
 
 void UpdateTransaction::reconcile() {
   const SimTime phase_begin = network_.now();
   report_.reconciled = true;
   const bool forward = options_.policy == RecoveryPolicy::kRollForward;
+  report_.rolled_back = !forward;
   const auto& desired = forward ? post_ : pre_;
 
   Reconciler::Author author = [this, forward](

@@ -65,6 +65,8 @@ struct JournalEntry {
   State state = State::kPlanned;
 };
 
+struct TransactionReport;
+
 struct TransactionOptions {
   RecoveryPolicy policy = RecoveryPolicy::kRollForward;
   /// Executor options for the commit itself. on_complete/on_failed are
@@ -77,6 +79,16 @@ struct TransactionOptions {
   /// Transaction id; 0 draws from a process-wide counter. Tests that
   /// compare two runs in one process pin it so cookies are reproducible.
   std::uint32_t txn_id = 0;
+  /// Switches whose commit must be readback-verified even on the fault-free
+  /// fast path (the knowledge-health layer lists quarantined switches
+  /// here): after execution their tables are read back and diffed against
+  /// the post image; divergence is repaired through the reconciler. Empty =
+  /// the fast path is untouched.
+  std::set<SwitchId> readback_verify;
+  /// Fires once with the final report at the end of every commit() (both
+  /// the fast path and the reconcile path). The knowledge-health layer
+  /// feeds on readback mismatches / clean verified commits through this.
+  std::function<void(const TransactionReport&)> on_report;
 };
 
 struct TransactionReport {
@@ -88,6 +100,11 @@ struct TransactionReport {
   bool committed = false;
   /// True when the reconciler ran at all.
   bool reconciled = false;
+  /// True only when policy-driven reconciliation unwound the transaction
+  /// to the pre image (kRollBack). A readback-verify repair on the fast
+  /// path sets reconciled but NOT rolled_back — it converges forward to
+  /// the post image regardless of policy.
+  bool rolled_back = false;
   std::size_t reconcile_rounds = 0;
   std::size_t repairs_issued = 0;
   std::size_t stale_rules_removed = 0;
@@ -98,6 +115,11 @@ struct TransactionReport {
   /// Switches the reconciler could not read back; their end state is
   /// unknown and committed is false.
   std::set<SwitchId> unreconciled;
+  /// Per switch: rules found diverging from the post image by a
+  /// readback-verified commit (options.readback_verify). Non-empty means
+  /// the switch acknowledged work it did not do — the mismatches were
+  /// repaired (reconciled = true) before commit() returned.
+  std::map<SwitchId, std::size_t> readback_mismatches;
   /// Filled by verify().
   VerifierReport verify;
 };
@@ -143,6 +165,13 @@ class UpdateTransaction {
 
  private:
   void reconcile();
+  /// Readback verification for options.readback_verify switches: diff
+  /// actual tables against `want_images` (the post image on the fast path
+  /// and after roll-forward, the pre image after rollback), repair
+  /// divergence through the reconciler. `forward` picks the attribution
+  /// map and dependency direction, mirroring reconcile().
+  void verify_readback(const std::map<SwitchId, TableImage>& want_images,
+                       bool forward);
   /// True when original DAG node `a` must complete before `b` (rollback
   /// reverses the arguments). Lazily computes the reachability closure.
   bool reaches(std::size_t a, std::size_t b);

@@ -1,0 +1,17 @@
+#include "switchsim/misbehavior.h"
+
+namespace tango::switchsim {
+
+std::string to_string(MisbehaviorKind kind) {
+  switch (kind) {
+    case MisbehaviorKind::kSilentInstallDrop: return "silent_install_drop";
+    case MisbehaviorKind::kStaleFlowStats: return "stale_flow_stats";
+    case MisbehaviorKind::kSpuriousFlowRemoved: return "spurious_flow_removed";
+    case MisbehaviorKind::kPriorityInversion: return "priority_inversion";
+    case MisbehaviorKind::kLatencyDrift: return "latency_drift";
+    case MisbehaviorKind::kCapacityShrink: return "capacity_shrink";
+  }
+  return "?";
+}
+
+}  // namespace tango::switchsim

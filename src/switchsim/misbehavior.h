@@ -1,0 +1,76 @@
+// Semantic switch misbehavior: faults in what a switch *does*, not in what
+// the control channel *delivers*. Orthogonal to net::FaultInjector — the
+// channel keeps delivering frames faithfully; the switch lies about (or
+// drifts away from) the state the controller believes in.
+//
+// Six kinds, grouped in two families:
+//
+//  * lies — the switch acknowledges work it did not do, or reports state it
+//    no longer holds. Count-limited: each scheduled event arms a budget of
+//    `count` occurrences, consumed by subsequent operations.
+//      - kSilentInstallDrop: flow_mod ADD returns success, table unchanged.
+//      - kStaleFlowStats: FlowStats replies served from a snapshot taken at
+//        event-activation time, not the live table.
+//      - kSpuriousFlowRemoved: fabricated FLOW_REMOVED notices for rules
+//        that are still resident.
+//      - kPriorityInversion: an installed ADD lands with a mangled priority.
+//  * drift — the switch's physical properties change ("firmware upgrade",
+//    partial hardware failure). Persistent until re-inference observes them.
+//      - kLatencyDrift: per-op costs scaled by (1 + magnitude).
+//      - kCapacityShrink: level-0 fast table truncated to
+//        floor(slots * magnitude) slots; displaced entries spill to the
+//        software table when the profile has one, else they are lost.
+//
+// Everything is deterministic and RNG-free: events carry absolute virtual
+// times and activate inside SimulatedSwitch::sweep_timeouts(), so a seeded
+// schedule replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tango::switchsim {
+
+enum class MisbehaviorKind {
+  kSilentInstallDrop,
+  kStaleFlowStats,
+  kSpuriousFlowRemoved,
+  kPriorityInversion,
+  kLatencyDrift,
+  kCapacityShrink,
+};
+
+std::string to_string(MisbehaviorKind kind);
+
+struct MisbehaviorEvent {
+  MisbehaviorKind kind = MisbehaviorKind::kSilentInstallDrop;
+  /// Absolute virtual time at which the event activates.
+  SimTime at{};
+  /// For the lie kinds: how many occurrences this event arms.
+  std::size_t count = 1;
+  /// For the drift kinds: kLatencyDrift cost scale summand (costs *=
+  /// 1 + magnitude); kCapacityShrink keep-fraction of level-0 slots.
+  double magnitude = 0.0;
+};
+
+struct MisbehaviorProfile {
+  std::vector<MisbehaviorEvent> events;
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// Ground-truth occurrence counters, for oracles and fingerprints.
+struct MisbehaviorStats {
+  std::uint64_t events_activated = 0;
+  std::uint64_t silent_drops = 0;
+  std::uint64_t stale_stats_replies = 0;
+  std::uint64_t spurious_removals = 0;
+  std::uint64_t priority_inversions = 0;
+  std::uint64_t latency_drifts = 0;
+  std::uint64_t capacity_shrinks = 0;
+  std::uint64_t entries_evicted = 0;  ///< displaced by capacity shrinks
+};
+
+}  // namespace tango::switchsim

@@ -128,6 +128,25 @@ FlowModOutcome SimulatedSwitch::do_add(tables::FlowEntry entry, SimTime now) {
     return reject("switch rule limit", of::FlowModFailedCode::kAllTablesFull);
   }
 
+  if (mis_ != nullptr) {
+    if (mis_->silent_drop_budget > 0) {
+      // The lie: acknowledge success, charge the usual time, install nothing.
+      --mis_->silent_drop_budget;
+      ++mis_->stats.silent_drops;
+      FlowModOutcome out;
+      out.processing_time = latency_.flow_mod_cost(
+          OpKind::kAdd, 0, /*same_priority=*/false, /*software=*/false);
+      return out;
+    }
+    if (mis_->inversion_budget > 0) {
+      --mis_->inversion_budget;
+      ++mis_->stats.priority_inversions;
+      entry.priority = entry.priority >= 0x200
+                           ? static_cast<std::uint16_t>(entry.priority - 0x200)
+                           : static_cast<std::uint16_t>(entry.priority + 0x200);
+    }
+  }
+
   // OpenFlow 1.0: an ADD with an identical match+priority replaces the
   // existing entry in place (counters reset) — no physical movement.
   std::size_t existing_level = 0;
@@ -366,7 +385,146 @@ void SimulatedSwitch::rebalance() {
   }
 }
 
+void SimulatedSwitch::set_misbehavior(MisbehaviorProfile profile) {
+  MisbehaviorStats kept{};
+  if (mis_ != nullptr) kept = mis_->stats;
+  mis_ = std::make_unique<Misbehavior>();
+  mis_->stats = kept;
+  mis_->events = std::move(profile.events);
+  std::stable_sort(mis_->events.begin(), mis_->events.end(),
+                   [](const MisbehaviorEvent& a, const MisbehaviorEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+void SimulatedSwitch::clear_misbehavior() {
+  if (mis_ == nullptr) return;
+  mis_->events.clear();
+  mis_->next_event = 0;
+  mis_->silent_drop_budget = 0;
+  mis_->inversion_budget = 0;
+  mis_->stale_budget = 0;
+  mis_->stale_snapshot = {};
+}
+
+const MisbehaviorStats& SimulatedSwitch::misbehavior_stats() const {
+  static const MisbehaviorStats kEmpty{};
+  return mis_ != nullptr ? mis_->stats : kEmpty;
+}
+
+std::size_t SimulatedSwitch::misbehavior_pending() const {
+  if (mis_ == nullptr) return 0;
+  return (mis_->events.size() - mis_->next_event) + mis_->silent_drop_budget +
+         mis_->inversion_budget + mis_->stale_budget;
+}
+
+std::size_t SimulatedSwitch::shrink_level(std::size_t level,
+                                          std::size_t new_capacity_slots) {
+  if (level >= levels_.size()) return 0;
+  auto& tcam = levels_[level];
+  std::size_t displaced = 0;
+  while (tcam.slots_used() > new_capacity_slots && tcam.size() > 0) {
+    // Evict from the highest physical position (the back of the array),
+    // matching how a truncated TCAM loses its tail.
+    const FlowId id = tcam.entries().back().id;
+    auto taken = tcam.take(id);
+    if (!taken) break;
+    microflow_.invalidate_rule(id);
+    if (profile_.software_backing) software_.insert(std::move(*taken));
+    ++displaced;
+  }
+  tcam.set_capacity_slots(new_capacity_slots);
+  if (level < profile_.cache_levels.size()) {
+    profile_.cache_levels[level].capacity_slots = new_capacity_slots;
+  }
+  return displaced;
+}
+
+void SimulatedSwitch::fabricate_removals(std::size_t count) {
+  // Lie about the highest-priority resident rules: claim they timed out
+  // while leaving them installed.
+  std::vector<const tables::FlowEntry*> pool;
+  for (const auto& level : levels_) {
+    for (const auto& e : level.entries()) pool.push_back(&e);
+  }
+  for (const auto& e : software_.entries()) pool.push_back(&e);
+  std::sort(pool.begin(), pool.end(),
+            [](const tables::FlowEntry* a, const tables::FlowEntry* b) {
+              if (a->priority != b->priority) return a->priority > b->priority;
+              return a->id < b->id;
+            });
+  if (pool.size() > count) pool.resize(count);
+  for (const auto* e : pool) {
+    of::FlowRemoved fr;
+    fr.match = e->match;
+    fr.cookie = e->cookie;
+    fr.priority = e->priority;
+    fr.reason = of::FlowRemovedReason::kIdleTimeout;
+    const SimDuration age = last_now_ - e->attrs.insert_time;
+    fr.duration_sec = static_cast<std::uint32_t>(age.ns() / 1000000000);
+    fr.duration_nsec = static_cast<std::uint32_t>(age.ns() % 1000000000);
+    fr.idle_timeout = e->idle_timeout;
+    fr.packet_count = e->attrs.traffic_count;
+    fr.byte_count = e->byte_count;
+    pending_removals_.push_back(std::move(fr));
+    ++mis_->stats.spurious_removals;
+  }
+}
+
+void SimulatedSwitch::activate_misbehavior(SimTime now) {
+  auto& m = *mis_;
+  while (m.next_event < m.events.size() && m.events[m.next_event].at <= now) {
+    const MisbehaviorEvent ev = m.events[m.next_event++];
+    ++m.stats.events_activated;
+    switch (ev.kind) {
+      case MisbehaviorKind::kSilentInstallDrop:
+        m.silent_drop_budget += ev.count;
+        break;
+      case MisbehaviorKind::kStaleFlowStats: {
+        // Snapshot the honest table with the lie disarmed, then arm it.
+        const std::size_t armed = m.stale_budget;
+        m.stale_budget = 0;
+        m.stale_snapshot = flow_stats(of::Match::any());
+        m.stale_budget = armed + ev.count;
+        break;
+      }
+      case MisbehaviorKind::kSpuriousFlowRemoved:
+        fabricate_removals(ev.count);
+        break;
+      case MisbehaviorKind::kPriorityInversion:
+        m.inversion_budget += ev.count;
+        break;
+      case MisbehaviorKind::kLatencyDrift: {
+        OpCostModel costs = latency_.costs();
+        const double scale = 1.0 + ev.magnitude;
+        auto scaled = [scale](SimDuration d) {
+          return nanos(static_cast<std::int64_t>(
+              static_cast<double>(d.ns()) * scale));
+        };
+        costs.add_base = scaled(costs.add_base);
+        costs.add_same_priority = scaled(costs.add_same_priority);
+        costs.add_software = scaled(costs.add_software);
+        costs.mod_base = scaled(costs.mod_base);
+        costs.del_base = scaled(costs.del_base);
+        latency_.set_costs(costs);
+        ++m.stats.latency_drifts;
+        break;
+      }
+      case MisbehaviorKind::kCapacityShrink: {
+        if (!levels_.empty()) {
+          const auto target = static_cast<std::size_t>(
+              static_cast<double>(levels_[0].slots_total()) * ev.magnitude);
+          m.stats.entries_evicted += shrink_level(0, target);
+        }
+        ++m.stats.capacity_shrinks;
+        break;
+      }
+    }
+  }
+}
+
 void SimulatedSwitch::sweep_timeouts(SimTime now) {
+  if (mis_ != nullptr) activate_misbehavior(now);
   // One table API for expiry everywhere (this used to be two hand-rolled
   // reverse-erase loops); take_expired() is O(1) when no resident entry
   // carries a timeout, which is the common case on the forwarding path.
@@ -601,6 +759,18 @@ of::TableStatsReply SimulatedSwitch::table_stats() const {
 }
 
 of::FlowStatsReply SimulatedSwitch::flow_stats(const of::Match& filter) const {
+  if (mis_ != nullptr && mis_->stale_budget > 0) {
+    // Serve the filter over the activation-time snapshot instead of the
+    // live table (the budget makes the lie bounded, so repair loops that
+    // outlast it still converge).
+    --mis_->stale_budget;
+    ++mis_->stats.stale_stats_replies;
+    of::FlowStatsReply stale;
+    for (const auto& e : mis_->stale_snapshot.entries) {
+      if (filter.subsumes(e.match)) stale.entries.push_back(e);
+    }
+    return stale;
+  }
   of::FlowStatsReply reply;
   auto add_entry = [&](const tables::FlowEntry& e, std::uint8_t table_id) {
     if (!filter.subsumes(e.match)) return;

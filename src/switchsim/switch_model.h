@@ -22,6 +22,7 @@
 
 #include <map>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "openflow/messages.h"
 #include "openflow/packet.h"
 #include "switchsim/latency_model.h"
+#include "switchsim/misbehavior.h"
 #include "tables/cache_policy.h"
 #include "tables/software_table.h"
 #include "tables/tcam.h"
@@ -156,6 +158,27 @@ class SimulatedSwitch {
 
   LatencyModel& latency() { return latency_; }
 
+  // --- semantic misbehavior (see misbehavior.h) ----------------------------
+  /// Arm a misbehavior profile. Events activate lazily in sweep_timeouts()
+  /// once virtual time passes their scheduled instant; lie budgets are then
+  /// consumed by subsequent operations, drift applies immediately. Replaces
+  /// any previous profile but keeps accumulated stats.
+  void set_misbehavior(MisbehaviorProfile profile);
+
+  /// Drop pending events and unconsumed lie budgets (drift that already
+  /// applied persists — the hardware really changed). Stats are kept.
+  void clear_misbehavior();
+
+  [[nodiscard]] const MisbehaviorStats& misbehavior_stats() const;
+
+  /// Events not yet activated + lie occurrences still armed.
+  [[nodiscard]] std::size_t misbehavior_pending() const;
+
+  /// Truncate bounded level `level` to `new_capacity_slots`, displacing
+  /// highest-physical-position entries into the software table when the
+  /// profile has one (else they are lost). Returns entries displaced.
+  std::size_t shrink_level(std::size_t level, std::size_t new_capacity_slots);
+
  private:
   FlowModOutcome do_add(tables::FlowEntry entry, SimTime now);
   FlowModOutcome do_modify(const of::FlowMod& fm, SimTime now, bool strict);
@@ -175,6 +198,21 @@ class SimulatedSwitch {
 
   void install_default_route();
 
+  /// Lazily allocated misbehavior engine state (absent on the honest fast
+  /// path so fault-free runs stay bit-identical and zero-cost).
+  struct Misbehavior {
+    std::vector<MisbehaviorEvent> events;  ///< sorted by `at`, ascending
+    std::size_t next_event = 0;
+    std::size_t silent_drop_budget = 0;
+    std::size_t inversion_budget = 0;
+    std::size_t stale_budget = 0;
+    of::FlowStatsReply stale_snapshot;  ///< honest state at activation time
+    MisbehaviorStats stats;
+  };
+  /// Activate events whose time has come; called from sweep_timeouts().
+  void activate_misbehavior(SimTime now);
+  void fabricate_removals(std::size_t count);
+
   SwitchId id_;
   SwitchProfile profile_;
   LatencyModel latency_;
@@ -190,6 +228,7 @@ class SimulatedSwitch {
   [[nodiscard]] of::PhyPort phy_port(std::uint16_t port_no) const;
 
   FlowId next_flow_id_ = 1;
+  std::unique_ptr<Misbehavior> mis_;
   std::vector<of::FlowRemoved> pending_removals_;
   std::vector<of::PortStatus> pending_port_status_;
   std::map<std::uint16_t, PortState> ports_;

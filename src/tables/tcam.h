@@ -23,6 +23,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <optional>
 #include <string>
@@ -138,6 +139,14 @@ class Tcam {
   [[nodiscard]] std::size_t slots_used() const { return slots_used_; }
   [[nodiscard]] std::size_t slots_total() const { return config_.capacity_slots; }
   [[nodiscard]] const TcamConfig& config() const { return config_; }
+
+  /// Shrink (or grow) raw slot capacity in place — models a partial
+  /// hardware failure or firmware change. The caller must first evict
+  /// entries until slots_used() fits the new capacity (asserted).
+  void set_capacity_slots(std::size_t n) {
+    assert(slots_used_ <= n);
+    config_.capacity_slots = n;
+  }
 
   /// Entries in physical (ascending-priority) order.
   [[nodiscard]] const std::vector<FlowEntry>& entries() const { return entries_; }

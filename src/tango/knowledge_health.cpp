@@ -1,0 +1,188 @@
+#include "tango/knowledge_health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tango::core {
+
+std::string to_string(PropertyKind kind) {
+  switch (kind) {
+    case PropertyKind::kSizes: return "sizes";
+    case PropertyKind::kPolicy: return "policy";
+    case PropertyKind::kCosts: return "costs";
+    case PropertyKind::kWidth: return "width";
+  }
+  return "?";
+}
+
+void KnowledgeHealth::count(const char* name, std::uint64_t n) {
+  if (telemetry_ != nullptr) telemetry_->metrics.counter(name).inc(n);
+}
+
+SwitchHealth& KnowledgeHealth::entry(SwitchId id) { return switches_[id]; }
+
+void KnowledgeHealth::track(SwitchId id, SimTime now) {
+  SwitchHealth fresh;
+  for (auto& p : fresh.props) p.refreshed_at = now;
+  // Keep lifetime counters across re-tracking (refresh() re-learns).
+  if (const auto it = switches_.find(id); it != switches_.end()) {
+    const SwitchHealth& old = it->second;
+    fresh.cost_mispredictions = old.cost_mispredictions;
+    fresh.readback_mismatches = old.readback_mismatches;
+    fresh.verifier_violations = old.verifier_violations;
+    fresh.spot_checks = old.spot_checks;
+    fresh.drift_confirmed = old.drift_confirmed;
+    fresh.reinferences = old.reinferences;
+    fresh.quarantines = old.quarantines;
+    fresh.quarantine_lifts = old.quarantine_lifts;
+  }
+  switches_[id] = fresh;
+}
+
+void KnowledgeHealth::forget(SwitchId id) { switches_.erase(id); }
+
+void KnowledgeHealth::suspect(SwitchId id) {
+  auto& h = entry(id);
+  h.trust = std::min(h.trust, config_.quarantine_threshold - 0.01);
+  update_quarantine(h, id);
+}
+
+void KnowledgeHealth::penalize(SwitchHealth& h, SwitchId id, PropertyKind kind,
+                               double amount) {
+  auto& p = h.prop(kind);
+  ++p.signals;
+  p.confidence = std::max(0.0, p.confidence - amount);
+  h.trust = std::max(0.0, h.trust - amount);
+  update_quarantine(h, id);
+}
+
+void KnowledgeHealth::update_quarantine(SwitchHealth& h, SwitchId id) {
+  double min_conf = 1.0;
+  for (const auto& p : h.props) min_conf = std::min(min_conf, p.confidence);
+  const bool should =
+      h.trust < config_.quarantine_threshold ||
+      min_conf < config_.quarantine_threshold;
+  if (should && !h.quarantined) {
+    h.quarantined = true;
+    ++h.quarantines;
+    count("health.quarantines");
+    log::warn("health: switch " + std::to_string(id) +
+              " quarantined (trust " + std::to_string(h.trust) + ")");
+  } else if (!should && h.quarantined) {
+    h.quarantined = false;
+    ++h.quarantine_lifts;
+    count("health.quarantine_lifts");
+    log::info("health: switch " + std::to_string(id) + " quarantine lifted");
+  }
+}
+
+void KnowledgeHealth::on_cost_observation(SwitchId id, double actual_ms,
+                                          double predicted_ms, SimTime now) {
+  (void)now;
+  if (switches_.count(id) == 0) return;  // not a tracked switch
+  if (predicted_ms <= 0.0) return;
+  const double rel = std::abs(actual_ms / predicted_ms - 1.0);
+  if (rel <= config_.misprediction_tolerance) return;
+  auto& h = entry(id);
+  ++h.cost_mispredictions;
+  count("health.cost_mispredictions");
+  penalize(h, id, PropertyKind::kCosts, config_.signal_penalty);
+}
+
+void KnowledgeHealth::on_readback_mismatch(SwitchId id, std::size_t mismatches,
+                                           SimTime now) {
+  (void)now;
+  if (mismatches == 0 || switches_.count(id) == 0) return;
+  auto& h = entry(id);
+  h.readback_mismatches += mismatches;
+  count("health.readback_mismatches", mismatches);
+  // A readback mismatch is direct evidence the switch lies about installs:
+  // it discredits trust (not a knowledge property), hard.
+  h.trust = std::max(0.0, h.trust - config_.signal_penalty *
+                                        static_cast<double>(mismatches));
+  update_quarantine(h, id);
+}
+
+void KnowledgeHealth::on_verifier_violation(SwitchId id, SimTime now) {
+  (void)now;
+  if (switches_.count(id) == 0) return;
+  auto& h = entry(id);
+  ++h.verifier_violations;
+  count("health.verifier_violations");
+  h.trust = std::max(0.0, h.trust - config_.signal_penalty);
+  update_quarantine(h, id);
+}
+
+void KnowledgeHealth::on_clean_verified_commit(SwitchId id, SimTime now) {
+  (void)now;
+  if (switches_.count(id) == 0) return;
+  auto& h = entry(id);
+  count("health.clean_verified_commits");
+  h.trust = std::min(1.0, h.trust + config_.clean_commit_recovery);
+  update_quarantine(h, id);
+}
+
+bool KnowledgeHealth::needs_probe(SwitchId id) const {
+  const auto it = switches_.find(id);
+  if (it == switches_.end()) return false;
+  return it->second.prop(PropertyKind::kCosts).signals >=
+         config_.escalate_after;
+}
+
+bool KnowledgeHealth::record_spot_check(SwitchId id, double drift, SimTime now) {
+  (void)now;
+  if (switches_.count(id) == 0) return false;
+  auto& h = entry(id);
+  ++h.spot_checks;
+  count("health.spot_checks");
+  auto& costs = h.prop(PropertyKind::kCosts);
+  if (std::abs(drift) > config_.spot_check_tolerance) {
+    ++h.drift_confirmed;
+    count("health.drift_confirmed");
+    costs.confidence = 0.0;  // forces quarantine until re-inference
+    update_quarantine(h, id);
+    log::warn("health: switch " + std::to_string(id) +
+              " drift confirmed by spot check (" + std::to_string(drift) + ")");
+    return true;
+  }
+  // The accumulated signals were noise: absolve the property.
+  costs.signals = 0;
+  costs.confidence = 1.0;
+  update_quarantine(h, id);
+  return false;
+}
+
+void KnowledgeHealth::mark_reinferred(SwitchId id, PropertyKind kind,
+                                      SimTime now) {
+  if (switches_.count(id) == 0) return;
+  auto& h = entry(id);
+  ++h.reinferences;
+  count("health.reinferences");
+  auto& p = h.prop(kind);
+  p.confidence = 1.0;
+  p.signals = 0;
+  p.refreshed_at = now;
+  // Fresh knowledge restores faith in the switch's behaviour too.
+  h.trust = std::max(h.trust, 1.0 - config_.signal_penalty);
+  update_quarantine(h, id);
+}
+
+bool KnowledgeHealth::quarantined(SwitchId id) const {
+  const auto it = switches_.find(id);
+  return it != switches_.end() && it->second.quarantined;
+}
+
+double KnowledgeHealth::confidence(SwitchId id, PropertyKind kind) const {
+  const auto it = switches_.find(id);
+  if (it == switches_.end()) return 0.0;
+  return it->second.prop(kind).confidence;
+}
+
+const SwitchHealth* KnowledgeHealth::health(SwitchId id) const {
+  const auto it = switches_.find(id);
+  return it != switches_.end() ? &it->second : nullptr;
+}
+
+}  // namespace tango::core

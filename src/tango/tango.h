@@ -11,6 +11,7 @@
 #include "net/network.h"
 #include "scheduler/transaction.h"
 #include "tables/cache_policy.h"
+#include "tango/knowledge_health.h"
 #include "tango/latency_profiler.h"
 #include "tango/pattern.h"
 #include "tango/policy_inference.h"
@@ -45,12 +46,32 @@ struct LearnOptions {
   bool infer_width = false;
 };
 
+/// One sentinel decision for one switch (see TangoController::run_sentinel).
+struct SentinelAction {
+  SwitchId switch_id = 0;
+  /// spot_check output (|measured/learned - 1|) when probed; negative when
+  /// the probe could not run.
+  double drift = -1.0;
+  bool probed = false;
+  /// Drift confirmed beyond the spot-check tolerance.
+  bool confirmed = false;
+  /// Targeted re-inference of the stale property ran.
+  bool reinferred = false;
+  /// Quarantine state after the sentinel acted.
+  bool quarantined = false;
+};
+
 class TangoController {
  public:
   explicit TangoController(net::Network& network) : network_(network) {}
 
   /// Run (or return cached) full inference for a switch.
   const SwitchKnowledge& learn(SwitchId id, const LearnOptions& options = {});
+
+  /// Adopt externally supplied knowledge (a previous run, a config file)
+  /// without probing. Replaces any cached record; tracked by the health
+  /// layer exactly like learned knowledge.
+  const SwitchKnowledge& adopt(SwitchKnowledge know);
 
   /// Cheap online drift check (the "online testing when the switch is
   /// running" mode of §4): time one small ascending-add batch and compare
@@ -63,11 +84,32 @@ class TangoController {
   /// reports drift beyond tolerance).
   const SwitchKnowledge& refresh(SwitchId id, const LearnOptions& options = {});
 
+  /// Targeted re-inference: re-probe only `kind` on a switch whose other
+  /// properties are still trusted — a fraction of a full learn(). Falls
+  /// back to learn() when the switch is unknown. Like learn(), this clears
+  /// the switch's rules (probe workloads need an empty table).
+  const SwitchKnowledge& reinfer(SwitchId id, PropertyKind kind,
+                                 const LearnOptions& options = {});
+
+  /// Drift sentinel sweep: for every known switch whose accumulated free
+  /// signals warrant it (KnowledgeHealth::needs_probe, or all switches when
+  /// `force_probe`), pay for a spot_check probe; on confirmed drift run
+  /// targeted re-inference of the cost property. Returns one action record
+  /// per probed switch.
+  std::vector<SentinelAction> run_sentinel(const LearnOptions& options = {},
+                                           bool force_probe = false);
+
   /// Begin a transactional update: snapshot pre-state of every affected
   /// switch, journal each request's intent and inverse, stamp cookies.
   /// Executor cost hints are pre-filled from learned knowledge (a scheduler
   /// built from the same hints sees consistent estimates). The caller picks
   /// the scheduler at commit() time.
+  ///
+  /// Knowledge-health wiring: quarantined switches get conservative
+  /// (inflated) cost hints and are added to options.readback_verify so
+  /// their commits are readback-verified; the executor's cost observations
+  /// and the transaction's final report are chained into the health layer
+  /// (user-provided callbacks still fire afterwards).
   sched::UpdateTransaction begin_update(sched::RequestDag dag,
                                         sched::TransactionOptions options = {});
 
@@ -77,12 +119,16 @@ class TangoController {
   PatternDb& patterns() { return patterns_; }
   ScoreDb& scores() { return scores_; }
   net::Network& network() { return network_; }
+  /// Health/trust bookkeeping for every known switch.
+  KnowledgeHealth& health() { return health_; }
+  [[nodiscard]] const KnowledgeHealth& health() const { return health_; }
 
  private:
   net::Network& network_;
   PatternDb patterns_;
   ScoreDb scores_;
   std::map<SwitchId, SwitchKnowledge> knowledge_;
+  KnowledgeHealth health_;
 };
 
 }  // namespace tango::core

@@ -132,6 +132,52 @@ TEST(DriftDetection, DetectsFirmwareSlowdown) {
   EXPECT_LT(tango.spot_check(id), 0.25);
 }
 
+// Mid-run hardware change on BOTH axes — op costs slow down 4x AND the
+// fast tier loses a third of its slots — refresh() must drop the stale
+// record and converge on the new reality in one call. A synthetic
+// policy-cache switch keeps the regimes clean: ascending adds append (no
+// shift costs), so measured per-op cost is fill-independent, and the
+// capacity cliff is a crisp RTT step into the software tier.
+TEST(DriftDetection, RefreshDropsStaleRecordAndReconverges) {
+  net::Network net;
+  const auto id = net.add_switch(profiles::policy_cache(
+      "reconfig", {3000}, tables::LexCachePolicy::lru()));
+  core::TangoController tango(net);
+  core::LearnOptions options;
+  // Deep enough to cross both the original cliff at 3000 and the
+  // post-change cliff at 2048; the cost profiler's working set (1000
+  // preinstalled + 500-rule batches) fits the shrunk tier either way, so
+  // cost and size inference stay independent.
+  options.size.max_rules = 4000;
+  options.infer_policy = false;
+  const auto& stale = tango.learn(id, options);
+  const double stale_add_ms = stale.costs.add_ascending_ms;
+  ASSERT_FALSE(stale.sizes.layer_sizes.empty());
+  const double stale_front = stale.sizes.layer_sizes.front();
+  EXPECT_GT(stale_front, 2600.0);  // fast tier measured near 3000
+  ProbeEngine(net, id).clear_rules();
+
+  // The "hardware change": every rule op 4x slower, fast tier truncated
+  // to 2048 slots.
+  auto slowed = net.sw(id).latency().costs();
+  slowed.add_base = slowed.add_base * 4;
+  slowed.add_same_priority = slowed.add_same_priority * 4;
+  slowed.add_software = slowed.add_software * 4;
+  net.sw(id).latency().set_costs(slowed);
+  net.sw(id).shrink_level(0, 2048);
+
+  EXPECT_GT(tango.spot_check(id), 0.25);  // stale knowledge is detectably off
+
+  const auto& fresh = tango.refresh(id, options);
+  // The stale record is gone: the refreshed knowledge reflects the slower
+  // cost model and the smaller fast tier.
+  EXPECT_GT(fresh.costs.add_ascending_ms, stale_add_ms * 2.0);
+  ASSERT_FALSE(fresh.sizes.layer_sizes.empty());
+  EXPECT_GT(fresh.sizes.layer_sizes.front(), 1500.0);
+  EXPECT_LT(fresh.sizes.layer_sizes.front(), stale_front - 300.0);
+  EXPECT_LT(tango.spot_check(id), 0.25);  // converged
+}
+
 TEST(DriftDetection, UnknownSwitchReportsNegative) {
   net::Network net;
   const auto id = net.add_switch(profiles::ovs());

@@ -94,7 +94,50 @@ TEST(ChaosReproTest, RejectsWrongSchemaAndGarbage) {
   EXPECT_FALSE(parse_repro("").ok());
   EXPECT_FALSE(parse_repro("{}").ok());
   EXPECT_FALSE(parse_repro("not json at all").ok());
+  EXPECT_FALSE(parse_repro(R"({"schema": "chaos_repro.v3", "seed": 1})").ok());
   EXPECT_FALSE(parse_repro(R"({"schema": "chaos_repro.v2", "seed": 1})").ok());
+}
+
+// Backward compatibility: v1 documents (no "misbehavior" flag, no per-event
+// "magnitude") parse with both defaulted — old captured seeds stay replayable.
+TEST(ChaosReproTest, ParsesLegacyV1Documents) {
+  const std::string v1 = R"({
+    "schema": "chaos_repro.v1",
+    "seed": 5, "workload": "acl", "policy": "roll_forward",
+    "horizon": "medium",
+    "base_loss": 0.02,
+    "events": [
+      {"kind": "crash", "target": 1, "at_ns": 1000000,
+       "duration_ns": 2000000, "drop": 0}
+    ],
+    "fingerprint": "0x1234",
+    "violations": ["readback"]
+  })";
+  const auto parsed = parse_repro(v1);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const auto& schedule = parsed.value().schedule;
+  EXPECT_EQ(schedule.spec.seed, 5u);
+  EXPECT_FALSE(schedule.spec.misbehavior);
+  ASSERT_EQ(schedule.events.size(), 1u);
+  EXPECT_EQ(schedule.events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(schedule.events[0].magnitude, 0.0);
+  EXPECT_EQ(parsed.value().fingerprint, 0x1234u);
+}
+
+TEST(ChaosReproTest, V2RoundTripCarriesMisbehavior) {
+  auto spec = spec_of(7, Workload::kFig10, sched::RecoveryPolicy::kRollForward);
+  spec.misbehavior = true;
+  const auto schedule = generate_schedule(spec);
+  bool has_magnitude = false;
+  for (const auto& ev : schedule.events) has_magnitude |= ev.magnitude > 0.0;
+  EXPECT_TRUE(has_magnitude);
+
+  const auto json = to_repro_json(schedule);
+  EXPECT_NE(json.find("chaos_repro.v2"), std::string::npos);
+  EXPECT_NE(json.find("\"misbehavior\": true"), std::string::npos);
+  const auto parsed = parse_repro(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().schedule, schedule);
 }
 
 // ---------------------------------------------------------------------------
@@ -224,6 +267,33 @@ TEST(ChaosRegressionTest, LateCrashRecoversAclTable) {
 // te/roll-forward at medium horizon.
 TEST(ChaosRegressionTest, MidCommitCrashPlusLossBurstReconciles) {
   const auto result = run_chaos(load_repro("frozen_clock_te.json"));
+  EXPECT_TRUE(result.ok()) << to_string(result.violations.front());
+}
+
+// Regression: under kRollBack the reconcile() path never re-verified its
+// work, so a switch serving one frozen FLOW_STATS snapshot could lie to the
+// rollback reconciler's only readback — it saw a clean diff, declared
+// convergence, and a transaction-installed rule survived in the real table
+// (image-agreement: stale rule). Readback verification now also runs after
+// policy-driven reconciliation, against the image the policy was supposed
+// to converge to. Minimized from seed 2 acl/roll-back at short horizon
+// with --misbehavior.
+TEST(ChaosRegressionTest, StaleStatsCannotFoolRollbackReconcile) {
+  const auto result =
+      run_chaos(load_repro("stale_stats_rollback_acl.json"));
+  EXPECT_TRUE(result.ok()) << to_string(result.violations.front());
+}
+
+// Companion case: a readback-verify repair on the fast path used to set
+// report.reconciled, which the oracles (and the late-crash re-sync) read as
+// "the transaction rolled back" — so after the repair correctly converged
+// the table to the post image, the oracles demanded the pre image and every
+// transaction rule looked stale or black-holed. rolled_back is now a
+// separate flag set only by policy-driven rollback. Minimized from seed 2
+// fig10/roll-back at short horizon with --misbehavior.
+TEST(ChaosRegressionTest, ReadbackRepairIsNotARollback) {
+  const auto result =
+      run_chaos(load_repro("priority_inversion_rollback_fig10.json"));
   EXPECT_TRUE(result.ok()) << to_string(result.violations.front());
 }
 

@@ -20,6 +20,7 @@
 #include "scheduler/transaction.h"
 #include "switchsim/profiles.h"
 #include "tango/probe_engine.h"
+#include "tango/tango.h"
 #include "workload/scenarios.h"
 
 namespace tango::net {
@@ -208,6 +209,38 @@ TEST(FaultScenarioTest, DroppedStatsRequestReturnsEmptyNotHang) {
 
   const auto real = net.flow_stats_sync(s1, of::Match::any());
   EXPECT_FALSE(real.entries.empty());
+}
+
+// Regression: spot_check's cleanup deletes travel over the same lossy
+// channel as everything else. A dropped delete used to leak probe rules
+// into the switch's table permanently; the readback-and-reissue loop now
+// converges the table back to its pre-check state.
+TEST(FaultScenarioTest, SpotCheckCleansUpUnderChannelLoss) {
+  Network net;
+  const auto s1 = net.add_switch(quiet_switch1());
+  core::TangoController tango(net);
+  core::LearnOptions options;
+  options.size.max_rules = 256;
+  options.infer_policy = false;
+  tango.learn(s1, options);
+  ProbeEngine(net, s1).clear_rules();
+  const auto before = net.sw(s1).total_rules();
+
+  std::size_t dropped_total = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    FaultConfig cfg;
+    cfg.drop_to_switch = 0.25;  // eats installs and cleanup deletes alike
+    cfg.seed = seed;
+    net.enable_faults(s1, cfg);
+    const double drift = tango.spot_check(s1);
+    EXPECT_GE(drift, 0.0);
+    dropped_total += net.fault_injector(s1)->stats().dropped_to_switch;
+
+    // Assert over a clean channel: no probe rule survived the cleanup.
+    net.enable_faults(s1, FaultConfig{});
+    EXPECT_EQ(net.sw(s1).total_rules(), before) << "seed " << seed;
+  }
+  EXPECT_GT(dropped_total, 0u);  // the loss actually bit something
 }
 
 // ---------------------------------------------------------------------------

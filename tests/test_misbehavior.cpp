@@ -1,0 +1,406 @@
+// Semantic switch misbehavior + knowledge health, end to end.
+//
+// Three layers under test:
+//  1. switchsim::MisbehaviorProfile — the lie/drift engine itself (acks
+//     without installing, frozen stats snapshots, fabricated removals,
+//     priority skew, latency drift, capacity shrink).
+//  2. The knowledge-health loop — a drift event degrades scheduling, the
+//     sentinel detects it from free executor cost observations, escalates
+//     to a spot-check probe, targeted re-inference restores knowledge, and
+//     quarantine lifts; a silently-dropped install is caught only because
+//     the quarantined switch's commit was readback-verified.
+//  3. Chaos integration — misbehavior schedules are drawn only when the
+//     spec opts in (wire-fault draws unchanged), and misbehaving-switch
+//     runs replay bit-identically from the same seed.
+//
+// Everything runs on the deterministic event queue: same inputs, same
+// counters, every time.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "chaos/harness.h"
+#include "chaos/schedule.h"
+#include "net/network.h"
+#include "scheduler/executor.h"
+#include "scheduler/schedulers.h"
+#include "scheduler/transaction.h"
+#include "switchsim/misbehavior.h"
+#include "switchsim/profiles.h"
+#include "tango/probe_engine.h"
+#include "tango/tango.h"
+
+namespace tango {
+namespace {
+
+namespace profiles = switchsim::profiles;
+using core::ProbeEngine;
+using switchsim::MisbehaviorEvent;
+using switchsim::MisbehaviorKind;
+using switchsim::MisbehaviorProfile;
+
+switchsim::SwitchProfile quiet_switch1() {
+  auto profile = profiles::switch1();
+  profile.costs.jitter_frac = 0;
+  profile.paths.jitter_frac = 0;
+  return profile;
+}
+
+sched::SwitchRequest add_req(SwitchId where, std::uint32_t index) {
+  sched::SwitchRequest r;
+  r.location = where;
+  r.type = sched::RequestType::kAdd;
+  r.priority = 0x8000;
+  r.match = ProbeEngine::probe_match(index);
+  r.actions = of::output_to(2);
+  return r;
+}
+
+/// Arm a single misbehavior event on `id`, activating at the current
+/// virtual time, and run the queue so the activation poke lands.
+void arm(net::Network& net, SwitchId id, MisbehaviorKind kind,
+         std::size_t count = 1, double magnitude = 0.0) {
+  MisbehaviorProfile profile;
+  MisbehaviorEvent ev;
+  ev.kind = kind;
+  ev.at = net.now();
+  ev.count = count;
+  ev.magnitude = magnitude;
+  profile.events.push_back(ev);
+  net.set_misbehavior(id, std::move(profile));
+  net.run_all();
+}
+
+// ---------------------------------------------------------------------------
+// The misbehavior engine
+// ---------------------------------------------------------------------------
+
+TEST(MisbehaviorEngineTest, SilentInstallDropAcksWithoutInstalling) {
+  net::Network net;
+  const auto id = net.add_switch(quiet_switch1());
+  const auto before = net.sw(id).total_rules();
+  arm(net, id, MisbehaviorKind::kSilentInstallDrop, /*count=*/2);
+
+  ProbeEngine probe(net, id);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    // Every install is acknowledged as a success...
+    EXPECT_TRUE(probe.install(i));
+  }
+  // ...but the first two never touched the table.
+  EXPECT_EQ(net.sw(id).total_rules(), before + 3);
+  const auto& stats = net.sw(id).misbehavior_stats();
+  EXPECT_EQ(stats.events_activated, 1u);
+  EXPECT_EQ(stats.silent_drops, 2u);
+}
+
+TEST(MisbehaviorEngineTest, StaleFlowStatsServesFrozenSnapshot) {
+  net::Network net;
+  const auto id = net.add_switch(quiet_switch1());
+  ProbeEngine probe(net, id);
+  for (std::uint32_t i = 0; i < 4; ++i) probe.install(i);
+  net.barrier_sync(id);
+  const auto honest = net.flow_stats_sync(id, of::Match::any());
+
+  // Snapshot frozen now; the delete below will not be visible to the next
+  // stats reply.
+  arm(net, id, MisbehaviorKind::kStaleFlowStats, /*count=*/1);
+  auto del = ProbeEngine::probe_add(0);
+  del.command = of::FlowModCommand::kDelete;
+  probe.timed_batch({del});
+
+  const auto stale = net.flow_stats_sync(id, of::Match::any());
+  EXPECT_EQ(stale.entries.size(), honest.entries.size());  // lie: pre-delete
+  const auto truthful = net.flow_stats_sync(id, of::Match::any());
+  EXPECT_EQ(truthful.entries.size(), honest.entries.size() - 1);
+  EXPECT_EQ(net.sw(id).misbehavior_stats().stale_stats_replies, 1u);
+}
+
+TEST(MisbehaviorEngineTest, SpuriousFlowRemovedFabricatesNotices) {
+  net::Network net;
+  const auto id = net.add_switch(quiet_switch1());
+  ProbeEngine probe(net, id);
+  for (std::uint32_t i = 0; i < 3; ++i) probe.install(i);
+  net.barrier_sync(id);
+  const auto before = net.sw(id).total_rules();
+
+  arm(net, id, MisbehaviorKind::kSpuriousFlowRemoved, /*count=*/2);
+  net.barrier_sync(id);  // any interaction drains the fabricated notices
+
+  // The notices are lies: every rule is still resident.
+  EXPECT_EQ(net.sw(id).total_rules(), before);
+  EXPECT_EQ(net.sw(id).misbehavior_stats().spurious_removals, 2u);
+}
+
+TEST(MisbehaviorEngineTest, PriorityInversionSkewsInstalledPriority) {
+  net::Network net;
+  const auto id = net.add_switch(quiet_switch1());
+  arm(net, id, MisbehaviorKind::kPriorityInversion, /*count=*/1);
+
+  ProbeEngine probe(net, id);
+  EXPECT_TRUE(probe.install(0, 0x4000));
+  net.barrier_sync(id);
+
+  // The rule is present but not at the requested priority.
+  const auto reply = net.flow_stats_sync(id, of::Match::any());
+  bool found = false;
+  for (const auto& entry : reply.entries) {
+    if (entry.match == ProbeEngine::probe_match(0)) {
+      found = true;
+      EXPECT_NE(entry.priority, 0x4000);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(net.sw(id).misbehavior_stats().priority_inversions, 1u);
+}
+
+TEST(MisbehaviorEngineTest, LatencyDriftScalesOpCosts) {
+  net::Network net;
+  const auto id = net.add_switch(quiet_switch1());
+  ProbeEngine probe(net, id);
+
+  const auto priorities = core::ascending_priorities(20, 0x6000);
+  const auto before = probe.timed_batch(core::make_add_batch(0, 20, priorities));
+  probe.clear_rules();
+
+  arm(net, id, MisbehaviorKind::kLatencyDrift, 1, /*magnitude=*/2.0);
+  const auto after = probe.timed_batch(core::make_add_batch(0, 20, priorities));
+  probe.clear_rules();
+
+  // Costs scaled by (1 + 2.0) = 3x; the batch carries some fixed overhead,
+  // so assert a conservative 2x.
+  EXPECT_GT(after.ns(), before.ns() * 2);
+  EXPECT_EQ(net.sw(id).misbehavior_stats().latency_drifts, 1u);
+}
+
+TEST(MisbehaviorEngineTest, CapacityShrinkSpillsToSoftwareBacking) {
+  net::Network net;
+  const auto id = net.add_switch(quiet_switch1());  // software backing
+  ProbeEngine probe(net, id);
+  for (std::uint32_t i = 0; i < 100; ++i) probe.install(i);
+  net.barrier_sync(id);
+  const auto before = net.sw(id).total_rules();
+
+  arm(net, id, MisbehaviorKind::kCapacityShrink, 1, /*magnitude=*/0.01);
+  net.barrier_sync(id);
+
+  const auto& sw = net.sw(id);
+  EXPECT_EQ(sw.misbehavior_stats().capacity_shrinks, 1u);
+  EXPECT_GT(sw.misbehavior_stats().entries_evicted, 0u);
+  // Displaced entries spilled into the software table: nothing was lost.
+  EXPECT_EQ(sw.total_rules(), before);
+  EXPECT_LE(sw.level_size(0), sw.level_capacity(0));
+  EXPECT_GT(sw.software_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The knowledge-health loop, end to end
+// ---------------------------------------------------------------------------
+
+/// Drift event degrades scheduling -> mispredictions accumulate as free
+/// signals -> sentinel escalates to a spot check -> drift confirmed ->
+/// targeted re-inference of just the cost property -> quarantine lifts.
+TEST(SentinelLoopTest, DriftDetectedReinferredAndQuarantineLifted) {
+  net::Network net;
+  const auto id = net.add_switch(quiet_switch1());
+  core::TangoController tango(net);
+  core::LearnOptions options;
+  options.size.max_rules = 512;
+  options.infer_policy = false;
+  const double before_ms = tango.learn(id, options).costs.add_ascending_ms;
+  ProbeEngine(net, id).clear_rules();
+  EXPECT_FALSE(tango.health().needs_probe(id));
+
+  // "Firmware rot": every rule op is now 3x slower.
+  arm(net, id, MisbehaviorKind::kLatencyDrift, 1, /*magnitude=*/2.0);
+
+  // A sequential chain keeps one op in flight at a time, so each clean
+  // completion yields a usable cost observation against the learned hint.
+  sched::RequestDag dag;
+  std::optional<std::size_t> prev;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const auto node = dag.add(add_req(id, i));
+    if (prev.has_value()) dag.add_dependency(*prev, node);
+    prev = node;
+  }
+  sched::TransactionOptions topts;
+  topts.txn_id = 41;
+  auto txn = tango.begin_update(std::move(dag), topts);
+  sched::DionysusScheduler scheduler;
+  const auto report = txn.commit(scheduler);
+  EXPECT_TRUE(report.committed);
+
+  // Free signals accumulated past the escalation threshold; the penalties
+  // already pushed the switch into quarantine.
+  const auto* h = tango.health().health(id);
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->cost_mispredictions, 3u);
+  EXPECT_TRUE(tango.health().needs_probe(id));
+  EXPECT_TRUE(tango.health().quarantined(id));
+
+  // The sentinel pays for the probe, confirms, re-infers only kCosts, and
+  // the restored confidence lifts the quarantine.
+  const auto actions = tango.run_sentinel(options);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].switch_id, id);
+  EXPECT_TRUE(actions[0].probed);
+  EXPECT_GT(actions[0].drift, 0.25);
+  EXPECT_TRUE(actions[0].confirmed);
+  EXPECT_TRUE(actions[0].reinferred);
+  EXPECT_FALSE(actions[0].quarantined);
+  EXPECT_FALSE(tango.health().quarantined(id));
+
+  // Knowledge reconverged to the drifted reality.
+  const double after_ms = tango.knowledge(id)->costs.add_ascending_ms;
+  EXPECT_GT(after_ms, before_ms * 2.0);
+  EXPECT_LT(tango.spot_check(id), 0.25);
+
+  const auto* post = tango.health().health(id);
+  ASSERT_NE(post, nullptr);
+  EXPECT_EQ(post->spot_checks, 1u);
+  EXPECT_EQ(post->drift_confirmed, 1u);
+  EXPECT_EQ(post->reinferences, 1u);
+  EXPECT_EQ(post->quarantines, 1u);
+  EXPECT_EQ(post->quarantine_lifts, 1u);
+}
+
+/// A quarantined switch's commit is readback-verified: three acknowledged
+///-but-never-installed adds are caught and repaired, the transaction still
+/// commits truthfully, and trust recovers through clean verified commits.
+TEST(SentinelLoopTest, SilentDropsCaughtByReadbackVerifiedCommit) {
+  net::Network net;
+  const auto id = net.add_switch(quiet_switch1());
+  core::TangoController tango(net);
+  core::LearnOptions options;
+  options.size.max_rules = 512;
+  options.infer_policy = false;
+  tango.learn(id, options);
+  ProbeEngine(net, id).clear_rules();
+  const auto baseline = net.sw(id).total_rules();
+
+  tango.health().suspect(id);
+  ASSERT_TRUE(tango.health().quarantined(id));
+
+  // The switch will acknowledge — but silently drop — the next 3 installs.
+  arm(net, id, MisbehaviorKind::kSilentInstallDrop, /*count=*/3);
+
+  sched::RequestDag dag;
+  for (std::uint32_t i = 0; i < 10; ++i) dag.add(add_req(id, i));
+  sched::TransactionOptions topts;
+  topts.txn_id = 42;
+  auto txn = tango.begin_update(std::move(dag), topts);
+  sched::DionysusScheduler scheduler;
+  const auto report = txn.commit(scheduler);
+
+  // The readback-verified commit caught the lie and repaired it: the
+  // transaction is committed AND every rule is really installed.
+  EXPECT_TRUE(report.committed);
+  ASSERT_EQ(report.readback_mismatches.count(id), 1u);
+  EXPECT_EQ(report.readback_mismatches.at(id), 3u);
+  EXPECT_EQ(net.sw(id).misbehavior_stats().silent_drops, 3u);
+  EXPECT_EQ(net.sw(id).total_rules(), baseline + 10);
+
+  // Mismatches discredit trust further: still quarantined.
+  EXPECT_TRUE(tango.health().quarantined(id));
+  const auto* h = tango.health().health(id);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->readback_mismatches, 3u);
+
+  // Clean readback-verified commits rebuild trust until quarantine lifts.
+  std::uint32_t next_flow = 10;
+  for (int round = 0; round < 6 && tango.health().quarantined(id); ++round) {
+    sched::RequestDag clean;
+    clean.add(add_req(id, next_flow++));
+    sched::TransactionOptions copts;
+    copts.txn_id = 100 + static_cast<std::uint32_t>(round);
+    auto ctxn = tango.begin_update(std::move(clean), copts);
+    const auto crep = ctxn.commit(scheduler);
+    EXPECT_TRUE(crep.committed);
+    EXPECT_TRUE(crep.readback_mismatches.empty());
+  }
+  EXPECT_FALSE(tango.health().quarantined(id));
+  EXPECT_GE(tango.health().health(id)->quarantine_lifts, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos integration: gated draws + bit-identical replay
+// ---------------------------------------------------------------------------
+
+bool is_semantic(chaos::FaultKind kind) {
+  switch (kind) {
+    case chaos::FaultKind::kSilentInstallDrop:
+    case chaos::FaultKind::kStaleFlowStats:
+    case chaos::FaultKind::kSpuriousFlowRemoved:
+    case chaos::FaultKind::kPriorityInversion:
+    case chaos::FaultKind::kLatencyDrift:
+    case chaos::FaultKind::kCapacityShrink:
+      return true;
+    default:
+      return false;
+  }
+}
+
+chaos::ChaosSpec mis_spec(std::uint64_t seed, bool misbehavior) {
+  chaos::ChaosSpec spec;
+  spec.seed = seed;
+  spec.workload = chaos::Workload::kFig10;
+  spec.policy = sched::RecoveryPolicy::kRollForward;
+  spec.horizon = chaos::Horizon::kShort;
+  spec.misbehavior = misbehavior;
+  return spec;
+}
+
+TEST(MisbehaviorChaosTest, SemanticDrawsAreGatedAndWireDrawsUnchanged) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto off = chaos::generate_schedule(mis_spec(seed, false));
+    const auto on = chaos::generate_schedule(mis_spec(seed, true));
+
+    for (const auto& ev : off.events) {
+      EXPECT_FALSE(is_semantic(ev.kind)) << "seed " << seed;
+    }
+    std::size_t semantic = 0;
+    std::vector<chaos::FaultEvent> wire_only;
+    for (const auto& ev : on.events) {
+      if (is_semantic(ev.kind)) {
+        ++semantic;
+        EXPECT_GT(ev.magnitude, 0.0);
+      } else {
+        wire_only.push_back(ev);
+      }
+    }
+    EXPECT_GE(semantic, 1u) << "seed " << seed;
+    // Misbehavior draws come strictly after the wire-fault draws, so the
+    // wire events are byte-identical with the flag on or off.
+    EXPECT_EQ(wire_only, off.events) << "seed " << seed;
+    EXPECT_EQ(on.base_loss, off.base_loss) << "seed " << seed;
+  }
+}
+
+TEST(MisbehaviorChaosTest, MisbehavingRunsReplayBitIdentically) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    const auto schedule = chaos::generate_schedule(mis_spec(seed, true));
+    const auto first = chaos::run_chaos(schedule);
+    const auto second = chaos::run_chaos(schedule);
+    EXPECT_EQ(first.fingerprint, second.fingerprint) << "seed " << seed;
+    EXPECT_EQ(first.end_time.ns(), second.end_time.ns()) << "seed " << seed;
+    EXPECT_EQ(first.violations.size(), second.violations.size())
+        << "seed " << seed;
+    EXPECT_EQ(first.sentinel.size(), second.sentinel.size()) << "seed " << seed;
+  }
+}
+
+TEST(MisbehaviorChaosTest, MisbehaviorSeedsPassEveryOracle) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto schedule = chaos::generate_schedule(mis_spec(seed, true));
+    const auto result = chaos::run_chaos(schedule);
+    EXPECT_TRUE(result.ok())
+        << "seed " << seed << ": "
+        << chaos::to_string(result.violations.front());
+    // The harness routed the run through the knowledge-health path.
+    EXPECT_FALSE(result.misbehavior_stats.empty());
+    EXPECT_FALSE(result.sentinel.empty());
+  }
+}
+
+}  // namespace
+}  // namespace tango

@@ -45,6 +45,7 @@ struct Args {
   std::string out_dir = ".";
   bool shrink = true;
   bool verbose = false;
+  bool misbehavior = false;
 };
 
 void usage() {
@@ -53,7 +54,7 @@ void usage() {
                "                  [--workload fig10|te|acl|all]\n"
                "                  [--policy forward|rollback|both]\n"
                "                  [--replay FILE] [--out DIR] [--no-shrink]\n"
-               "                  [--verbose]\n");
+               "                  [--misbehavior] [--verbose]\n");
 }
 
 bool parse_seeds(const std::string& s, Args& args) {
@@ -115,6 +116,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.out_dir = v;
     } else if (arg == "--no-shrink") {
       args.shrink = false;
+    } else if (arg == "--misbehavior") {
+      args.misbehavior = true;
     } else if (arg == "--verbose") {
       args.verbose = true;
     } else {
@@ -200,6 +203,7 @@ int main(int argc, char** argv) {
         spec.workload = workload;
         spec.policy = policy;
         spec.horizon = args.horizon;
+        spec.misbehavior = args.misbehavior;
         const auto schedule = chaos::generate_schedule(spec);
         auto result = chaos::run_chaos(schedule);
         ++runs;
@@ -270,6 +274,7 @@ int main(int argc, char** argv) {
   report.set_result("chaos.repros_written",
                     static_cast<double>(repros_written));
   report.set_result("chaos.horizon", chaos::to_string(args.horizon));
+  report.set_result("chaos.misbehavior", args.misbehavior ? 1.0 : 0.0);
   report.set_result("chaos.seed_lo", static_cast<double>(args.seed_lo));
   report.set_result("chaos.seed_hi", static_cast<double>(args.seed_hi));
   const std::string report_path = args.out_dir + "/CHAOS_soak.json";
