@@ -1,0 +1,215 @@
+// bench_service: serial vs conflict-aware concurrent intent dispatch, in
+// virtual time.
+//
+// Three scenarios, all deterministic (virtual-time makespans, so the
+// ratios are machine-independent and exact):
+//
+//  * disjoint  — 8 tenants, each updating its own switch. The concurrency
+//                case the service exists for: every commit interleaves, so
+//                makespan approaches the slowest tenant's serial chain.
+//                speedup_disjoint_8t gates in CI (>= 2x is the acceptance
+//                floor; see ISSUE/ROADMAP).
+//  * shared    — 8 tenants on ONE shared switch with rule-disjoint
+//                footprints. Commits interleave at the controller but the
+//                switch agent serializes rule ops, so the win narrows to
+//                the pipelining of per-transaction overheads.
+//  * conflict  — 2 tenants writing overlapping matches on the shared
+//                switch: the ConflictGraph must serialize them, so the
+//                concurrent run degenerates to serial (speedup ~1) and
+//                every blocked pass shows up in conflict_blocks.
+//
+// The disjoint run's fairness index and the >= 2x speedup are hard
+// acceptance criteria: the bench exits non-zero if either fails, and the
+// speedup_* results gate against bench/baselines/BENCH_service.json via
+// tools/bench_compare.py.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "scheduler/schedulers.h"
+#include "service/service.h"
+#include "switchsim/profiles.h"
+#include "tango/tango.h"
+
+namespace {
+
+using namespace tango;
+
+switchsim::SwitchProfile quiet(switchsim::SwitchProfile profile) {
+  profile.costs.jitter_frac = 0;
+  profile.paths.jitter_frac = 0;
+  return profile;
+}
+
+enum class Scenario { kDisjoint, kShared, kConflict };
+
+struct RunOut {
+  SimDuration makespan{};
+  double fairness = 0;
+  double avg_concurrency = 0;
+  std::size_t max_concurrency = 0;
+  std::size_t completed = 0;
+  std::size_t conflict_blocks = 0;
+};
+
+constexpr std::size_t kIntentsPerTenant = 4;
+constexpr std::size_t kRulesPerIntent = 6;
+
+of::Match rule_match(Scenario s, std::uint32_t tenant, std::uint32_t j,
+                     std::uint32_t i) {
+  of::Match m;
+  m.with_dl_type(0x0800);
+  if (s == Scenario::kConflict) {
+    // Every rule carries the same /16: all footprints overlap, the graph
+    // must serialize. Keys stay distinct through priorities.
+    m.set_nw_dst_prefix(10u << 24 | 200u << 16, 16);
+  } else {
+    m.set_nw_dst_prefix(
+        10u << 24 | (tenant + 1) << 16 | j << 8 | i, 32);
+  }
+  return m;
+}
+
+RunOut run_scenario(Scenario s, std::size_t n_tenants,
+                    std::size_t max_concurrent) {
+  net::Network net;
+  std::vector<SwitchId> sw(n_tenants);
+  if (s == Scenario::kDisjoint) {
+    for (auto& id : sw) id = net.add_switch(quiet(switchsim::profiles::switch1()));
+  } else {
+    const SwitchId shared = net.add_switch(quiet(switchsim::profiles::switch1()));
+    for (auto& id : sw) id = shared;
+  }
+
+  core::TangoController ctl(net);
+  service::ServiceOptions sopts;
+  sopts.max_concurrent = max_concurrent;
+  sopts.per_tenant_queue_cap = kIntentsPerTenant;
+  sopts.txn_id_base = 0x1000;
+  service::IntentService svc(net, ctl, sopts);
+
+  for (std::uint32_t j = 0; j < kIntentsPerTenant; ++j) {
+    for (std::uint32_t t = 0; t < n_tenants; ++t) {
+      service::Intent intent;
+      intent.tenant = t;
+      std::size_t prev = 0;
+      for (std::uint32_t i = 0; i < kRulesPerIntent; ++i) {
+        sched::SwitchRequest req;
+        req.location = sw[t];
+        req.type = sched::RequestType::kAdd;
+        req.priority = static_cast<std::uint16_t>(
+            100 + (s == Scenario::kConflict ? (t * 64 + j * 8 + i) : i));
+        req.match = rule_match(s, t, j, i);
+        req.actions = of::output_to(2);
+        const std::size_t id = intent.dag.add(std::move(req));
+        if (i > 0) intent.dag.add_dependency(prev, id);
+        prev = id;
+      }
+      svc.submit(std::move(intent));
+    }
+  }
+
+  sched::DionysusScheduler scheduler;
+  svc.run(scheduler);
+  const service::ServiceReport& rep = svc.report();
+
+  RunOut out;
+  out.makespan = rep.makespan;
+  out.fairness = rep.fairness_index;
+  out.avg_concurrency = rep.avg_concurrency;
+  out.max_concurrency = rep.max_concurrency;
+  out.completed = rep.completed;
+  out.conflict_blocks = rep.conflict_blocks;
+  return out;
+}
+
+void print_run(const char* label, const RunOut& r) {
+  std::printf(
+      "  %-24s makespan %10.3f ms   completed %3zu   concurrency avg %.2f "
+      "peak %zu   fairness %.3f   conflict blocks %zu\n",
+      label, r.makespan.ms(), r.completed, r.avg_concurrency,
+      r.max_concurrency, r.fairness, r.conflict_blocks);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "bench_service: multi-tenant intent dispatch, serial vs concurrent",
+      "conflict-aware concurrent update dispatch — disjoint footprints "
+      "interleave in virtual time, true conflicts serialize");
+  bench::BenchReport report("service");
+  constexpr std::size_t kTenants = 8;
+  bool ok = true;
+
+  std::printf("-- disjoint switch sets (%zu tenants) --\n", kTenants);
+  const RunOut dis_serial = run_scenario(Scenario::kDisjoint, kTenants, 1);
+  const RunOut dis_conc = run_scenario(Scenario::kDisjoint, kTenants, kTenants);
+  print_run("serial (cap 1)", dis_serial);
+  print_run("concurrent (cap 8)", dis_conc);
+  const double dis_speedup =
+      dis_conc.makespan.ms() > 0 ? dis_serial.makespan.ms() / dis_conc.makespan.ms()
+                                 : 0;
+  std::printf("  virtual-time speedup %.2fx\n\n", dis_speedup);
+  report.json().set_result("serial_makespan_ms_disjoint_8t",
+                           dis_serial.makespan.ms());
+  report.json().set_result("concurrent_makespan_ms_disjoint_8t",
+                           dis_conc.makespan.ms());
+  report.json().set_result("speedup_disjoint_8t", dis_speedup);
+  report.json().set_result("fairness_index_disjoint_8t", dis_conc.fairness);
+  report.json().set_result("avg_concurrency_disjoint_8t",
+                           dis_conc.avg_concurrency);
+
+  std::printf("-- shared switch, rule-disjoint footprints (%zu tenants) --\n",
+              kTenants);
+  const RunOut sh_serial = run_scenario(Scenario::kShared, kTenants, 1);
+  const RunOut sh_conc = run_scenario(Scenario::kShared, kTenants, kTenants);
+  print_run("serial (cap 1)", sh_serial);
+  print_run("concurrent (cap 8)", sh_conc);
+  const double sh_speedup =
+      sh_conc.makespan.ms() > 0 ? sh_serial.makespan.ms() / sh_conc.makespan.ms()
+                                : 0;
+  std::printf("  virtual-time speedup %.2fx\n\n", sh_speedup);
+  report.json().set_result("speedup_shared_8t", sh_speedup);
+  report.json().set_result("avg_concurrency_shared_8t",
+                           sh_conc.avg_concurrency);
+
+  std::printf("-- conflicting footprints (2 tenants, same /16) --\n");
+  const RunOut cf_serial = run_scenario(Scenario::kConflict, 2, 1);
+  const RunOut cf_conc = run_scenario(Scenario::kConflict, 2, 8);
+  print_run("serial (cap 1)", cf_serial);
+  print_run("concurrent (cap 8)", cf_conc);
+  const double cf_speedup =
+      cf_conc.makespan.ms() > 0 ? cf_serial.makespan.ms() / cf_conc.makespan.ms()
+                                : 0;
+  std::printf("  virtual-time speedup %.2fx (conflicts must serialize)\n\n",
+              cf_speedup);
+  report.json().set_result("conflict_speedup_2t", cf_speedup);
+  report.json().set_result("conflict_blocks_2t",
+                           static_cast<double>(cf_conc.conflict_blocks));
+  report.json().set_result("conflict_max_concurrency_2t",
+                           static_cast<double>(cf_conc.max_concurrency));
+
+  // Acceptance criteria (hard): disjoint speedup and fairness.
+  if (dis_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "bench_service: FAIL disjoint speedup %.2fx < 2.0x floor\n",
+                 dis_speedup);
+    ok = false;
+  }
+  if (dis_conc.fairness < 0.9) {
+    std::fprintf(stderr, "bench_service: FAIL fairness %.3f < 0.9 floor\n",
+                 dis_conc.fairness);
+    ok = false;
+  }
+  if (cf_conc.max_concurrency > 1) {
+    std::fprintf(stderr,
+                 "bench_service: FAIL conflicting intents ran %zu-way "
+                 "concurrent\n",
+                 cf_conc.max_concurrency);
+    ok = false;
+  }
+
+  bench::print_footer();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,181 @@
+// Three tenants sharing one B4 fabric through the multi-tenant intent
+// service: bounded admission, coalescing, conflict-aware concurrent
+// dispatch, and a fairness report.
+//
+//   $ ./examples/multi_tenant
+//
+// Each tenant installs forwarding paths across its own slice of the 12
+// B4 sites, expressed as intents (one transactional RequestDag each). The
+// walk-through shows every service mechanism once:
+//
+//   * tenants A/B/C submit path intents over disjoint rule spaces — the
+//     ConflictGraph lets their commits interleave in virtual time;
+//   * tenant B supersedes one of its own queued path choices via a
+//     coalesce key (only the replacement is ever installed);
+//   * tenant C overruns its bounded queue and gets a typed kQueueFull
+//     rejection (backpressure, not an error);
+//   * tenants A and B both try to claim the same aggregate prefix on a
+//     shared site — a true conflict, so those two intents serialize.
+#include <cstdio>
+#include <vector>
+
+#include "net/b4.h"
+#include "net/network.h"
+#include "scheduler/schedulers.h"
+#include "service/service.h"
+#include "switchsim/profiles.h"
+#include "tango/tango.h"
+
+namespace {
+
+using namespace tango;
+
+// Tenant t's flow i on path `p`: a /32 inside the tenant's own /16.
+of::Match tenant_flow(std::uint32_t t, std::uint32_t p, std::uint32_t i) {
+  of::Match m;
+  m.with_dl_type(0x0800);
+  m.set_nw_dst_prefix((10u << 24) | ((t + 1) << 16) | (p << 8) | i, 32);
+  return m;
+}
+
+// One path intent: `flows` rules at every hop, hops chained so a rule is
+// never live upstream before its downstream hop can forward it.
+service::Intent path_intent(std::uint32_t tenant,
+                            const std::vector<SwitchId>& hops,
+                            std::uint32_t path_id, std::uint32_t flows,
+                            std::uint64_t coalesce_key = 0) {
+  service::Intent intent;
+  intent.tenant = tenant;
+  intent.coalesce_key = coalesce_key;
+  std::vector<std::size_t> prev_hop;
+  for (auto hop = hops.rbegin(); hop != hops.rend(); ++hop) {
+    std::vector<std::size_t> this_hop;
+    for (std::uint32_t i = 0; i < flows; ++i) {
+      sched::SwitchRequest req;
+      req.location = *hop;
+      req.type = sched::RequestType::kAdd;
+      req.priority = static_cast<std::uint16_t>(200 + i);
+      req.match = tenant_flow(tenant, path_id, i);
+      req.actions = of::output_to(2);
+      const std::size_t id = intent.dag.add(std::move(req));
+      if (i < prev_hop.size()) intent.dag.add_dependency(prev_hop[i], id);
+      this_hop.push_back(id);
+    }
+    prev_hop = this_hop;
+  }
+  return intent;
+}
+
+// A claim on a whole aggregate /16 at one site — the kind of footprint
+// that genuinely conflicts across tenants.
+service::Intent aggregate_claim(std::uint32_t tenant, SwitchId site,
+                                std::uint16_t priority) {
+  service::Intent intent;
+  intent.tenant = tenant;
+  sched::SwitchRequest req;
+  req.location = site;
+  req.type = sched::RequestType::kAdd;
+  req.priority = priority;
+  req.match.set_nw_dst_prefix((192u << 24) | (168u << 16), 16);
+  req.actions = of::output_to(3);
+  intent.dag.add(std::move(req));
+  return intent;
+}
+
+const char* tenant_name(std::uint32_t t) {
+  static const char* names[] = {"A", "B", "C"};
+  return t < 3 ? names[t] : "?";
+}
+
+}  // namespace
+
+int main() {
+  net::Network net;
+  auto profile = switchsim::profiles::switch1();
+  profile.costs.jitter_frac = 0;
+  profile.paths.jitter_frac = 0;
+  const std::vector<SwitchId> sites = net::build_b4(net, profile);
+
+  core::TangoController controller(net);
+  service::ServiceOptions options;
+  options.per_tenant_queue_cap = 4;
+  options.max_concurrent = 4;
+  options.txn_id_base = 0x100;
+  service::IntentService service(net, controller, options);
+
+  // Tenant slices of the B4 sites (the shared site is where the aggregate
+  // conflict below happens).
+  const std::vector<SwitchId> path_a = {sites[0], sites[1], sites[4]};
+  const std::vector<SwitchId> path_b = {sites[2], sites[3], sites[4]};
+  const std::vector<SwitchId> path_c = {sites[7], sites[8], sites[11]};
+
+  std::printf("== submission ==\n");
+
+  // Tenants A and B race for the same aggregate on the shared site,
+  // first thing: both claims sit at their queue heads in the very first
+  // dispatch round, so the ConflictGraph provably blocks one of them
+  // while the other runs (it shows up in conflict_blocks below).
+  service.submit(aggregate_claim(0, sites[4], 500));
+  service.submit(aggregate_claim(1, sites[4], 501));
+
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    service.submit(path_intent(0, path_a, p, 4));
+    service.submit(path_intent(1, path_b, p, 4));
+    service.submit(path_intent(2, path_c, p, 4));
+  }
+
+  // Tenant B reconsiders path 1: same coalesce key, so the queued payload
+  // is replaced in place — the fabric only ever sees the second choice.
+  service.submit(path_intent(1, path_b, /*path_id=*/1, 4, /*coalesce_key=*/9));
+  const auto replaced =
+      service.submit(path_intent(1, path_b, /*path_id=*/7, 4, /*coalesce_key=*/9));
+  std::printf("tenant B path revision: %s\n",
+              replaced.coalesced ? "coalesced onto the queued intent"
+                                 : "queued separately (unexpected)");
+
+  // Tenant C floods its queue; the cap pushes back with a typed rejection.
+  service::SubmitResult last;
+  for (std::uint32_t p = 2; p < 6; ++p) {
+    last = service.submit(path_intent(2, path_c, p, 4));
+  }
+  std::printf("tenant C over-submission: %s\n",
+              last.accepted() ? "accepted (unexpected)"
+                              : to_string(last.error).c_str());
+
+  std::printf("\n== dispatch ==\n");
+  sched::DionysusScheduler scheduler;
+  service.run(scheduler);
+
+  const service::ServiceReport& report = service.report();
+  std::printf("completed %zu of %zu submitted (%zu coalesced, %zu rejected)\n",
+              report.completed, report.submitted, report.coalesced,
+              report.rejected);
+  std::printf(
+      "concurrency: peak %zu, busy-time average %.2f; %zu dispatch pass(es) "
+      "blocked on a conflict\n",
+      report.max_concurrency, report.avg_concurrency, report.conflict_blocks);
+  std::printf("fairness (Jain over per-tenant requests served): %.3f\n",
+              report.fairness_index);
+  std::printf("makespan %.3f ms of virtual time\n\n", report.makespan.ms());
+
+  for (const auto& [tenant, stats] : report.tenants) {
+    std::printf(
+        "tenant %s: %zu submitted, %zu completed, %zu coalesced, %zu "
+        "rejected; latency p50 %.2f ms, p95 %.2f ms; max queue wait %.2f "
+        "ms\n",
+        tenant_name(tenant), stats.submitted, stats.completed, stats.coalesced,
+        stats.rejected, stats.latency_p50_ms, stats.latency_p95_ms,
+        stats.max_queue_wait.ms());
+  }
+
+  // The service interleaved everything that could interleave and
+  // serialized the one true conflict; both claims still landed.
+  const auto agg = net.sw(sites[4]).flow_stats(of::Match::any());
+  std::size_t claims = 0;
+  for (const auto& entry : agg.entries) {
+    if (entry.priority >= 500) ++claims;
+  }
+  std::printf("\naggregate claims on shared site: %zu (both tenants, committed "
+              "in sequence)\n", claims);
+  return report.completed == report.dispatched ? 0 : 1;
+}

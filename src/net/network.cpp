@@ -45,6 +45,15 @@ SwitchId Network::add_switch(const switchsim::SwitchProfile& profile,
       });
   ep.channel->set_crash_handler([this, id]() {
     if (crash_handler_) crash_handler_(id);
+    // Snapshot tokens first: a listener may add/remove listeners (e.g. a
+    // transaction aborting and deregistering) while we iterate.
+    std::vector<std::uint64_t> tokens;
+    tokens.reserve(crash_listeners_.size());
+    for (const auto& [token, fn] : crash_listeners_) tokens.push_back(token);
+    for (std::uint64_t token : tokens) {
+      auto it = crash_listeners_.find(token);
+      if (it != crash_listeners_.end()) it->second(id);
+    }
   });
   ep.channel->set_message_handler([this, id](const of::Message& msg) {
     auto it = reply_cbs_.find(msg.xid);
@@ -108,6 +117,16 @@ FaultInjector& Network::enable_faults(SwitchId id, const FaultConfig& config) {
 
 FaultInjector* Network::fault_injector(SwitchId id) {
   return endpoint(id).injector.get();
+}
+
+std::uint64_t Network::add_crash_listener(CrashHandler h) {
+  const std::uint64_t token = next_crash_token_++;
+  crash_listeners_.emplace(token, std::move(h));
+  return token;
+}
+
+void Network::remove_crash_listener(std::uint64_t token) {
+  crash_listeners_.erase(token);
 }
 
 void Network::crash_agent(SwitchId id, SimDuration downtime) {

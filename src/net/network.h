@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -86,6 +87,14 @@ class Network {
   /// transaction layer installs it for the duration of a commit.
   using CrashHandler = std::function<void(SwitchId)>;
   void set_crash_handler(CrashHandler h) { crash_handler_ = std::move(h); }
+
+  /// Crash observers that compose: each concurrently-running transaction
+  /// registers its own listener for the span of its commit (the single
+  /// set_crash_handler slot cannot be shared — two overlapping commits
+  /// would clobber each other's handler). Listeners fire after the single
+  /// handler, in ascending token order. Returns a token for removal.
+  std::uint64_t add_crash_listener(CrashHandler h);
+  void remove_crash_listener(std::uint64_t token);
 
   // --- synchronous controller operations ----------------------------------
   struct InstallResult {
@@ -229,6 +238,8 @@ class Network {
   std::unordered_map<std::uint32_t, std::function<void(const of::Message&)>> reply_cbs_;
   UnsolicitedHandler unsolicited_;
   CrashHandler crash_handler_;
+  std::map<std::uint64_t, CrashHandler> crash_listeners_;
+  std::uint64_t next_crash_token_ = 1;
 };
 
 }  // namespace tango::net

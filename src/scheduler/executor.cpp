@@ -24,6 +24,52 @@ of::FlowMod to_flow_mod(const SwitchRequest& request,
 
 namespace {
 
+/// Per-switch FaultStats snapshot taken before execution so the report can
+/// carry the deltas this run caused (stats are cumulative per injector).
+std::map<SwitchId, net::FaultStats> snapshot_faults(net::Network& network,
+                                                    const RequestDag& dag) {
+  std::map<SwitchId, net::FaultStats> out;
+  for (std::size_t id = 0; id < dag.size(); ++id) {
+    const SwitchId loc = dag.request(id).location;
+    if (out.count(loc) != 0) continue;
+    if (const auto* inj = network.fault_injector(loc)) out[loc] = inj->stats();
+  }
+  return out;
+}
+
+void report_fault_deltas(net::Network& network,
+                         const std::map<SwitchId, net::FaultStats>& before,
+                         ExecutionReport& report) {
+  for (const auto& [loc, base] : before) {
+    const auto* inj = network.fault_injector(loc);
+    if (inj == nullptr) continue;
+    const auto& now = inj->stats();
+    report.fault_crashes += now.crashes - base.crashes;
+    report.fault_lost_to_crash += now.lost_to_crash - base.lost_to_crash;
+    report.fault_dropped_to_switch +=
+        now.dropped_to_switch - base.dropped_to_switch;
+    report.fault_dropped_to_controller +=
+        now.dropped_to_controller - base.dropped_to_controller;
+    if (now.crashes > base.crashes) report.crashed_switches.insert(loc);
+  }
+  if (report.fault_crashes + report.fault_dropped_to_switch +
+          report.fault_dropped_to_controller >
+      0) {
+    log::info("executor: faults during run: " +
+              std::to_string(report.fault_crashes) + " crash(es), " +
+              std::to_string(report.fault_lost_to_crash) + " lost to crash, " +
+              std::to_string(report.fault_dropped_to_switch) + "/" +
+              std::to_string(report.fault_dropped_to_controller) +
+              " drops to switch/controller; " +
+              std::to_string(report.retries) + " retries, " +
+              std::to_string(report.failed_requests) + " failed requests");
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
 /// All execution state lives on the heap behind a shared_ptr: retry timers
 /// and echo timeouts stay scheduled after execute() returns (as no-ops once
 /// `finished` is set), so nothing they capture may sit on the stack. Each
@@ -38,7 +84,15 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
 
   std::size_t n = 0;
   SimTime start{};
+  /// Virtual time when the last request reached a terminal state.
+  SimTime end{};
   bool finished = false;
+  /// False for execute_async: per-run counters live in local_metrics and
+  /// are mirrored into the telemetry registry at finish() — interleaved
+  /// runs sharing counters would corrupt each other's delta-derived reports.
+  bool shared_counters = true;
+  /// Injector stats at start, for the report's fault deltas.
+  std::map<SwitchId, net::FaultStats> faults_before;
 
   // --- telemetry -----------------------------------------------------------
   // All recovery/progress tallies live in a MetricsRegistry — the network's
@@ -68,8 +122,12 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
                   echo_probes = 0, failed_requests = 0;
   } ctr0;
   telemetry::Histogram* latency_hist = nullptr;
+  telemetry::Histogram* queue_hist = nullptr;
   /// Issue timestamps for request spans; sized only when telemetry is on.
   std::vector<SimTime> issue_time;
+  /// When each request became ready (dependency-free); queueing delay =
+  /// first-send time minus this.
+  std::vector<SimTime> ready_time;
   /// Post timestamps / agent backlog at post, for cost observations; sized
   /// only when options.on_cost_observation is set. A timing sample is only
   /// trustworthy when this request was alone in flight at post time —
@@ -118,13 +176,19 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     attempts.assign(n, 0);
     attempt_gen.assign(n, 0);
     rescued.assign(n, 0);
+    ready_time.assign(n, SimTime{});
+    end = start;
     for (std::size_t id = 0; id < n; ++id) {
       remaining_preds[id] = dag.predecessors(id).size();
-      if (remaining_preds[id] == 0) pending.push_back(id);
+      if (remaining_preds[id] == 0) {
+        pending.push_back(id);
+        ready_time[id] = start;
+      }
     }
 
     tele = network.telemetry();
-    auto& reg = tele != nullptr ? tele->metrics : local_metrics;
+    auto& reg =
+        tele != nullptr && shared_counters ? tele->metrics : local_metrics;
     ctr.issued = &reg.counter("executor.issued");
     ctr.rejected = &reg.counter("executor.rejected");
     ctr.rejected_retryable = &reg.counter("executor.rejected_retryable");
@@ -142,8 +206,13 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
                    ctr.timeouts->value(),        ctr.retries->value(),
                    ctr.echo_probes->value(),     ctr.failed_requests->value()};
     if (tele != nullptr) {
-      latency_hist = &reg.histogram(
+      // Histograms always live in the shared registry: observes are
+      // per-event (not delta-derived), so interleaved runs compose fine.
+      latency_hist = &tele->metrics.histogram(
           "executor.request_latency_ms",
+          {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+      queue_hist = &tele->metrics.histogram(
+          "executor.queueing_delay_ms",
           {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
       issue_time.assign(n, SimTime{});
     }
@@ -173,11 +242,64 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
         ctr.failed_requests->value() - ctr0.failed_requests;
   }
 
+  /// Close the run: derive the report, account lost requests, mirror
+  /// locally-kept counters into the shared registry, record fault deltas
+  /// and the execute span. Idempotent; shared by execute() and
+  /// AsyncExecution::finish().
+  void finish() {
+    if (finished) return;
+    finished = true;
+    if (n == 0) return;
+    finalize_report();
+    report.makespan = (done_count == n ? end : network.now()) - start;
+    report.lost_requests = n - done_count;
+    assert(report.lost_requests == 0 || !retry_enabled());
+    if (tele != nullptr && !shared_counters) {
+      // Async runs tallied into local_metrics; fold the per-run deltas into
+      // the shared registry so its totals match what serial runs produce.
+      auto& reg = tele->metrics;
+      reg.counter("executor.issued").inc(report.issued);
+      reg.counter("executor.rejected").inc(report.rejected);
+      reg.counter("executor.rejected_retryable").inc(report.rejected_retryable);
+      reg.counter("executor.rejected_fatal").inc(report.rejected_fatal);
+      reg.counter("executor.scheduling_rounds").inc(report.scheduling_rounds);
+      reg.counter("executor.deadline_misses").inc(report.deadline_misses);
+      reg.counter("executor.timeouts").inc(report.timeouts);
+      reg.counter("executor.retries").inc(report.retries);
+      reg.counter("executor.echo_probes").inc(report.echo_probes);
+      reg.counter("executor.failed_requests").inc(report.failed_requests);
+    }
+    report_fault_deltas(network, faults_before, report);
+    if (tele != nullptr) {
+      tele->trace.span(
+          "executor", "execute", telemetry::TraceCollector::kControllerLane,
+          start, network.now(),
+          {telemetry::arg("requests", std::uint64_t{n}),
+           telemetry::arg("issued", std::uint64_t{report.issued}),
+           telemetry::arg("failed", std::uint64_t{report.failed_requests}),
+           telemetry::arg("makespan_ns", report.makespan.ns())});
+      tele->metrics.counter("executor.runs").inc();
+      // Mirror the fault-injector deltas this run caused: the registry is
+      // where FaultStats surfaces for reports (crashes/stalls are counted
+      // at the channel as they happen).
+      tele->metrics.counter("faults.dropped_to_switch")
+          .inc(report.fault_dropped_to_switch);
+      tele->metrics.counter("faults.dropped_to_controller")
+          .inc(report.fault_dropped_to_controller);
+      tele->metrics.counter("faults.lost_to_crash")
+          .inc(report.fault_lost_to_crash);
+    }
+  }
+
   void send(std::size_t id) {
     issued[id] = true;
     ctr.issued->inc();
     attempts[id] = 1;
     ++in_flight[dag.request(id).location];
+    const SimDuration queued = network.now() - ready_time[id];
+    report.total_queueing_delay += queued;
+    if (queued > report.max_queueing_delay) report.max_queueing_delay = queued;
+    if (queue_hist != nullptr) queue_hist->observe(queued.ms());
     if (tele != nullptr) issue_time[id] = network.now();
     post_attempt(id);
   }
@@ -250,6 +372,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     }
     terminal[id] = true;
     ++done_count;
+    if (done_count == n) end = network.now();
     if (!accepted) ctr.rejected->inc();
     const auto& req = dag.request(id);
     auto& fl = in_flight[req.location];
@@ -297,6 +420,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
       if (remaining_preds[succ] > 0 && --remaining_preds[succ] == 0 &&
           !issued[succ]) {
         pending.push_back(succ);
+        ready_time[succ] = network.now();
         pending_dirty = true;
       }
     }
@@ -422,6 +546,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
     }
     terminal[id] = true;
     ++done_count;
+    if (done_count == n) end = network.now();
     ctr.failed_requests->inc();
     if (tele != nullptr) {
       if (was_issued) {
@@ -532,6 +657,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
           if (!eligible) continue;
           if (latest_pred_finish + options.guard <= est_finish(id)) {
             remaining_preds[id] = 0;  // commit to early issue
+            ready_time[id] = network.now();
             send(id);
             progress = true;
           }
@@ -541,53 +667,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
   }
 };
 
-}  // namespace
-
-namespace {
-
-/// Per-switch FaultStats snapshot taken before execution so the report can
-/// carry the deltas this run caused (stats are cumulative per injector).
-std::map<SwitchId, net::FaultStats> snapshot_faults(net::Network& network,
-                                                    const RequestDag& dag) {
-  std::map<SwitchId, net::FaultStats> out;
-  for (std::size_t id = 0; id < dag.size(); ++id) {
-    const SwitchId loc = dag.request(id).location;
-    if (out.count(loc) != 0) continue;
-    if (const auto* inj = network.fault_injector(loc)) out[loc] = inj->stats();
-  }
-  return out;
-}
-
-void report_fault_deltas(net::Network& network,
-                         const std::map<SwitchId, net::FaultStats>& before,
-                         ExecutionReport& report) {
-  for (const auto& [loc, base] : before) {
-    const auto* inj = network.fault_injector(loc);
-    if (inj == nullptr) continue;
-    const auto& now = inj->stats();
-    report.fault_crashes += now.crashes - base.crashes;
-    report.fault_lost_to_crash += now.lost_to_crash - base.lost_to_crash;
-    report.fault_dropped_to_switch +=
-        now.dropped_to_switch - base.dropped_to_switch;
-    report.fault_dropped_to_controller +=
-        now.dropped_to_controller - base.dropped_to_controller;
-    if (now.crashes > base.crashes) report.crashed_switches.insert(loc);
-  }
-  if (report.fault_crashes + report.fault_dropped_to_switch +
-          report.fault_dropped_to_controller >
-      0) {
-    log::info("executor: faults during run: " +
-              std::to_string(report.fault_crashes) + " crash(es), " +
-              std::to_string(report.fault_lost_to_crash) + " lost to crash, " +
-              std::to_string(report.fault_dropped_to_switch) + "/" +
-              std::to_string(report.fault_dropped_to_controller) +
-              " drops to switch/controller; " +
-              std::to_string(report.retries) + " retries, " +
-              std::to_string(report.failed_requests) + " failed requests");
-  }
-}
-
-}  // namespace
+}  // namespace detail
 
 ExecutionReport execute(net::Network& network, const RequestDag& dag,
                         UpdateScheduler& scheduler,
@@ -595,39 +675,43 @@ ExecutionReport execute(net::Network& network, const RequestDag& dag,
   if (dag.size() == 0) return {};
   assert(dag.is_acyclic());
 
-  const auto faults_before = snapshot_faults(network, dag);
-  auto st = std::make_shared<ExecState>(network, dag, scheduler, options);
+  auto st =
+      std::make_shared<detail::ExecState>(network, dag, scheduler, options);
+  st->faults_before = snapshot_faults(network, dag);
   st->init();
   st->dispatch();
   while (st->done_count < st->n && network.events().step()) {
   }
   // Timers still queued beyond this point hold the state alive and no-op.
-  st->finished = true;
-  st->finalize_report();
-  st->report.makespan = network.now() - st->start;
-  st->report.lost_requests = st->n - st->done_count;
-  assert(st->report.lost_requests == 0 || !st->retry_enabled());
-  report_fault_deltas(network, faults_before, st->report);
-  if (auto* t = network.telemetry()) {
-    t->trace.span(
-        "executor", "execute", telemetry::TraceCollector::kControllerLane,
-        st->start, network.now(),
-        {telemetry::arg("requests", std::uint64_t{st->n}),
-         telemetry::arg("issued", std::uint64_t{st->report.issued}),
-         telemetry::arg("failed", std::uint64_t{st->report.failed_requests}),
-         telemetry::arg("makespan_ns", st->report.makespan.ns())});
-    t->metrics.counter("executor.runs").inc();
-    // Mirror the fault-injector deltas this run caused: the registry is
-    // where FaultStats surfaces for reports (crashes/stalls are counted at
-    // the channel as they happen).
-    t->metrics.counter("faults.dropped_to_switch")
-        .inc(st->report.fault_dropped_to_switch);
-    t->metrics.counter("faults.dropped_to_controller")
-        .inc(st->report.fault_dropped_to_controller);
-    t->metrics.counter("faults.lost_to_crash")
-        .inc(st->report.fault_lost_to_crash);
-  }
+  st->finish();
   return st->report;
+}
+
+bool AsyncExecution::done() const {
+  return state_ == nullptr || state_->done_count >= state_->n;
+}
+
+const ExecutionReport& AsyncExecution::finish() {
+  assert(state_ != nullptr);
+  state_->finish();
+  return state_->report;
+}
+
+AsyncExecution execute_async(net::Network& network, const RequestDag& dag,
+                             UpdateScheduler& scheduler,
+                             const ExecutorOptions& options) {
+  AsyncExecution handle;
+  if (dag.size() == 0) return handle;
+  assert(dag.is_acyclic());
+
+  auto st =
+      std::make_shared<detail::ExecState>(network, dag, scheduler, options);
+  st->shared_counters = false;
+  st->faults_before = snapshot_faults(network, dag);
+  st->init();
+  st->dispatch();
+  handle.state_ = std::move(st);
+  return handle;
 }
 
 }  // namespace tango::sched

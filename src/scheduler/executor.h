@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "net/network.h"
@@ -30,6 +31,10 @@
 #include "scheduler/schedulers.h"
 
 namespace tango::sched {
+
+namespace detail {
+struct ExecState;
+}  // namespace detail
 
 struct ExecutorOptions {
   /// Issue dependents early when the timing estimate allows (guard below):
@@ -111,6 +116,16 @@ struct ExecutionReport {
   /// Busy time charged per switch (diagnostics).
   std::map<SwitchId, SimDuration> per_switch_busy;
 
+  // --- queueing delay -------------------------------------------------------
+  // Time each issued request spent between becoming ready (dependency-free,
+  // eligible for issue) and its first frame going out — the controller-side
+  // wait end-to-end makespan hides: a ready request can sit behind its
+  // switch's dispatch window long after its dependencies cleared. Summed /
+  // maxed over issued requests; mean = total / issued. The intent service's
+  // fairness accounting feeds on these.
+  SimDuration total_queueing_delay{};
+  SimDuration max_queueing_delay{};
+
   // --- recovery layer ------------------------------------------------------
   /// Request timeouts that fired (a request can time out more than once).
   std::size_t timeouts = 0;
@@ -145,6 +160,49 @@ struct ExecutionReport {
 ExecutionReport execute(net::Network& network, const RequestDag& dag,
                         UpdateScheduler& scheduler,
                         const ExecutorOptions& options = {});
+
+/// Handle on an in-flight asynchronous execution (execute_async): the DAG
+/// has been dispatched onto the network's event queue but the *caller* owns
+/// the pumping of that queue — which is what lets several executions over
+/// disjoint switch sets interleave in virtual time. Poll done() between
+/// event-queue steps; call finish() once afterwards to finalize the report.
+///
+/// Concurrency note: an async execution keeps its per-run progress counters
+/// in a private registry and mirrors the final deltas into the network's
+/// telemetry registry at finish() — two interleaved runs would otherwise
+/// corrupt each other's counter-delta reports. Registry end totals, trace
+/// events, and histograms are identical to the synchronous path's.
+class AsyncExecution {
+ public:
+  AsyncExecution() = default;
+
+  /// True once every request reached a terminal state (completed or
+  /// failed). Also true for a default-constructed (empty) handle.
+  [[nodiscard]] bool done() const;
+
+  /// Finalize the report (makespan, lost requests, fault deltas, telemetry
+  /// span) and return it. Idempotent. Calling before done() counts the
+  /// still-pending requests as lost — only do that once the event queue has
+  /// drained.
+  const ExecutionReport& finish();
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend AsyncExecution execute_async(net::Network& network,
+                                      const RequestDag& dag,
+                                      UpdateScheduler& scheduler,
+                                      const ExecutorOptions& options);
+  std::shared_ptr<detail::ExecState> state_;
+};
+
+/// Start executing `dag` without pumping the event queue to completion —
+/// the building block for dispatching independent updates concurrently.
+/// `dag` and `scheduler` must outlive the returned handle's finish().
+/// execute() is exactly execute_async + pump-until-done + finish.
+AsyncExecution execute_async(net::Network& network, const RequestDag& dag,
+                             UpdateScheduler& scheduler,
+                             const ExecutorOptions& options = {});
 
 /// Build the flow_mod a request maps to.
 of::FlowMod to_flow_mod(const SwitchRequest& request,

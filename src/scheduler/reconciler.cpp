@@ -112,6 +112,7 @@ ReconcileStats Reconciler::run(const std::map<SwitchId, TableImage>& desired,
         }
       }
       for (const auto& [key, rule] : *actual) {
+        if (options_.scope && !options_.scope(sw, rule)) continue;
         if (want.find(key) == want.end()) {
           repairs.push_back(
               {sw, RequestType::kDel, rule,

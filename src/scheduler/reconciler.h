@@ -77,6 +77,13 @@ struct ReconcilerOptions {
   /// Executor options for issuing repairs (observers are cleared — journal
   /// bookkeeping belongs to the original commit, not to repairs).
   ExecutorOptions exec;
+  /// Rule-space scope: when set, actual-table rules for which this returns
+  /// false are invisible to the diff — neither compared nor deleted as
+  /// stale. Concurrent transactions (the intent service) scope each
+  /// reconciliation to its own footprint so converging one tenant's rules
+  /// cannot sweep away a co-resident tenant's. Unset = whole table (the
+  /// serial behaviour).
+  std::function<bool(SwitchId, const RuleImage&)> scope;
 };
 
 struct ReconcileStats {

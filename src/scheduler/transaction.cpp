@@ -57,6 +57,13 @@ UpdateTransaction::UpdateTransaction(net::Network& network, RequestDag dag,
     affected.insert(dag_.request(i).location);
   }
 
+  if (options_.scope_to_footprint) {
+    for (std::size_t i = 0; i < dag_.size(); ++i) {
+      const SwitchRequest& req = dag_.request(i);
+      footprint_[req.location].push_back(req.match);
+    }
+  }
+
   // --- pre-update snapshot ------------------------------------------------
   ReconcilerOptions ropts;
   ropts.readback_timeout = options_.readback_timeout;
@@ -65,6 +72,19 @@ UpdateTransaction::UpdateTransaction(net::Network& network, RequestDag dag,
   ReconcileStats snap;
   for (const SwitchId sw : affected) {
     auto image = reader.read_table(sw, snap);
+    if (image.has_value() && options_.scope_to_footprint) {
+      // The world-view stops at our footprint: co-resident rules (another
+      // tenant's mid-commit state, unrelated background entries) must not
+      // enter the pre/post images, or a rollback would "restore" a torn
+      // snapshot of rules this transaction never owned.
+      for (auto it = image->begin(); it != image->end();) {
+        if (in_scope(sw, it->second)) {
+          ++it;
+        } else {
+          it = image->erase(it);
+        }
+      }
+    }
     if (!image.has_value()) {
       // No baseline: rollback and inverse computation for this switch treat
       // the table as empty; flagged so the caller can tell.
@@ -164,22 +184,16 @@ UpdateTransaction::UpdateTransaction(net::Network& network, RequestDag dag,
 }
 
 const TransactionReport& UpdateTransaction::commit(UpdateScheduler& scheduler) {
-  const SimTime commit_begin = network_.now();
-  auto* tele = network_.telemetry();
-  /// One "commit" span per call, recorded at whichever exit is taken;
-  /// nested under it are the executor's own "execute" span and, on the
-  /// recovery path, the "reconcile" span.
-  auto close_commit_span = [&] {
-    if (tele == nullptr) return;
-    tele->trace.span("txn", "commit",
-                     telemetry::TraceCollector::kControllerLane, commit_begin,
-                     network_.now(),
-                     {telemetry::arg("txn", std::uint64_t{txn_id_}),
-                      telemetry::arg("committed", report_.committed),
-                      telemetry::arg("reconciled", report_.reconciled)});
-    tele->metrics.counter("txn.commits").inc();
-    if (!report_.committed) tele->metrics.counter("txn.failed_commits").inc();
-  };
+  start_commit(scheduler);
+  while (!exec_done() && network_.events().step()) {
+  }
+  return finish_commit();
+}
+
+void UpdateTransaction::start_commit(UpdateScheduler& scheduler) {
+  assert(!commit_started_);
+  commit_started_ = true;
+  commit_begin_ = network_.now();
   ExecutorOptions exec = options_.exec;
   exec.on_complete = [this](std::size_t id, bool accepted) {
     const auto it = journal_of_dag_.find(id);
@@ -192,11 +206,37 @@ const TransactionReport& UpdateTransaction::commit(UpdateScheduler& scheduler) {
     if (it == journal_of_dag_.end()) return;
     journal_[it->second].state = JournalEntry::State::kFailed;
   };
-  network_.set_crash_handler([this](SwitchId id) {
+  // A *listener*, not the single handler slot: concurrent transactions each
+  // watch for crashes on their own footprint without clobbering each other
+  // (or a handler the harness installed).
+  crash_token_ = network_.add_crash_listener([this](SwitchId id) {
     if (pre_.count(id) != 0) report_.crashed_switches.insert(id);
   });
-  report_.exec = execute(network_, dag_, scheduler, exec);
-  network_.set_crash_handler({});
+  async_ = execute_async(network_, dag_, scheduler, exec);
+}
+
+bool UpdateTransaction::exec_done() const { return async_.done(); }
+
+const TransactionReport& UpdateTransaction::finish_commit() {
+  assert(commit_started_);
+  auto* tele = network_.telemetry();
+  /// One "commit" span per call, recorded at whichever exit is taken;
+  /// nested under it are the executor's own "execute" span and, on the
+  /// recovery path, the "reconcile" span.
+  auto close_commit_span = [&] {
+    if (tele == nullptr) return;
+    tele->trace.span("txn", "commit",
+                     telemetry::TraceCollector::kControllerLane, commit_begin_,
+                     network_.now(),
+                     {telemetry::arg("txn", std::uint64_t{txn_id_}),
+                      telemetry::arg("committed", report_.committed),
+                      telemetry::arg("reconciled", report_.reconciled)});
+    tele->metrics.counter("txn.commits").inc();
+    if (!report_.committed) tele->metrics.counter("txn.failed_commits").inc();
+  };
+  report_.exec = async_.valid() ? async_.finish() : ExecutionReport{};
+  network_.remove_crash_listener(crash_token_);
+  crash_token_ = 0;
 
   for (const SwitchId sw : report_.exec.crashed_switches) {
     if (pre_.count(sw) != 0) report_.crashed_switches.insert(sw);
@@ -254,6 +294,7 @@ void UpdateTransaction::verify_readback(
   ReconcilerOptions ropts;
   ropts.readback_timeout = options_.readback_timeout;
   ropts.max_readback_retries = options_.max_readback_retries;
+  ropts.scope = scope_predicate();
   Reconciler reader(network_, ropts);
   ReconcileStats snap;
   std::map<SwitchId, TableImage> repair;
@@ -272,6 +313,7 @@ void UpdateTransaction::verify_readback(
       if (hit == actual->end() || !(hit->second == rule)) ++mismatches;
     }
     for (const auto& [key, rule] : *actual) {
+      if (options_.scope_to_footprint && !in_scope(sw, rule)) continue;
       if (want->second.count(key) == 0) ++mismatches;
     }
     if (mismatches > 0) {
@@ -378,6 +420,7 @@ void UpdateTransaction::reconcile() {
   ropts.max_readback_retries = options_.max_readback_retries;
   ropts.max_rounds = options_.max_reconcile_rounds;
   ropts.exec = options_.exec;
+  ropts.scope = scope_predicate();
   Reconciler reconciler(network_, ropts);
   const ReconcileStats stats = reconciler.run(desired, author, precede);
 
@@ -448,6 +491,24 @@ bool UpdateTransaction::reaches(std::size_t a, std::size_t b) {
     }
   }
   return ((reach_[a][b / 64] >> (b % 64)) & 1) != 0;
+}
+
+bool UpdateTransaction::in_scope(SwitchId sw, const RuleImage& rule) const {
+  if (txn_of_cookie(rule.cookie) == txn_id_) return true;
+  const auto it = footprint_.find(sw);
+  if (it == footprint_.end()) return false;
+  for (const of::Match& mine : it->second) {
+    if (mine.overlaps(rule.match)) return true;
+  }
+  return false;
+}
+
+std::function<bool(SwitchId, const RuleImage&)>
+UpdateTransaction::scope_predicate() const {
+  if (!options_.scope_to_footprint) return {};
+  return [this](SwitchId sw, const RuleImage& rule) {
+    return in_scope(sw, rule);
+  };
 }
 
 }  // namespace tango::sched

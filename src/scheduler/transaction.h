@@ -79,6 +79,16 @@ struct TransactionOptions {
   /// Transaction id; 0 draws from a process-wide counter. Tests that
   /// compare two runs in one process pin it so cookies are reproducible.
   std::uint32_t txn_id = 0;
+  /// Scope this transaction's world-view to its own rule-space footprint:
+  /// snapshot images keep only rules that carry this transaction's cookie
+  /// or whose match overlaps a request's match on that switch, and every
+  /// reconciliation/readback diff ignores out-of-scope rules (see
+  /// ReconcilerOptions::scope). Required when transactions over
+  /// rule-disjoint footprints run concurrently on shared switches — an
+  /// unscoped rollback would treat a co-resident tenant's rules as stale
+  /// leftovers and sweep them. Off by default: a serial transaction keeps
+  /// whole-table reconciliation (strictly stronger repair).
+  bool scope_to_footprint = false;
   /// Switches whose commit must be readback-verified even on the fault-free
   /// fast path (the knowledge-health layer lists quarantined switches
   /// here): after execution their tables are read back and diffed against
@@ -134,7 +144,28 @@ class UpdateTransaction {
                     TransactionOptions options = {});
 
   /// Execute the update; on crash/failure, reconcile per policy.
+  /// Exactly start_commit() + pump-the-event-queue + finish_commit().
   const TransactionReport& commit(UpdateScheduler& scheduler);
+
+  // --- phased commit ---------------------------------------------------------
+  // The intent service runs several transactions over disjoint footprints
+  // concurrently: each is start_commit()ed, then one top-level loop pumps
+  // the shared event queue, polling exec_done() and finish_commit()ing each
+  // transaction as it drains. finish_commit() runs the *synchronous*
+  // epilogue (readback verification, reconciliation — these pump the event
+  // queue themselves), so it must be called from the top-level loop, never
+  // from inside an event callback. `scheduler` must outlive finish_commit().
+
+  /// Dispatch the DAG onto the event queue without pumping it. Installs the
+  /// journal observers and a crash listener for the span of the commit.
+  void start_commit(UpdateScheduler& scheduler);
+  /// True once every request reached a terminal state (or nothing was
+  /// dispatched). Poll between event-queue steps.
+  [[nodiscard]] bool exec_done() const;
+  /// Finalize the execution report, then run the commit epilogue: crash
+  /// detection, reconciliation per policy, readback verification, report
+  /// callback. Call exactly once, after exec_done().
+  const TransactionReport& finish_commit();
 
   /// Walk `flows` through the network post-commit; results land in
   /// report().verify and are also returned.
@@ -175,6 +206,12 @@ class UpdateTransaction {
   /// True when original DAG node `a` must complete before `b` (rollback
   /// reverses the arguments). Lazily computes the reachability closure.
   bool reaches(std::size_t a, std::size_t b);
+  /// Footprint-scope membership (options_.scope_to_footprint): ours by
+  /// cookie, or overlapping one of our matches on that switch.
+  [[nodiscard]] bool in_scope(SwitchId sw, const RuleImage& rule) const;
+  /// ReconcilerOptions::scope predicate when scoping is on; empty otherwise.
+  [[nodiscard]] std::function<bool(SwitchId, const RuleImage&)>
+  scope_predicate() const;
 
   net::Network& network_;
   RequestDag dag_;
@@ -193,9 +230,18 @@ class UpdateTransaction {
   /// Fault-injector crash counters at construction, for detecting crashes
   /// the notification hook could not observe.
   std::map<SwitchId, std::uint64_t> crashes_at_begin_;
+  /// Per switch: this transaction's request matches (only populated when
+  /// options_.scope_to_footprint), backing in_scope().
+  std::map<SwitchId, std::vector<of::Match>> footprint_;
 
   std::vector<std::vector<std::uint64_t>> reach_;  // lazy closure, bit rows
   TransactionReport report_;
+
+  // Phased-commit state (start_commit .. finish_commit).
+  AsyncExecution async_;
+  std::uint64_t crash_token_ = 0;
+  bool commit_started_ = false;
+  SimTime commit_begin_{};
 };
 
 }  // namespace tango::sched

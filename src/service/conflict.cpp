@@ -1,0 +1,59 @@
+#include "service/conflict.h"
+
+namespace tango::service {
+
+std::vector<SwitchId> Footprint::switches() const {
+  std::vector<SwitchId> out;
+  out.reserve(rules.size());
+  for (const auto& [sw, matches] : rules) out.push_back(sw);
+  return out;
+}
+
+Footprint footprint_of(const sched::RequestDag& dag) {
+  Footprint fp;
+  for (std::size_t id = 0; id < dag.size(); ++id) {
+    const auto& req = dag.request(id);
+    fp.rules[req.location].push_back(req.match);
+  }
+  return fp;
+}
+
+bool conflicts(const Footprint& a, const Footprint& b) {
+  // Walk the two sorted switch maps in lockstep; only shared switches can
+  // conflict.
+  auto ia = a.rules.begin();
+  auto ib = b.rules.begin();
+  while (ia != a.rules.end() && ib != b.rules.end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      for (const of::Match& ma : ia->second) {
+        for (const of::Match& mb : ib->second) {
+          if (ma.overlaps(mb)) return true;
+        }
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return false;
+}
+
+bool ConflictGraph::compatible(const Footprint& candidate) const {
+  for (const auto& [id, fp] : running_) {
+    if (conflicts(candidate, fp)) return false;
+  }
+  return true;
+}
+
+void ConflictGraph::add(std::uint64_t intent_id, Footprint fp) {
+  running_.emplace(intent_id, std::move(fp));
+}
+
+void ConflictGraph::remove(std::uint64_t intent_id) {
+  running_.erase(intent_id);
+}
+
+}  // namespace tango::service

@@ -1,0 +1,63 @@
+// Intent footprints and the conflict relation over them.
+//
+// A footprint is what an intent touches: per switch, the list of matches
+// its requests write (or, for deletes, sweep). Two intents conflict when
+// they touch a common switch AND any pair of their matches on that switch
+// overlaps (of::Match::overlaps — shared packets exist). Rule-disjoint
+// intents on the same switch do NOT conflict: transaction inverses are
+// strict deletes / keyed restores, so concurrent commits and even a
+// rollback cannot disturb each other's (match, priority) keys.
+//
+// Overlap, not key equality, is deliberately the conservative relation: a
+// non-strict DELETE's filter sweeps every overlapping entry, and two
+// overlapping ADDs at different priorities shadow each other — both are
+// cross-tenant interference even though no rule key collides.
+//
+// The ConflictGraph tracks the footprints of currently-running intents;
+// the dispatcher admits a candidate only when it is compatible with every
+// running footprint (and with intents it already admitted this round).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "openflow/match.h"
+#include "scheduler/request.h"
+
+namespace tango::service {
+
+/// Per-switch rule-space touched by one intent.
+struct Footprint {
+  std::map<SwitchId, std::vector<of::Match>> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+  /// Switches touched (map keys, ascending).
+  [[nodiscard]] std::vector<SwitchId> switches() const;
+};
+
+/// Compute the footprint of a DAG: every request contributes its match to
+/// its location's list (ADD/MOD/DEL alike — a delete filter is rule-space
+/// it sweeps).
+Footprint footprint_of(const sched::RequestDag& dag);
+
+/// True when the two intents cannot safely run concurrently: a shared
+/// switch where some match of `a` overlaps some match of `b`.
+bool conflicts(const Footprint& a, const Footprint& b);
+
+/// Footprints of the currently-running intents, keyed by intent id.
+class ConflictGraph {
+ public:
+  /// True when `candidate` conflicts with no tracked footprint.
+  [[nodiscard]] bool compatible(const Footprint& candidate) const;
+
+  void add(std::uint64_t intent_id, Footprint fp);
+  void remove(std::uint64_t intent_id);
+
+  [[nodiscard]] std::size_t size() const { return running_.size(); }
+
+ private:
+  std::map<std::uint64_t, Footprint> running_;
+};
+
+}  // namespace tango::service

@@ -1,0 +1,60 @@
+// Multi-tenant update intents (the service's unit of admission).
+//
+// An intent is one tenant's request for one transactional network update:
+// a RequestDag plus the recovery policy to apply if it goes wrong. Tenants
+// submit intents to the IntentService, which owns admission control
+// (bounded per-tenant queues with typed rejections), coalescing (a queued
+// intent superseded by a newer one with the same coalesce key collapses to
+// the latest payload), conflict analysis, and fair concurrent dispatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scheduler/request.h"
+#include "scheduler/transaction.h"
+
+namespace tango::service {
+
+using TenantId = std::uint32_t;
+
+/// One tenant's update request, as submitted. The service assigns the
+/// intent id; the tenant supplies everything else.
+struct Intent {
+  TenantId tenant = 0;
+  sched::RequestDag dag;
+  sched::RecoveryPolicy policy = sched::RecoveryPolicy::kRollForward;
+  /// Non-zero: a queued (not yet dispatched) intent from the same tenant
+  /// with the same key is superseded by this one — e.g. two TE
+  /// re-allocations for the same path collapse to the latest. Zero: never
+  /// coalesced.
+  std::uint64_t coalesce_key = 0;
+};
+
+/// Why an intent was refused at the door. Admission failures are expected
+/// operating conditions (backpressure), not errors — the caller defers and
+/// resubmits once the tenant's queue drains.
+enum class AdmitError {
+  kNone = 0,
+  /// The DAG has no requests; there is nothing to dispatch.
+  kEmptyIntent,
+  /// The tenant's bounded queue is at capacity and the intent carries no
+  /// coalesce key matching a queued intent. Backpressure: defer, retry.
+  kQueueFull,
+};
+
+std::string to_string(AdmitError e);
+
+/// Outcome of IntentService::submit().
+struct SubmitResult {
+  AdmitError error = AdmitError::kNone;
+  /// Service-assigned id (monotone per service); 0 on rejection.
+  std::uint64_t intent_id = 0;
+  /// True when admission replaced a queued intent with the same coalesce
+  /// key instead of consuming a new queue slot.
+  bool coalesced = false;
+
+  [[nodiscard]] bool accepted() const { return error == AdmitError::kNone; }
+};
+
+}  // namespace tango::service

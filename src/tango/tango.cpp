@@ -322,4 +322,12 @@ sched::UpdateTransaction TangoController::begin_update(
   return sched::UpdateTransaction(network_, std::move(dag), std::move(options));
 }
 
+std::unique_ptr<sched::UpdateTransaction>
+TangoController::begin_update_concurrent(sched::RequestDag dag,
+                                         sched::TransactionOptions options) {
+  options.scope_to_footprint = true;
+  return std::make_unique<sched::UpdateTransaction>(
+      begin_update(std::move(dag), std::move(options)));
+}
+
 }  // namespace tango::core

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -112,6 +113,17 @@ class TangoController {
   /// (user-provided callbacks still fire afterwards).
   sched::UpdateTransaction begin_update(sched::RequestDag dag,
                                         sched::TransactionOptions options = {});
+
+  /// Re-entrant begin_update for the intent service: safe to call while
+  /// other transactions are mid-commit, provided the footprints are
+  /// disjoint (no Match overlap on shared switches) — the construction-time
+  /// snapshot pumps the shared event queue, which advances in-flight
+  /// commits, and scope_to_footprint (forced on here) keeps each
+  /// transaction's world-view and reconciliation inside its own rule space.
+  /// Heap allocation gives the transaction the stable address its
+  /// phased-commit observers (start_commit .. finish_commit) capture.
+  std::unique_ptr<sched::UpdateTransaction> begin_update_concurrent(
+      sched::RequestDag dag, sched::TransactionOptions options = {});
 
   [[nodiscard]] const SwitchKnowledge* knowledge(SwitchId id) const;
   [[nodiscard]] bool knows(SwitchId id) const { return knowledge(id) != nullptr; }

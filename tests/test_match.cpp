@@ -1,9 +1,13 @@
 // Unit and property tests for the OpenFlow match semantics: wildcards,
-// prefix matching, overlap/subsumption, and layer classification.
+// prefix matching, overlap/subsumption, and layer classification — plus
+// the footprint shapes the intent service's ConflictGraph feeds through
+// overlaps()/subsumes() (classbench prefix-masked 5-tuples, tenant prefix
+// partitions, wildcard/mask corners).
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "openflow/match.h"
+#include "workload/classbench.h"
 
 namespace tango::of {
 namespace {
@@ -223,6 +227,133 @@ TEST_P(MatchProperties, SubsumptionImpliesContainment) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatchProperties,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Footprint shapes (what the ConflictGraph feeds through overlaps/subsumes)
+// ---------------------------------------------------------------------------
+
+// The intent service admits two intents concurrently iff no pair of their
+// matches on a shared switch overlaps. Its safety argument leans on two
+// algebraic facts checked here over realistic rule shapes:
+//   (1) subsumption implies overlap (a rule a tenant could sweep or shadow
+//       is never invisible to the conflict relation), and
+//   (2) overlap is symmetric and reflexive (admission order cannot change
+//       the verdict).
+TEST(MatchFootprint, ClassbenchOverlapSubsumeConsistency) {
+  workload::ClassbenchProfile profile;
+  profile.name = "footprint";
+  profile.n_rules = 120;
+  profile.seed = 42;
+  const auto rules = workload::generate_classbench(profile);
+  ASSERT_EQ(rules.size(), 120u);
+
+  std::size_t overlapping_pairs = 0;
+  std::size_t subsuming_pairs = 0;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const Match& a = rules[i].match;
+    EXPECT_TRUE(a.overlaps(a));
+    EXPECT_TRUE(a.subsumes(a));
+    for (std::size_t j = i + 1; j < rules.size(); ++j) {
+      const Match& b = rules[j].match;
+      EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+      if (a.subsumes(b)) {
+        ++subsuming_pairs;
+        EXPECT_TRUE(a.overlaps(b));
+      }
+      if (b.subsumes(a)) {
+        EXPECT_TRUE(b.overlaps(a));
+      }
+      if (a.overlaps(b)) ++overlapping_pairs;
+    }
+  }
+  // The nested-prefix-chain generator must actually produce both relations,
+  // or this test exercises nothing.
+  EXPECT_GT(subsuming_pairs, 0u);
+  EXPECT_GT(overlapping_pairs, subsuming_pairs);
+}
+
+// The service's multi-tenant carve-up: each tenant owns a /16, rules are
+// /32s inside it. Cross-tenant footprints must never conflict; a tenant's
+// own /16 aggregate covers (subsumes) all of its /32s.
+TEST(MatchFootprint, TenantPrefixPartition) {
+  const auto tenant32 = [](std::uint32_t t, std::uint32_t i) {
+    Match m;
+    m.with_dl_type(0x0800);
+    m.set_nw_dst_prefix((10u << 24) | ((t + 1) << 16) | i, 32);
+    return m;
+  };
+  const auto tenant16 = [](std::uint32_t t) {
+    Match m;
+    m.with_dl_type(0x0800);
+    m.set_nw_dst_prefix((10u << 24) | ((t + 1) << 16), 16);
+    return m;
+  };
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    for (std::uint32_t u = 0; u < 4; ++u) {
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(tenant32(t, i).overlaps(tenant32(u, i + 100)), false);
+        EXPECT_EQ(tenant16(t).overlaps(tenant32(u, i)), t == u);
+        EXPECT_EQ(tenant16(t).subsumes(tenant32(u, i)), t == u);
+      }
+      EXPECT_EQ(tenant16(t).overlaps(tenant16(u)), t == u);
+    }
+  }
+}
+
+TEST(MatchFootprint, WildcardAndMaskCorners) {
+  const Match any = Match::any();
+  Match dst32;
+  dst32.with_dl_type(0x0800);
+  dst32.set_nw_dst_prefix(0x0a010203, 32);
+
+  // The universal wildcard overlaps and subsumes everything.
+  EXPECT_TRUE(any.overlaps(dst32));
+  EXPECT_TRUE(any.subsumes(dst32));
+  EXPECT_FALSE(dst32.subsumes(any));
+
+  // A /0 prefix is the same as not constraining the field at all.
+  Match zero_len;
+  zero_len.set_nw_dst_prefix(0xdeadbeef, 0);
+  EXPECT_TRUE(zero_len.overlaps(dst32));
+  EXPECT_TRUE(zero_len.subsumes(dst32));
+
+  // A /31 covers exactly its two /32s and nothing else.
+  Match p31;
+  p31.set_nw_dst_prefix(0x0a010202, 31);
+  Match in0, in1, out;
+  in0.set_nw_dst_prefix(0x0a010202, 32);
+  in1.set_nw_dst_prefix(0x0a010203, 32);
+  out.set_nw_dst_prefix(0x0a010204, 32);
+  EXPECT_TRUE(p31.subsumes(in0));
+  EXPECT_TRUE(p31.subsumes(in1));
+  EXPECT_TRUE(p31.overlaps(in1));
+  EXPECT_FALSE(p31.overlaps(out));
+
+  // A disagreeing exact field (dl_type) kills overlap even when the
+  // prefixes coincide.
+  Match v6 = dst32;
+  v6.with_dl_type(0x86dd);
+  EXPECT_FALSE(v6.overlaps(dst32));
+
+  // Orthogonal constraints (dst prefix vs transport port) overlap: packets
+  // satisfying both exist.
+  Match port_only;
+  port_only.with_tp_dst(443);
+  EXPECT_TRUE(port_only.overlaps(dst32));
+  EXPECT_FALSE(port_only.subsumes(dst32));
+  EXPECT_FALSE(dst32.subsumes(port_only));
+
+  // Same-field prefixes at different lengths: the shorter subsumes the
+  // longer iff the longer sits inside it.
+  Match p8, p24_in, p24_out;
+  p8.set_nw_dst_prefix(0x0a000000, 8);
+  p24_in.set_nw_dst_prefix(0x0a010200, 24);
+  p24_out.set_nw_dst_prefix(0x0b010200, 24);
+  EXPECT_TRUE(p8.subsumes(p24_in));
+  EXPECT_TRUE(p8.overlaps(p24_in));
+  EXPECT_FALSE(p8.overlaps(p24_out));
+  EXPECT_FALSE(p24_in.subsumes(p8));
+}
 
 }  // namespace
 }  // namespace tango::of

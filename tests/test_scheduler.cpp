@@ -406,5 +406,63 @@ TEST(ToFlowModTest, MapsFieldsAndDefaults) {
   EXPECT_EQ(fm.match, ProbeEngine::probe_match(5));
 }
 
+// ---------------------------------------------------------------------------
+// Executor queueing delay (controller-side wait behind the dispatch window)
+// ---------------------------------------------------------------------------
+
+TEST(QueueingDelayTest, WideDagBehindNarrowWindowAccruesDelay) {
+  // Twelve dependency-free ADDs against one switch with a 2-command window:
+  // ten of them become ready at t=0 but must wait for window slots, so the
+  // report's queueing-delay tallies must be strictly positive and coherent.
+  net::Network net;
+  auto profile = profiles::switch1();
+  profile.costs.jitter_frac = 0;
+  profile.paths.jitter_frac = 0;
+  const auto s1 = net.add_switch(profile);
+
+  RequestDag dag;
+  for (std::uint32_t i = 0; i < 12; ++i) dag.add(req(s1, RequestType::kAdd, i));
+
+  ExecutorOptions opts;
+  opts.per_switch_window = 2;
+  DionysusScheduler scheduler;
+  const auto report = execute(net, dag, scheduler, opts);
+  EXPECT_EQ(report.issued, 12u);
+  EXPECT_EQ(report.failed_requests, 0u);
+  EXPECT_GT(report.total_queueing_delay.ns(), 0);
+  EXPECT_GT(report.max_queueing_delay.ns(), 0);
+  EXPECT_LE(report.max_queueing_delay.ns(), report.total_queueing_delay.ns());
+  // No single request can have waited longer than the whole run took.
+  EXPECT_LT(report.max_queueing_delay.ns(), report.makespan.ns());
+}
+
+TEST(QueueingDelayTest, PureChainNeverQueues) {
+  // A dependency chain has at most one ready request at a time: each issues
+  // the moment it unlocks, so queueing delay must be exactly zero (the
+  // window never binds).
+  net::Network net;
+  auto profile = profiles::switch1();
+  profile.costs.jitter_frac = 0;
+  profile.paths.jitter_frac = 0;
+  const auto s1 = net.add_switch(profile);
+
+  RequestDag dag;
+  std::size_t prev = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto id = dag.add(req(s1, RequestType::kAdd, i));
+    if (i > 0) dag.add_dependency(prev, id);
+    prev = id;
+  }
+
+  ExecutorOptions opts;
+  opts.per_switch_window = 2;
+  DionysusScheduler scheduler;
+  const auto report = execute(net, dag, scheduler, opts);
+  EXPECT_EQ(report.issued, 8u);
+  EXPECT_EQ(report.failed_requests, 0u);
+  EXPECT_EQ(report.total_queueing_delay.ns(), 0);
+  EXPECT_EQ(report.max_queueing_delay.ns(), 0);
+}
+
 }  // namespace
 }  // namespace tango::sched

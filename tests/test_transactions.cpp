@@ -452,5 +452,137 @@ TEST(VerifierTest, PostCommitVerifyReportsCleanTables) {
   EXPECT_TRUE(txn.report().verify.clean());
 }
 
+// ---------------------------------------------------------------------------
+// Phased commit: concurrent transactions over disjoint switch sets
+// ---------------------------------------------------------------------------
+
+TEST(PhasedCommitTest, InterleavedDisjointCommitsMatchSerial) {
+  // Two copies of the standard update on disjoint switch pairs, committed
+  // serially in one network and interleaved (phased commit under a single
+  // event-queue pump) in another. The final tables must be bit-identical —
+  // cookies included, since txn ids are pinned — and the interleaved run
+  // must finish strictly earlier in virtual time.
+  const auto options_for = [](std::uint32_t txn_id) {
+    sched::TransactionOptions topts;
+    topts.txn_id = txn_id;
+    topts.exec.request_timeout = millis(200);
+    topts.exec.max_retries = 6;
+    topts.exec.backoff_base = millis(5);
+    return topts;
+  };
+  const auto build = [&](Network& net, std::vector<SwitchId>& sw) {
+    for (int i = 0; i < 4; ++i) sw.push_back(net.add_switch(quiet_switch1()));
+    for (const auto id : sw) preinstall(net, id, 20);
+  };
+
+  // Serial reference.
+  Network serial_net;
+  std::vector<SwitchId> ss;
+  build(serial_net, ss);
+  sched::DionysusScheduler scheduler;
+  SimDuration serial_span{};
+  {
+    sched::UpdateTransaction a(serial_net, build_update(ss[0], ss[1]),
+                               options_for(31));
+    sched::UpdateTransaction b(serial_net, build_update(ss[2], ss[3]),
+                               options_for(32));
+    const SimTime t0 = serial_net.now();
+    ASSERT_TRUE(a.commit(scheduler).committed);
+    ASSERT_TRUE(b.commit(scheduler).committed);
+    serial_span = serial_net.now() - t0;
+  }
+
+  // Interleaved: start both, pump the one shared queue, finish both.
+  Network conc_net;
+  std::vector<SwitchId> cs;
+  build(conc_net, cs);
+  SimDuration conc_span{};
+  {
+    sched::UpdateTransaction a(conc_net, build_update(cs[0], cs[1]),
+                               options_for(31));
+    sched::UpdateTransaction b(conc_net, build_update(cs[2], cs[3]),
+                               options_for(32));
+    const SimTime t0 = conc_net.now();
+    a.start_commit(scheduler);
+    b.start_commit(scheduler);
+    while ((!a.exec_done() || !b.exec_done()) && conc_net.events().step()) {
+    }
+    ASSERT_TRUE(a.exec_done());
+    ASSERT_TRUE(b.exec_done());
+    ASSERT_TRUE(a.finish_commit().committed);
+    ASSERT_TRUE(b.finish_commit().committed);
+    conc_span = conc_net.now() - t0;
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(final_image(serial_net, ss[i]), final_image(conc_net, cs[i]))
+        << "switch pair " << i;
+  }
+  EXPECT_LT(conc_span.ns(), serial_span.ns())
+      << "interleaving two disjoint commits should beat running them "
+         "back-to-back";
+}
+
+// ---------------------------------------------------------------------------
+// Footprint scoping: rollback must not sweep foreign rule-space
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Roll back a two-switch update (crash on s2 mid-commit) while a foreign
+/// rule F — installed AFTER the transaction's snapshot, rule-space disjoint
+/// from its footprint — sits on s1. The crash must hit the OTHER switch:
+/// what's under test is whether the rollback's reconciliation of s1 sweeps
+/// F, not whether a table wipe destroys it. Returns whether F survived.
+bool foreign_rule_survives_rollback(bool scope_to_footprint) {
+  Network net;
+  const auto s1 = net.add_switch(quiet_switch1());
+  const auto s2 = net.add_switch(quiet_switch1());
+  preinstall(net, s1, 20);
+  preinstall(net, s2, 20);
+
+  sched::TransactionOptions topts;
+  topts.policy = sched::RecoveryPolicy::kRollBack;
+  topts.txn_id = 33;
+  topts.scope_to_footprint = scope_to_footprint;
+  topts.exec.request_timeout = millis(200);
+  topts.exec.max_retries = 6;
+  topts.exec.backoff_base = millis(5);
+  sched::UpdateTransaction txn(net, build_update(s1, s2), topts);
+
+  // F lands after the snapshot: to an unscoped rollback it is
+  // indistinguishable from the transaction's own stale leftovers.
+  ProbeEngine probe(net, s1);
+  EXPECT_TRUE(probe.install(50, 777));
+  net.barrier_sync(s1);
+
+  FaultConfig cfg;
+  cfg.crash_at = net.now() + millis(20);
+  cfg.crash_downtime = millis(5);
+  cfg.seed = fault_seed_from_env();
+  net.enable_faults(s2, cfg);
+
+  sched::DionysusScheduler scheduler;
+  const auto& report = txn.commit(scheduler);
+  EXPECT_TRUE(report.rolled_back) << "crash did not force a rollback";
+
+  const auto image = final_image(net, s1);
+  return image.count(sched::rule_key(ProbeEngine::probe_match(50), 777)) != 0;
+}
+
+}  // namespace
+
+TEST(FootprintScopeTest, UnscopedRollbackSweepsForeignRules) {
+  // The default (whole-table reconciliation) deliberately sweeps anything
+  // not in the pre image — strictly stronger repair for a serial world.
+  EXPECT_FALSE(foreign_rule_survives_rollback(false));
+}
+
+TEST(FootprintScopeTest, ScopedRollbackPreservesForeignRules) {
+  // With scope_to_footprint the reconciler never looks outside the
+  // transaction's own rule-space, so the concurrent world's rules survive.
+  EXPECT_TRUE(foreign_rule_survives_rollback(true));
+}
+
 }  // namespace
 }  // namespace tango::net

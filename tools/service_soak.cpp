@@ -1,0 +1,177 @@
+// service_soak: drive the multi-tenant chaos harness across a seed range
+// and emit a machine-readable run report.
+//
+//   service_soak --seeds 1-20 --tenants 4 --intents 3
+//   service_soak --seeds 7 --no-faults --verbose
+//
+// Every run is deterministic: a (seed, tenants, intents, faults) tuple
+// identifies one IntentService run — a scripted multi-tenant submission
+// schedule with a crash on the victim tenant's private switch — and the
+// 64-bit fingerprint (service tallies + per-intent outcomes + fault stats +
+// final tables + final virtual clock) makes bit-identical replay a single
+// integer comparison. The isolation oracles (chaos/tenant_isolation.h)
+// judge each run; a SERVICE_soak.json run report (tango.run_report.v1)
+// summarizes the sweep, including how many runs actually exercised a
+// victim rollback (the scenario the isolation oracle exists for).
+//
+// Exit status: 0 = all runs clean, 1 = violations found, 2 = usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "chaos/tenant_isolation.h"
+#include "common/logging.h"
+#include "telemetry/run_report.h"
+
+namespace {
+
+using namespace tango;  // tool code: brevity over namespace hygiene
+
+struct Args {
+  std::uint64_t seed_lo = 1;
+  std::uint64_t seed_hi = 20;
+  std::uint32_t tenants = 3;
+  std::uint32_t intents = 3;
+  bool faults = true;
+  std::string out_dir = ".";
+  bool verbose = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: service_soak [--seeds A-B] [--tenants N] [--intents N]\n"
+               "                    [--no-faults] [--out DIR] [--verbose]\n");
+}
+
+bool parse_seeds(const std::string& s, Args& args) {
+  const auto dash = s.find('-');
+  if (dash == std::string::npos) {
+    args.seed_lo = args.seed_hi = std::strtoull(s.c_str(), nullptr, 0);
+    return args.seed_lo > 0;
+  }
+  args.seed_lo = std::strtoull(s.substr(0, dash).c_str(), nullptr, 0);
+  args.seed_hi = std::strtoull(s.substr(dash + 1).c_str(), nullptr, 0);
+  return args.seed_lo > 0 && args.seed_hi >= args.seed_lo;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = value();
+      if (v == nullptr || !parse_seeds(v, args)) return false;
+    } else if (arg == "--tenants") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.tenants = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--intents") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.intents = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--no-faults") {
+      args.faults = false;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.out_dir = v;
+    } else if (arg == "--verbose") {
+      args.verbose = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  log::set_threshold(args.verbose ? log::Level::kInfo : log::Level::kError);
+  log::set_rate_limit(20);
+
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "service_soak: cannot create %s: %s\n",
+                 args.out_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  telemetry::RunReport report("SERVICE_soak");
+  std::size_t runs = 0;
+  std::size_t violations_found = 0;
+  std::size_t rollback_runs = 0;
+
+  for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
+    chaos::TenantChaosSpec spec;
+    spec.seed = seed;
+    spec.n_tenants = args.tenants;
+    spec.intents_per_tenant = args.intents;
+    spec.faults = args.faults;
+    const auto result = chaos::run_tenant_chaos(spec);
+    ++runs;
+    if (result.rollbacks > 0) ++rollback_runs;
+
+    report.add_row()
+        .col("seed", static_cast<double>(seed))
+        .col("tenants", static_cast<double>(result.spec.n_tenants))
+        .col("violations", static_cast<double>(result.violations.size()))
+        .col("rollbacks", static_cast<double>(result.rollbacks))
+        .col("fairness", result.report.fairness_index)
+        .col("max_concurrency",
+             static_cast<double>(result.report.max_concurrency))
+        .col("makespan_ns", static_cast<double>(result.report.makespan.ns()));
+
+    if (result.ok()) {
+      if (args.verbose) {
+        std::printf(
+            "ok    seed %llu: %zu intents committed, %zu rollback(s), "
+            "fairness %.3f, fp 0x%016llx\n",
+            static_cast<unsigned long long>(seed), result.report.completed,
+            result.rollbacks, result.report.fairness_index,
+            static_cast<unsigned long long>(result.fingerprint));
+      }
+      continue;
+    }
+    ++violations_found;
+    std::printf("FAIL  seed %llu: %zu violation(s)\n",
+                static_cast<unsigned long long>(seed),
+                result.violations.size());
+    for (const auto& v : result.violations) {
+      std::printf("      %s\n", chaos::to_string(v).c_str());
+    }
+  }
+
+  log::flush_suppressed();
+
+  report.set_result("service.runs", static_cast<double>(runs));
+  report.set_result("service.violations",
+                    static_cast<double>(violations_found));
+  report.set_result("service.rollback_runs",
+                    static_cast<double>(rollback_runs));
+  report.set_result("service.tenants", static_cast<double>(args.tenants));
+  report.set_result("service.faults", args.faults ? 1.0 : 0.0);
+  report.set_result("service.seed_lo", static_cast<double>(args.seed_lo));
+  report.set_result("service.seed_hi", static_cast<double>(args.seed_hi));
+  const std::string report_path = args.out_dir + "/SERVICE_soak.json";
+  if (!report.write(report_path)) {
+    std::fprintf(stderr, "service_soak: cannot write %s\n",
+                 report_path.c_str());
+  }
+
+  std::printf(
+      "%zu run(s), %zu with violations, %zu exercised a rollback; report at "
+      "%s\n",
+      runs, violations_found, rollback_runs, report_path.c_str());
+  return violations_found == 0 ? 0 : 1;
+}
