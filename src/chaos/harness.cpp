@@ -15,17 +15,15 @@
 
 namespace tango::chaos {
 
-namespace {
-
-namespace profiles = switchsim::profiles;
-
-/// Zero the profile's latency jitter: chaos runs vary the *fault* schedule,
-/// not the switch timing, so every divergence is attributable to faults.
-switchsim::SwitchProfile quiet(switchsim::SwitchProfile profile) {
+switchsim::SwitchProfile quiet_profile(switchsim::SwitchProfile profile) {
   profile.costs.jitter_frac = 0;
   profile.paths.jitter_frac = 0;
   return profile;
 }
+
+namespace {
+
+namespace profiles = switchsim::profiles;
 
 void preinstall(net::Network& net, SwitchId id, std::uint32_t count) {
   core::ProbeEngine probe(net, id);
@@ -35,9 +33,8 @@ void preinstall(net::Network& net, SwitchId id, std::uint32_t count) {
   net.barrier_sync(id);
 }
 
-/// Build the workload DAG and lay down its pre-state. Returns whether the
-/// verifier oracle may assert per-rule cookies (false for ACLs, whose
-/// first-match-wins overlap makes same-transaction shadowing legitimate).
+}  // namespace
+
 bool build_workload(const ChaosSpec& spec, net::Network& net,
                     const workload::TestbedIds& tb, sched::RequestDag& dag) {
   const auto params = params_of(spec.horizon);
@@ -71,6 +68,8 @@ bool build_workload(const ChaosSpec& spec, net::Network& net,
   }
   return true;
 }
+
+namespace {
 
 /// True for semantic (switch-model) faults, false for wire faults.
 bool is_misbehavior(FaultKind kind) {
@@ -139,10 +138,11 @@ net::FaultConfig config_for(const ChaosSchedule& schedule, SwitchId id,
   return cfg;
 }
 
-/// Ground-truth knowledge synthesized from the switch profile — what a
-/// completed learn() would have produced, minus the probing cost. Chaos
-/// runs adopt it so the knowledge-health loop starts from accurate priors
-/// and every post-drift divergence is attributable to the schedule.
+}  // namespace
+
+/// Chaos runs adopt synthetic knowledge so the knowledge-health loop starts
+/// from accurate priors and every post-drift divergence is attributable to
+/// the schedule.
 core::SwitchKnowledge synthetic_knowledge(net::Network& net, SwitchId id) {
   const auto& profile = net.sw(id).profile();
   core::SwitchKnowledge know;
@@ -171,27 +171,34 @@ core::SwitchKnowledge synthetic_knowledge(net::Network& net, SwitchId id) {
 
 // --- fingerprint ------------------------------------------------------------
 
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+namespace {
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+}  // namespace
 
-void fold(std::uint64_t& h, std::uint64_t v) {
+void fnv_fold(std::uint64_t& h, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
     h ^= (v >> (i * 8)) & 0xff;
     h *= kFnvPrime;
   }
 }
 
-void fold_str(std::uint64_t& h, const std::string& s) {
+void fnv_fold_str(std::uint64_t& h, const std::string& s) {
   for (const char c : s) {
     h ^= static_cast<std::uint8_t>(c);
     h *= kFnvPrime;
   }
-  fold(h, s.size());
+  fnv_fold(h, s.size());
 }
+
+namespace {
+
+// Local aliases keep the (frozen) fingerprint definition readable.
+constexpr auto& fold = fnv_fold;
+constexpr auto& fold_str = fnv_fold_str;
 
 std::uint64_t fingerprint_of(const ChaosResult& r,
                              const std::map<SwitchId, sched::TableImage>& tables) {
-  std::uint64_t h = kFnvOffset;
+  std::uint64_t h = kFnvOffsetBasis;
   const auto& exec = r.report.exec;
   fold(h, static_cast<std::uint64_t>(exec.makespan.ns()));
   fold(h, exec.issued);
@@ -279,9 +286,9 @@ ChaosResult run_chaos(const ChaosSchedule& schedule) {
 
   net::Network net;
   workload::TestbedIds tb;
-  tb.s1 = net.add_switch(quiet(profiles::switch1()));
-  tb.s2 = net.add_switch(quiet(profiles::switch1()));
-  tb.s3 = net.add_switch(quiet(profiles::switch3()));
+  tb.s1 = net.add_switch(quiet_profile(profiles::switch1()));
+  tb.s2 = net.add_switch(quiet_profile(profiles::switch1()));
+  tb.s3 = net.add_switch(quiet_profile(profiles::switch3()));
   const std::vector<SwitchId> all = {tb.s1, tb.s2, tb.s3};
 
   sched::RequestDag dag;

@@ -26,8 +26,30 @@
 #include "scheduler/transaction.h"
 #include "switchsim/misbehavior.h"
 #include "tango/tango.h"
+#include "workload/scenarios.h"
 
 namespace tango::chaos {
+
+// --- building blocks shared with the HA harness (ha_harness.h) --------------
+
+/// Zero the profile's latency jitter: chaos runs vary the *fault* schedule,
+/// not the switch timing, so every divergence is attributable to faults.
+switchsim::SwitchProfile quiet_profile(switchsim::SwitchProfile profile);
+
+/// Build the spec's workload DAG and lay down its pre-state on the testbed.
+/// Returns whether the verifier oracle may assert per-rule cookies (false
+/// for ACLs, whose first-match-wins overlap makes shadowing legitimate).
+bool build_workload(const ChaosSpec& spec, net::Network& net,
+                    const workload::TestbedIds& tb, sched::RequestDag& dag);
+
+/// Ground-truth knowledge synthesized from the switch profile — what a
+/// completed learn() would have produced, minus the probing cost.
+core::SwitchKnowledge synthetic_knowledge(net::Network& net, SwitchId id);
+
+/// FNV-1a fold primitives used by every chaos fingerprint.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+void fnv_fold(std::uint64_t& h, std::uint64_t v);
+void fnv_fold_str(std::uint64_t& h, const std::string& s);
 
 struct ChaosResult {
   ChaosSchedule schedule;

@@ -1,0 +1,168 @@
+#include "ha/replication.h"
+
+#include <cassert>
+#include <utility>
+
+#include "openflow/codec.h"
+
+namespace tango::ha {
+
+std::string to_string(RecordType type) {
+  switch (type) {
+    case RecordType::kHeartbeat: return "heartbeat";
+    case RecordType::kCheckpoint: return "checkpoint";
+    case RecordType::kTxnBegin: return "txn_begin";
+    case RecordType::kTxnEntry: return "txn_entry";
+    case RecordType::kTxnFinish: return "txn_finish";
+  }
+  return "?";
+}
+
+bool ReplicationLink::in_loss_window(SimTime at) const {
+  for (const auto& [from, to] : loss_windows_) {
+    if (at >= from && at < to) return true;
+  }
+  return false;
+}
+
+void ReplicationLink::ship(ReplicationRecord rec) {
+  rec.seq = next_seq_++;
+  rec.sent_at = events_.now();
+  ++stats_.shipped;
+  stats_.bytes_shipped += wire_cost(rec);
+  if (partitioned_) {
+    ++stats_.lost_to_partition;
+    return;
+  }
+  if (in_loss_window(rec.sent_at)) {
+    ++stats_.lost_to_loss;
+    return;
+  }
+  events_.schedule_after(delay_, [this, rec = std::move(rec)]() {
+    ++stats_.delivered;
+    if (sink_) sink_(rec);
+  });
+}
+
+std::size_t ReplicationLink::wire_cost(const ReplicationRecord& rec) {
+  std::size_t bytes = 32;  // header: type, seq, epoch, timestamps
+  bytes += rec.knowledge_text.size();
+  bytes += rec.health.size() * 16;
+  for (const auto& entry : rec.txn.entries) {
+    bytes += entry.intent_frame.size();
+    for (const auto& inv : entry.inverse_frames) bytes += inv.size();
+  }
+  for (const auto& [sw, frames] : rec.txn.pre_frames) {
+    (void)sw;
+    for (const auto& f : frames) bytes += f.size();
+  }
+  return bytes;
+}
+
+namespace {
+
+std::vector<std::uint8_t> encode_flow_mod(const of::FlowMod& fm) {
+  return of::encode(of::Message{0, fm});
+}
+
+/// A pre-image rule as the restoring ADD that would reinstate it.
+of::FlowMod restore_of(const sched::RuleImage& rule) {
+  of::FlowMod fm;
+  fm.command = of::FlowModCommand::kAdd;
+  fm.match = rule.match;
+  fm.priority = rule.priority;
+  fm.actions = rule.actions;
+  fm.cookie = rule.cookie;
+  return fm;
+}
+
+}  // namespace
+
+of::FlowMod decode_flow_mod(const std::vector<std::uint8_t>& frame) {
+  const auto msg = of::decode(frame);
+  assert(msg.ok());
+  const auto* fm = std::get_if<of::FlowMod>(&msg.value().body);
+  assert(fm != nullptr);
+  return *fm;
+}
+
+std::map<SwitchId, sched::TableImage> decode_pre_images(const ShippedTxn& txn) {
+  std::map<SwitchId, sched::TableImage> images;
+  for (const auto& [sw, frames] : txn.pre_frames) {
+    auto& image = images[sw];  // empty table when no frames: wiped pre-state
+    for (const auto& frame : frames) {
+      sched::apply_to_image(image, decode_flow_mod(frame));
+    }
+  }
+  return images;
+}
+
+std::uint32_t JournalReplicator::epoch_of(
+    const sched::UpdateTransaction& txn) const {
+  // Journal records belong to the epoch the transaction was stamped under —
+  // a deposed primary's stragglers must not masquerade as the successor's.
+  const auto stamped = txn.options().epoch;
+  return stamped != 0 ? stamped : *epoch_;
+}
+
+ShippedTxn JournalReplicator::ship_txn(const sched::UpdateTransaction& txn,
+                                       std::uint32_t epoch) {
+  ShippedTxn out;
+  out.txn_id = txn.id();
+  out.epoch = epoch;
+  out.policy = txn.options().policy;
+  out.scoped = txn.options().scope_to_footprint;
+  std::set<SwitchId> affected;
+  for (const auto& entry : txn.journal()) {
+    ShippedEntry shipped;
+    shipped.dag_id = entry.dag_id;
+    shipped.location = entry.location;
+    shipped.intent_frame = encode_flow_mod(entry.intent);
+    for (const auto& inv : entry.inverse) {
+      shipped.inverse_frames.push_back(encode_flow_mod(inv));
+    }
+    out.entries.push_back(std::move(shipped));
+    affected.insert(entry.location);
+  }
+  for (const SwitchId sw : affected) {
+    auto& frames = out.pre_frames[sw];  // present even when the pre was empty
+    for (const auto& [key, rule] : txn.pre_image(sw)) {
+      (void)key;
+      frames.push_back(encode_flow_mod(restore_of(rule)));
+    }
+  }
+  return out;
+}
+
+void JournalReplicator::on_txn_begin(const sched::UpdateTransaction& txn) {
+  ReplicationRecord rec;
+  rec.type = RecordType::kTxnBegin;
+  rec.epoch = epoch_of(txn);
+  rec.txn = ship_txn(txn, rec.epoch);
+  rec.txn_id = txn.id();
+  link_.ship(std::move(rec));
+}
+
+void JournalReplicator::on_entry_acked(const sched::UpdateTransaction& txn,
+                                       std::size_t dag_id, bool accepted) {
+  ReplicationRecord rec;
+  rec.type = RecordType::kTxnEntry;
+  rec.epoch = epoch_of(txn);
+  rec.txn_id = txn.id();
+  rec.dag_id = dag_id;
+  rec.accepted = accepted;
+  link_.ship(std::move(rec));
+}
+
+void JournalReplicator::on_txn_finish(const sched::UpdateTransaction& txn,
+                                      const sched::TransactionReport& report) {
+  ReplicationRecord rec;
+  rec.type = RecordType::kTxnFinish;
+  rec.epoch = epoch_of(txn);
+  rec.txn_id = txn.id();
+  rec.committed = report.committed;
+  rec.rolled_back = report.rolled_back;
+  link_.ship(std::move(rec));
+}
+
+}  // namespace tango::ha

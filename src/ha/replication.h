@@ -1,0 +1,186 @@
+// Primary -> standby replication log (HA tentpole, part 1 of 3).
+//
+// The primary streams three kinds of records to its standby over a
+// deterministic virtual-time link:
+//
+//  * heartbeats   — liveness; the standby's failover watchdog feeds on
+//                   their inter-arrival times.
+//  * checkpoints  — the knowledge base (knowledge_io text serialization)
+//                   plus per-switch KnowledgeHealth trust snapshots, shipped
+//                   periodically so the standby's shadow has bounded lag.
+//  * journal      — per-transaction records bridged straight from
+//                   sched::JournalSink: the full intent journal at
+//                   construction (WAL discipline — shipped before the first
+//                   frame hits the wire), per-entry acks, and the final
+//                   outcome. Flow_mods travel as OF-codec wire frames, so
+//                   the standby decodes exactly the bytes a switch would
+//                   have seen.
+//
+// The link is built on the shared EventQueue: constant delivery delay,
+// schedulable loss windows and a partition flag (the chaos layer's
+// replication faults), strictly ordered seq numbers so the receiver can
+// detect gaps. Everything is deterministic — no RNG, no wall clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "scheduler/transaction.h"
+#include "sim/event_queue.h"
+
+namespace tango::ha {
+
+enum class RecordType : std::uint8_t {
+  kHeartbeat = 0,
+  kCheckpoint = 1,
+  kTxnBegin = 2,
+  kTxnEntry = 3,
+  kTxnFinish = 4,
+};
+
+std::string to_string(RecordType type);
+
+/// One journaled intent as shipped: OF-encoded frames, journal order.
+struct ShippedEntry {
+  std::size_t dag_id = 0;
+  SwitchId location = 0;
+  std::vector<std::uint8_t> intent_frame;
+  std::vector<std::vector<std::uint8_t>> inverse_frames;
+};
+
+/// A transaction's full write-ahead journal as the standby receives it.
+struct ShippedTxn {
+  std::uint32_t txn_id = 0;
+  std::uint32_t epoch = 0;
+  sched::RecoveryPolicy policy = sched::RecoveryPolicy::kRollForward;
+  /// The primary scoped reconciliation to the txn's footprint (multi-tenant
+  /// commits); takeover replay must honour the same scope.
+  bool scoped = false;
+  std::vector<ShippedEntry> entries;
+  /// Pre-update snapshot per affected switch, as restoring ADD frames —
+  /// the rollback target.
+  std::map<SwitchId, std::vector<std::vector<std::uint8_t>>> pre_frames;
+};
+
+/// KnowledgeHealth state worth surviving a failover.
+struct HealthSnapshot {
+  double trust = 1.0;
+  bool quarantined = false;
+};
+
+struct ReplicationRecord {
+  RecordType type = RecordType::kHeartbeat;
+  std::uint64_t seq = 0;
+  SimTime sent_at{};
+  /// Epoch of the primary that shipped the record.
+  std::uint32_t epoch = 0;
+
+  // kCheckpoint
+  std::string knowledge_text;  ///< knowledge_io records, keys = switch ids
+  std::map<SwitchId, HealthSnapshot> health;
+
+  // kTxnBegin
+  ShippedTxn txn;
+
+  // kTxnEntry / kTxnFinish
+  std::uint32_t txn_id = 0;
+  std::size_t dag_id = 0;
+  bool accepted = false;
+  bool committed = false;
+  bool rolled_back = false;
+};
+
+struct LinkStats {
+  std::uint64_t shipped = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost_to_loss = 0;
+  std::uint64_t lost_to_partition = 0;
+  std::uint64_t bytes_shipped = 0;
+};
+
+/// Deterministic one-way record stream over the shared event queue.
+class ReplicationLink {
+ public:
+  using Sink = std::function<void(const ReplicationRecord&)>;
+
+  ReplicationLink(sim::EventQueue& events, SimDuration delay)
+      : events_(events), delay_(delay) {}
+
+  /// Receiver for delivered records (the standby). Replaces any previous.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Ship one record: stamps seq + send time, then either delivers it
+  /// `delay` later or drops it (loss window / partition). Determinism note:
+  /// the drop decision is made at send time from scheduled windows, never
+  /// from randomness.
+  void ship(ReplicationRecord rec);
+
+  /// Drop every record shipped in [from, to).
+  void add_loss_window(SimTime from, SimTime to) {
+    loss_windows_.emplace_back(from, to);
+  }
+
+  /// Blackhole the link until further notice (controller partition).
+  void set_partitioned(bool partitioned) { partitioned_ = partitioned; }
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
+
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+
+  /// Rough wire-size accounting (frames + text + fixed header), for lag and
+  /// soak metrics only — nothing is actually serialized per record.
+  static std::size_t wire_cost(const ReplicationRecord& rec);
+
+ private:
+  [[nodiscard]] bool in_loss_window(SimTime at) const;
+
+  sim::EventQueue& events_;
+  SimDuration delay_;
+  Sink sink_;
+  bool partitioned_ = false;
+  std::vector<std::pair<SimTime, SimTime>> loss_windows_;
+  std::uint64_t next_seq_ = 1;
+  LinkStats stats_;
+};
+
+/// Bridges sched::JournalSink onto the replication link: encodes the
+/// journal as wire frames and ships kTxnBegin / kTxnEntry / kTxnFinish
+/// records. The epoch pointer tracks the acting primary's epoch (owned by
+/// HaController) so records are stamped without coupling the two headers.
+class JournalReplicator : public sched::JournalSink {
+ public:
+  JournalReplicator(ReplicationLink& link, const std::uint32_t* epoch)
+      : link_(link), epoch_(epoch) {}
+
+  void on_txn_begin(const sched::UpdateTransaction& txn) override;
+  void on_entry_acked(const sched::UpdateTransaction& txn, std::size_t dag_id,
+                      bool accepted) override;
+  void on_txn_finish(const sched::UpdateTransaction& txn,
+                     const sched::TransactionReport& report) override;
+
+  /// Encode one ShippedTxn from a live transaction (also used by takeover
+  /// to re-journal in-flight transactions to the next standby).
+  static ShippedTxn ship_txn(const sched::UpdateTransaction& txn,
+                             std::uint32_t epoch);
+
+ private:
+  /// The epoch a transaction's records are stamped with: the epoch it was
+  /// stamped under at begin (so a deposed primary's stragglers carry its
+  /// old epoch), falling back to the acting epoch for unstamped commits.
+  [[nodiscard]] std::uint32_t epoch_of(
+      const sched::UpdateTransaction& txn) const;
+
+  ReplicationLink& link_;
+  const std::uint32_t* epoch_;
+};
+
+/// Decode a shipped OF frame back into its FlowMod (asserts shape).
+of::FlowMod decode_flow_mod(const std::vector<std::uint8_t>& frame);
+
+/// Decode a ShippedTxn's pre-image frames into reconciler table images.
+std::map<SwitchId, sched::TableImage> decode_pre_images(const ShippedTxn& txn);
+
+}  // namespace tango::ha

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "openflow/epoch.h"
 
 namespace tango::net {
 
@@ -374,8 +375,24 @@ void ControlChannel::handle(const of::Message& msg) {
     return;
   }
 
-  if (std::holds_alternative<of::Vendor>(msg.body)) {
-    // No vendor extensions implemented: OFPBRC_BAD_VENDOR.
+  if (const auto* vendor = std::get_if<of::Vendor>(&msg.body)) {
+    // Tango epoch-claim extension (HA failover fencing; openflow/epoch.h):
+    // decode the claim, let the switch arbitrate monotonicity, and echo the
+    // verdict plus its current epoch back on the same xid.
+    if (vendor->vendor_id == of::kTangoVendorId) {
+      if (const auto claim = of::decode_epoch_payload(vendor->data);
+          claim.has_value() && claim->subtype == of::kEpochClaimSubtype) {
+        const auto verdict = switch_.claim_epoch(claim->epoch);
+        of::Vendor rep;
+        rep.vendor_id = of::kTangoVendorId;
+        rep.data = of::encode_epoch_payload(
+            of::kEpochClaimReplySubtype, verdict.current_epoch,
+            verdict.accepted ? of::kEpochClaimAccepted : 0);
+        reply(of::Message{msg.xid, rep}, now);
+        return;
+      }
+    }
+    // Any other vendor extension: OFPBRC_BAD_VENDOR.
     of::ErrorMsg err;
     err.type = of::ErrorType::kBadRequest;
     err.code = 3;  // OFPBRC_BAD_VENDOR

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "openflow/epoch.h"
 
 namespace tango::net {
 
@@ -258,6 +259,43 @@ std::uint32_t Network::post_echo(SwitchId id, std::function<void()> on_reply) {
 }
 
 void Network::cancel_reply(std::uint32_t xid) { reply_cbs_.erase(xid); }
+
+std::uint32_t Network::post_epoch_claim(
+    SwitchId id, std::uint32_t epoch,
+    std::function<void(const EpochClaimResult&)> done) {
+  const std::uint32_t xid = next_xid();
+  reply_cbs_[xid] = [cb = std::move(done)](const of::Message& msg) {
+    EpochClaimResult out;
+    if (const auto* vendor = std::get_if<of::Vendor>(&msg.body)) {
+      if (const auto payload = of::decode_epoch_payload(vendor->data);
+          payload.has_value() &&
+          payload->subtype == of::kEpochClaimReplySubtype) {
+        out.lost = false;
+        out.accepted = (payload->flags & of::kEpochClaimAccepted) != 0;
+        out.switch_epoch = payload->epoch;
+      }
+    }
+    cb(out);
+  };
+  of::Vendor claim;
+  claim.vendor_id = of::kTangoVendorId;
+  claim.data = of::encode_epoch_payload(of::kEpochClaimSubtype, epoch);
+  endpoint(id).channel->send(of::Message{xid, std::move(claim)});
+  return xid;
+}
+
+Network::EpochClaimResult Network::claim_epoch_sync(SwitchId id,
+                                                    std::uint32_t epoch,
+                                                    SimDuration timeout) {
+  bool done = false;
+  EpochClaimResult result;
+  const std::uint32_t xid = post_epoch_claim(id, epoch, [&](const EpochClaimResult& r) {
+    result = r;
+    done = true;
+  });
+  if (!run_until_done(done, timeout)) reply_cbs_.erase(xid);
+  return result;
+}
 
 namespace {
 

@@ -136,6 +136,23 @@ class Network {
   /// out). Safe to call after the reply already fired.
   void cancel_reply(std::uint32_t xid);
 
+  // --- controller-epoch fencing (HA failover; see openflow/epoch.h) --------
+  struct EpochClaimResult {
+    bool accepted = false;
+    std::uint32_t switch_epoch = 0;
+    /// True when the claim or its reply vanished (faults / switch down).
+    bool lost = true;
+  };
+  /// Post a vendor epoch-claim; `done` fires with the switch's verdict.
+  /// Returns the xid (cancel_reply() to abandon a lost claim).
+  std::uint32_t post_epoch_claim(SwitchId id, std::uint32_t epoch,
+                                 std::function<void(const EpochClaimResult&)> done);
+
+  /// Claim mastership epoch `epoch` on switch `id` and run until the switch
+  /// answers (lost = true on timeout/drain — the takeover path retries).
+  EpochClaimResult claim_epoch_sync(SwitchId id, std::uint32_t epoch,
+                                    SimDuration timeout = {});
+
   /// Fetch flow statistics matching `filter` (synchronous).
   of::FlowStatsReply flow_stats_sync(SwitchId id, const of::Match& filter);
 

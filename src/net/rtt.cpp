@@ -1,0 +1,42 @@
+#include "net/rtt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tango::net {
+
+void RttEstimator::observe(SwitchId id, SimDuration rtt) {
+  if (rtt.ns() < 0) return;
+  const double sample_ms = static_cast<double>(rtt.ns()) / 1e6;
+  auto& e = switches_[id];
+  if (e.samples == 0) {
+    // First sample seeds the classic way: srtt = R, rttvar = R/2.
+    e.srtt_ms = sample_ms;
+    e.rttvar_ms = sample_ms / 2.0;
+  } else {
+    e.rttvar_ms = (1.0 - config_.beta) * e.rttvar_ms +
+                  config_.beta * std::abs(e.srtt_ms - sample_ms);
+    e.srtt_ms = (1.0 - config_.alpha) * e.srtt_ms + config_.alpha * sample_ms;
+  }
+  ++e.samples;
+}
+
+SimDuration RttEstimator::timeout_for(SwitchId id, SimDuration fallback) const {
+  const auto it = switches_.find(id);
+  if (it == switches_.end() || it->second.samples < config_.warmup) {
+    return fallback;
+  }
+  const auto& e = it->second;
+  auto rto = millis(e.srtt_ms + config_.k * e.rttvar_ms);
+  rto = std::max(rto, config_.floor);
+  // Adapting tightens recovery; the configured knob stays the ceiling.
+  if (fallback.ns() > 0) rto = std::min(rto, fallback);
+  return rto;
+}
+
+const RttEstimate* RttEstimator::estimate(SwitchId id) const {
+  const auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tango::net

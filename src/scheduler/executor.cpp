@@ -135,6 +135,8 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
   std::vector<SimTime> obs_post;
   std::vector<SimTime> obs_busy;
   std::vector<std::uint8_t> obs_solo;
+  /// Post timestamps for RTT samples; sized only when options.rtt is set.
+  std::vector<SimTime> rtt_post;
 
   std::vector<std::size_t> remaining_preds;
   /// True once sent — or tombstoned by a failure before sending.
@@ -165,6 +167,14 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
 
   [[nodiscard]] bool retry_enabled() const {
     return options.request_timeout.ns() > 0;
+  }
+
+  /// Recovery deadline for traffic to `loc`: the fixed knob, tightened by
+  /// the per-switch RTT estimator when one is attached (see net/rtt.h).
+  [[nodiscard]] SimDuration deadline_for(SwitchId loc) const {
+    return options.rtt != nullptr
+               ? options.rtt->timeout_for(loc, options.request_timeout)
+               : options.request_timeout;
   }
 
   void init() {
@@ -221,6 +231,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
       obs_busy.assign(n, SimTime{});
       obs_solo.assign(n, 0);
     }
+    if (options.rtt != nullptr) rtt_post.assign(n, SimTime{});
   }
 
   /// Derive the report's tallies from the registry — the counters are the
@@ -313,6 +324,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
       obs_busy[id] = network.channel(req.location).agent_busy_until();
       obs_solo[id] = in_flight[req.location] == 1 ? 1 : 0;
     }
+    if (options.rtt != nullptr) rtt_post[id] = network.now();
     network.post_flow_mod_ex(req.location,
                              to_flow_mod(req, options.default_priority),
                              [self, id](const net::Network::FlowModResult& res) {
@@ -320,7 +332,7 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
                              });
     if (retry_enabled()) {
       network.events().schedule_after(
-          options.request_timeout,
+          deadline_for(req.location),
           [self, id, gen]() { self->on_timeout(id, gen); });
     }
   }
@@ -415,6 +427,12 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
                                     predicted_ms);
       }
     }
+    if (accepted && options.rtt != nullptr && attempts[id] == 1) {
+      // Karn's rule: only never-retransmitted requests are unambiguous RTT
+      // samples. Queueing behind sibling requests is deliberately included —
+      // the deadline must cover time-to-answer under current load.
+      options.rtt->observe(req.location, at - rtt_post[id]);
+    }
     if (options.on_complete) options.on_complete(id, accepted);
     for (std::size_t succ : dag.successors(id)) {
       if (remaining_preds[succ] > 0 && --remaining_preds[succ] == 0 &&
@@ -492,13 +510,20 @@ struct ExecState : std::enable_shared_from_this<ExecState> {
                           {telemetry::arg("id", std::uint64_t{id})});
     }
     auto self = shared_from_this();
-    const std::uint32_t xid = network.post_echo(loc, [self, loc, id, probe]() {
-      if (self->finished || probe->answered) return;
-      probe->answered = true;
-      self->on_alive(loc, id);
-    });
+    const SimTime echo_sent = network.now();
+    const std::uint32_t xid =
+        network.post_echo(loc, [self, loc, id, probe, echo_sent]() {
+          if (self->finished || probe->answered) return;
+          probe->answered = true;
+          if (self->options.rtt != nullptr) {
+            // Liveness echoes double as free RTT samples (the pure channel
+            // round trip, no flow_mod processing on top).
+            self->options.rtt->observe(loc, self->network.now() - echo_sent);
+          }
+          self->on_alive(loc, id);
+        });
     network.events().schedule_after(
-        options.request_timeout, [self, loc, id, probe, xid]() {
+        deadline_for(loc), [self, loc, id, probe, xid]() {
           if (self->finished || probe->answered) return;
           self->network.cancel_reply(xid);
           // A single echo can be lost to the same noise that stranded the
@@ -695,6 +720,14 @@ const ExecutionReport& AsyncExecution::finish() {
   assert(state_ != nullptr);
   state_->finish();
   return state_->report;
+}
+
+void AsyncExecution::abort() {
+  if (state_ == nullptr) return;
+  // Deliberately not finish(): no report finalization, no telemetry span —
+  // the issuing controller is dead. The flag alone neutralizes every queued
+  // timer/completion (they all bail on `finished`).
+  state_->finished = true;
 }
 
 AsyncExecution execute_async(net::Network& network, const RequestDag& dag,

@@ -27,6 +27,7 @@
 #include <set>
 
 #include "net/network.h"
+#include "net/rtt.h"
 #include "scheduler/request.h"
 #include "scheduler/schedulers.h"
 
@@ -75,6 +76,14 @@ struct ExecutorOptions {
   /// backoff and attempt budget as timeout retries. Off by default so
   /// existing runs are bit-identical: rejections stay terminal.
   bool retry_rejections = false;
+  /// Per-switch adaptive deadlines (non-owning; see net/rtt.h). When set,
+  /// every request/echo deadline becomes rtt->timeout_for(switch,
+  /// request_timeout) — learned from echo round trips and solo
+  /// first-attempt flow_mod completions, never exceeding request_timeout.
+  /// Null (the default) keeps the fixed knob and a bit-identical schedule:
+  /// adaptive deadlines move when timer events fire, which shifts the
+  /// post-drain virtual clock, so the estimator is strictly opt-in.
+  net::RttEstimator* rtt = nullptr;
 
   // --- knowledge-health observer -------------------------------------------
   /// Fires on each clean first-attempt acceptance for a switch with a cost
@@ -185,6 +194,13 @@ class AsyncExecution {
   /// still-pending requests as lost — only do that once the event queue has
   /// drained.
   const ExecutionReport& finish();
+
+  /// Kill the execution in place: every still-pending timer, retry and
+  /// completion callback becomes a no-op from this instant on. Models the
+  /// issuing controller dying mid-commit (UpdateTransaction::abandon());
+  /// in-flight frames already on the wire still reach the switches. No-op
+  /// on an empty or finished handle.
+  void abort();
 
   [[nodiscard]] bool valid() const { return state_ != nullptr; }
 

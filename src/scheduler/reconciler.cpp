@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "openflow/epoch.h"
 #include "scheduler/schedulers.h"
 
 namespace tango::sched {
@@ -165,7 +166,9 @@ ReconcileStats Reconciler::run(const std::map<SwitchId, TableImage>& desired,
       req.priority = r.rule.priority;
       req.match = r.rule.match;
       req.actions = r.rule.actions;
-      req.cookie = r.rule.cookie;
+      req.cookie = options_.repair_epoch != 0
+                       ? of::refence_cookie(r.rule.cookie, options_.repair_epoch)
+                       : r.rule.cookie;
       rdag.add(std::move(req));
       if (r.type == RequestType::kAdd) {
         ++stats.repairs_issued;

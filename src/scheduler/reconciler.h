@@ -77,6 +77,12 @@ struct ReconcilerOptions {
   /// Executor options for issuing repairs (observers are cleared — journal
   /// bookkeeping belongs to the original commit, not to repairs).
   ExecutorOptions exec;
+  /// When non-zero, every repair flow_mod's cookie is re-fenced to this
+  /// controller epoch before issue (openflow/epoch.h). A takeover replay
+  /// needs this for DELETEs: the stale rules it removes still carry the
+  /// deposed primary's epoch, and the freshly fenced switch would refuse a
+  /// mutation stamped with it. 0 (default) leaves cookies untouched.
+  std::uint32_t repair_epoch = 0;
   /// Rule-space scope: when set, actual-table rules for which this returns
   /// false are invisible to the diff — neither compared nor deleted as
   /// stale. Concurrent transactions (the intent service) scope each

@@ -181,6 +181,10 @@ UpdateTransaction::UpdateTransaction(net::Network& network, RequestDag dag,
                    telemetry::arg("switches", std::uint64_t{affected.size()})});
     t->metrics.counter("txn.journaled_entries").inc(journal_.size());
   }
+
+  // WAL discipline: the standby holds the full intent journal before the
+  // first frame hits the wire.
+  if (options_.journal_sink != nullptr) options_.journal_sink->on_txn_begin(*this);
 }
 
 const TransactionReport& UpdateTransaction::commit(UpdateScheduler& scheduler) {
@@ -200,11 +204,17 @@ void UpdateTransaction::start_commit(UpdateScheduler& scheduler) {
     if (it == journal_of_dag_.end()) return;
     journal_[it->second].state =
         accepted ? JournalEntry::State::kAcked : JournalEntry::State::kFailed;
+    if (options_.journal_sink != nullptr) {
+      options_.journal_sink->on_entry_acked(*this, id, accepted);
+    }
   };
   exec.on_failed = [this](std::size_t id) {
     const auto it = journal_of_dag_.find(id);
     if (it == journal_of_dag_.end()) return;
     journal_[it->second].state = JournalEntry::State::kFailed;
+    if (options_.journal_sink != nullptr) {
+      options_.journal_sink->on_entry_acked(*this, id, /*accepted=*/false);
+    }
   };
   // A *listener*, not the single handler slot: concurrent transactions each
   // watch for crashes on their own footprint without clobbering each other
@@ -263,6 +273,9 @@ const TransactionReport& UpdateTransaction::finish_commit() {
       verify_readback(post_, /*forward=*/true);
     }
     close_commit_span();
+    if (options_.journal_sink != nullptr) {
+      options_.journal_sink->on_txn_finish(*this, report_);
+    }
     if (options_.on_report) options_.on_report(report_);
     return report_;
   }
@@ -284,8 +297,20 @@ const TransactionReport& UpdateTransaction::finish_commit() {
     verify_readback(forward ? post_ : pre_, forward);
   }
   close_commit_span();
+  if (options_.journal_sink != nullptr) {
+    options_.journal_sink->on_txn_finish(*this, report_);
+  }
   if (options_.on_report) options_.on_report(report_);
   return report_;
+}
+
+void UpdateTransaction::abandon() {
+  if (!commit_started_) return;
+  if (crash_token_ != 0) {
+    network_.remove_crash_listener(crash_token_);
+    crash_token_ = 0;
+  }
+  async_.abort();
 }
 
 void UpdateTransaction::verify_readback(
@@ -336,7 +361,7 @@ void UpdateTransaction::verify_readback(
     Reconciler::Author author = [this, forward](SwitchId sw,
                                                 const RuleImage& rule)
         -> std::optional<std::size_t> {
-      if (txn_of_cookie(rule.cookie) == txn_id_) {
+      if (txn_of_cookie(rule.cookie) == txn_key()) {
         const auto id =
             static_cast<std::size_t>(static_cast<std::uint32_t>(rule.cookie));
         if (id < dag_.size()) return id;
@@ -394,7 +419,7 @@ void UpdateTransaction::reconcile() {
                                   SwitchId sw,
                                   const RuleImage& rule) -> std::optional<std::size_t> {
     // Rules carrying this transaction's cookie map straight to their node.
-    if (txn_of_cookie(rule.cookie) == txn_id_) {
+    if (txn_of_cookie(rule.cookie) == txn_key()) {
       const auto id = static_cast<std::size_t>(
           static_cast<std::uint32_t>(rule.cookie));
       if (id < dag_.size()) return id;
@@ -494,7 +519,7 @@ bool UpdateTransaction::reaches(std::size_t a, std::size_t b) {
 }
 
 bool UpdateTransaction::in_scope(SwitchId sw, const RuleImage& rule) const {
-  if (txn_of_cookie(rule.cookie) == txn_id_) return true;
+  if (txn_of_cookie(rule.cookie) == txn_key()) return true;
   const auto it = footprint_.find(sw);
   if (it == footprint_.end()) return false;
   for (const of::Match& mine : it->second) {

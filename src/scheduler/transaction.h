@@ -35,6 +35,7 @@
 #include <set>
 #include <vector>
 
+#include "openflow/epoch.h"
 #include "scheduler/executor.h"
 #include "scheduler/reconciler.h"
 #include "scheduler/verifier.h"
@@ -66,6 +67,26 @@ struct JournalEntry {
 };
 
 struct TransactionReport;
+class UpdateTransaction;
+
+/// Observer streaming a transaction's write-ahead journal off-process (the
+/// HA replication log): the standby receives the full intent list before
+/// the first frame hits the wire, then per-entry acks and the final
+/// outcome. Callbacks fire synchronously on the issuing controller in
+/// virtual time; a null sink (the default) leaves the path untouched.
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+  /// Journal built (constructor epilogue): intents, inverses and pre-images
+  /// are all readable on `txn`.
+  virtual void on_txn_begin(const UpdateTransaction& txn) = 0;
+  /// DAG node `dag_id` reached a terminal state on the wire.
+  virtual void on_entry_acked(const UpdateTransaction& txn, std::size_t dag_id,
+                              bool accepted) = 0;
+  /// finish_commit() completed (fast path or reconciled).
+  virtual void on_txn_finish(const UpdateTransaction& txn,
+                             const TransactionReport& report) = 0;
+};
 
 struct TransactionOptions {
   RecoveryPolicy policy = RecoveryPolicy::kRollForward;
@@ -79,6 +100,14 @@ struct TransactionOptions {
   /// Transaction id; 0 draws from a process-wide counter. Tests that
   /// compare two runs in one process pin it so cookies are reproducible.
   std::uint32_t txn_id = 0;
+  /// Controller epoch fenced into every cookie (see openflow/epoch.h).
+  /// 0 (the default) keeps the legacy (txn << 32) | node layout bit-for-bit
+  /// and skips all epoch checks at the switch; the HA layer stamps the
+  /// acting primary's epoch so a deposed controller's retries are refused.
+  std::uint32_t epoch = 0;
+  /// Journal replication sink (non-owning; the HA layer ships records to
+  /// the standby through it). Null = no replication, zero overhead.
+  JournalSink* journal_sink = nullptr;
   /// Scope this transaction's world-view to its own rule-space footprint:
   /// snapshot images keep only rules that carry this transaction's cookie
   /// or whose match overlaps a request's match on that switch, and every
@@ -171,19 +200,32 @@ class UpdateTransaction {
   /// report().verify and are also returned.
   const VerifierReport& verify(const std::vector<FlowCheck>& flows);
 
+  /// Abandon a started commit without finishing it — models the issuing
+  /// controller dying mid-flight. The execution state machine is stopped
+  /// (pending timers, retries and completions become no-ops), the crash
+  /// listener is dropped, and no reconciliation or report callback runs:
+  /// whatever reached the switches stays there for the HA takeover path to
+  /// reconcile from the shipped journal. finish_commit() must not be
+  /// called afterwards.
+  void abandon();
+
   [[nodiscard]] std::uint32_t id() const { return txn_id_; }
-  /// Cookie stamped on DAG node `dag_id`'s flow_mod.
+  /// Cookie stamped on DAG node `dag_id`'s flow_mod. With a nonzero
+  /// options.epoch the top byte carries the fence and the transaction id is
+  /// truncated to 24 bits; epoch 0 is the legacy layout, bit-for-bit.
   [[nodiscard]] std::uint64_t cookie_of(std::size_t dag_id) const {
-    return (static_cast<std::uint64_t>(txn_id_) << 32) |
-           static_cast<std::uint32_t>(dag_id);
+    return of::fenced_cookie(options_.epoch, txn_id_,
+                             static_cast<std::uint32_t>(dag_id));
   }
   static std::uint32_t txn_of_cookie(std::uint64_t cookie) {
-    return static_cast<std::uint32_t>(cookie >> 32);
+    const auto hi = static_cast<std::uint32_t>(cookie >> 32);
+    return of::epoch_of_cookie(cookie) != 0 ? (hi & of::kCookieTxnMask) : hi;
   }
 
   [[nodiscard]] const std::vector<JournalEntry>& journal() const {
     return journal_;
   }
+  [[nodiscard]] const TransactionOptions& options() const { return options_; }
   [[nodiscard]] const TransactionReport& report() const { return report_; }
   [[nodiscard]] const TableImage& pre_image(SwitchId id) const {
     return pre_.at(id);
@@ -195,6 +237,11 @@ class UpdateTransaction {
   [[nodiscard]] const RequestDag& dag() const { return dag_; }
 
  private:
+  /// This transaction's id as it appears in its own cookies (truncated to
+  /// 24 bits when fenced) — the value txn_of_cookie() yields for them.
+  [[nodiscard]] std::uint32_t txn_key() const {
+    return options_.epoch != 0 ? (txn_id_ & of::kCookieTxnMask) : txn_id_;
+  }
   void reconcile();
   /// Readback verification for options.readback_verify switches: diff
   /// actual tables against `want_images` (the post image on the fast path

@@ -41,6 +41,10 @@ enum class AdmitError {
   /// The tenant's bounded queue is at capacity and the intent carries no
   /// coalesce key matching a queued intent. Backpressure: defer, retry.
   kQueueFull,
+  /// The control plane is between primaries (HA failover in progress):
+  /// admission is closed until takeover reconciliation completes. Defer
+  /// and resubmit, exactly like kQueueFull.
+  kFailingOver,
 };
 
 std::string to_string(AdmitError e);

@@ -13,6 +13,7 @@ std::string to_string(AdmitError e) {
     case AdmitError::kNone: return "none";
     case AdmitError::kEmptyIntent: return "empty-intent";
     case AdmitError::kQueueFull: return "queue-full";
+    case AdmitError::kFailingOver: return "failing-over";
   }
   return "?";
 }
@@ -46,6 +47,18 @@ SubmitResult IntentService::submit(Intent intent) {
   ++ts.submitted;
   ++report_.submitted;
   if (tele != nullptr) tele->metrics.counter("service.submitted").inc();
+
+  // Checked before anything else: during an HA failover the control plane
+  // has no accepting primary, so admission is closed outright (no queue
+  // slot is consumed — the tenant defers and resubmits after takeover).
+  if (options_.admission_gate && !options_.admission_gate()) {
+    ++ts.rejected;
+    ++report_.rejected;
+    if (tele != nullptr) {
+      tele->metrics.counter("service.rejected_failing_over").inc();
+    }
+    return {AdmitError::kFailingOver, 0, false};
+  }
 
   if (intent.dag.size() == 0) {
     ++ts.rejected;

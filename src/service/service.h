@@ -66,6 +66,11 @@ struct ServiceOptions {
   /// across runs in one process — the process-wide counter would drift).
   /// Zero: ids draw from the process-wide counter.
   std::uint32_t txn_id_base = 0;
+  /// When set and returning false, submit() rejects with kFailingOver
+  /// before consuming a queue slot — HA wires HaController::admission_gate
+  /// here so intents are refused while a takeover is reconciling. Unset =
+  /// always open.
+  std::function<bool()> admission_gate;
   /// Fires once per completed intent, right after its commit epilogue, with
   /// the final transaction report. Oracles and soak harnesses attribute
   /// per-intent outcomes (committed / rolled back) through this.

@@ -5,6 +5,8 @@
 #include <iterator>
 #include <utility>
 
+#include "openflow/epoch.h"
+
 namespace tango::switchsim {
 
 std::string to_string(Architecture arch) {
@@ -60,6 +62,23 @@ void SimulatedSwitch::reset() {
   matched_count_ = 0;
   latency_.reset_batch_state();
   if (profile_.install_default_route) install_default_route();
+  // A previously fenced switch loses its epoch memory with its tables: it
+  // must refuse every fenced flow_mod (stale pre-reboot frames included)
+  // until the acting primary re-claims it. Never-fenced switches keep the
+  // legacy behaviour — reboot changes nothing for them.
+  if (controller_epoch_ != 0) {
+    controller_epoch_ = 0;
+    epoch_synced_ = false;
+  }
+}
+
+SimulatedSwitch::EpochClaim SimulatedSwitch::claim_epoch(std::uint32_t epoch) {
+  if (epoch != 0 && epoch >= controller_epoch_) {
+    controller_epoch_ = epoch;
+    epoch_synced_ = true;
+    return {true, controller_epoch_};
+  }
+  return {false, controller_epoch_};
 }
 
 FlowModOutcome SimulatedSwitch::reject(const std::string& reason,
@@ -80,6 +99,26 @@ FlowModOutcome SimulatedSwitch::reject(const std::string& reason,
 FlowModOutcome SimulatedSwitch::apply_flow_mod(const of::FlowMod& fm, SimTime now) {
   last_now_ = now;
   sweep_timeouts(now);
+  // Epoch fence: fenced flow_mods (cookie top byte != 0) are checked
+  // against the highest epoch that has claimed this switch. Newer epochs
+  // are adopted on first contact; stale epochs and post-reboot frames
+  // (before a re-claim) are refused with EPERM. Unfenced flow_mods — all
+  // pre-HA traffic, probe rules, reconciler deletes — skip the fence.
+  if (const std::uint32_t fence = of::epoch_of_cookie(fm.cookie); fence != 0) {
+    if (!epoch_synced_) {
+      ++stale_epoch_rejections_;
+      return reject("fenced flow_mod before post-reboot epoch re-sync",
+                    of::FlowModFailedCode::kEperm);
+    }
+    if (fence < controller_epoch_) {
+      ++stale_epoch_rejections_;
+      return reject("stale controller epoch", of::FlowModFailedCode::kEperm);
+    }
+    if (fence > controller_epoch_) controller_epoch_ = fence;
+    // Tripwire for the chaos "no stale mutation applied" oracle: reaching
+    // the mutation dispatch with a stale fence means the guard regressed.
+    if (fence < controller_epoch_ || !epoch_synced_) ++stale_epoch_applied_;
+  }
   switch (fm.command) {
     case of::FlowModCommand::kAdd: {
       tables::FlowEntry entry;

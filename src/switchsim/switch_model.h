@@ -179,6 +179,43 @@ class SimulatedSwitch {
   /// profile has one (else they are lost). Returns entries displaced.
   std::size_t shrink_level(std::size_t level, std::size_t new_capacity_slots);
 
+  // --- controller-epoch fencing (HA failover; see openflow/epoch.h) --------
+  struct EpochClaim {
+    bool accepted = false;
+    std::uint32_t current_epoch = 0;
+  };
+  /// Explicit mastership claim (the vendor epoch-claim message lands here).
+  /// Monotonic: a claim below the highest epoch this switch has seen is
+  /// refused, so a deposed primary cannot re-fence the switch. Any accepted
+  /// claim also re-synchronizes a rebooted switch (see epoch_synced()).
+  EpochClaim claim_epoch(std::uint32_t epoch);
+
+  /// Highest controller epoch that has claimed this switch (0 = never
+  /// fenced). Fenced flow_mods carrying a *higher* epoch adopt it silently
+  /// on first contact — so bringing up HA adds no extra wire traffic.
+  [[nodiscard]] std::uint32_t controller_epoch() const {
+    return controller_epoch_;
+  }
+
+  /// False between a reboot and the next successful claim_epoch(): a switch
+  /// that was fenced before crashing lost its epoch memory with its tables,
+  /// so it refuses *all* fenced flow_mods (pre-reboot frames still buffered
+  /// in flight included) until the current primary re-handshakes.
+  [[nodiscard]] bool epoch_synced() const { return epoch_synced_; }
+
+  /// Fenced flow_mods refused for carrying a stale epoch or arriving before
+  /// post-reboot re-sync. Survives reset(): it is a controller-visible
+  /// diagnostic of split-brain pressure, not table state.
+  [[nodiscard]] std::uint64_t stale_epoch_rejections() const {
+    return stale_epoch_rejections_;
+  }
+
+  /// Invariant counter: fenced mutations *applied* while stale. Any nonzero
+  /// value is a fencing bug; the chaos oracles assert it stays zero.
+  [[nodiscard]] std::uint64_t stale_epoch_applied() const {
+    return stale_epoch_applied_;
+  }
+
  private:
   FlowModOutcome do_add(tables::FlowEntry entry, SimTime now);
   FlowModOutcome do_modify(const of::FlowMod& fm, SimTime now, bool strict);
@@ -228,6 +265,10 @@ class SimulatedSwitch {
   [[nodiscard]] of::PhyPort phy_port(std::uint16_t port_no) const;
 
   FlowId next_flow_id_ = 1;
+  std::uint32_t controller_epoch_ = 0;
+  bool epoch_synced_ = true;
+  std::uint64_t stale_epoch_rejections_ = 0;
+  std::uint64_t stale_epoch_applied_ = 0;
   std::unique_ptr<Misbehavior> mis_;
   std::vector<of::FlowRemoved> pending_removals_;
   std::vector<of::PortStatus> pending_port_status_;

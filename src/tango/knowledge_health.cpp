@@ -43,6 +43,21 @@ void KnowledgeHealth::track(SwitchId id, SimTime now) {
 
 void KnowledgeHealth::forget(SwitchId id) { switches_.erase(id); }
 
+void KnowledgeHealth::restore(SwitchId id, double trust, bool quarantined,
+                              SimTime now) {
+  SwitchHealth fresh;
+  for (auto& p : fresh.props) p.refreshed_at = now;
+  fresh.trust = trust;
+  switches_[id] = fresh;
+  auto& h = switches_[id];
+  if (quarantined) {
+    // The snapshot's verdict wins even if the raw trust would not trip the
+    // threshold here (the primary may have quarantined on confidence).
+    h.trust = std::min(h.trust, config_.quarantine_threshold - 0.01);
+  }
+  update_quarantine(h, id);
+}
+
 void KnowledgeHealth::suspect(SwitchId id) {
   auto& h = entry(id);
   h.trust = std::min(h.trust, config_.quarantine_threshold - 0.01);

@@ -113,6 +113,12 @@ class KnowledgeHealth {
   /// forced below threshold) until clean commits restore it.
   void suspect(SwitchId id);
 
+  /// Adopt a replicated trust snapshot (HA takeover): track `id` fresh as
+  /// of `now`, then overwrite trust and re-derive quarantine. Lifetime
+  /// counters restart — they tallied the dead primary's observations; the
+  /// trust/quarantine verdict is the state worth surviving a failover.
+  void restore(SwitchId id, double trust, bool quarantined, SimTime now);
+
   // --- free signals ---------------------------------------------------------
   /// Executor cost observation: relative error beyond the tolerance counts
   /// a signal against kCosts.

@@ -13,6 +13,7 @@
 //
 // Exit status: 0 = all runs clean (or replay clean), 1 = violations found
 // (or replay reproduced its violation), 2 = usage/file errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/ha_harness.h"
 #include "chaos/harness.h"
 #include "chaos/schedule.h"
 #include "chaos/shrinker.h"
@@ -46,6 +48,9 @@ struct Args {
   bool shrink = true;
   bool verbose = false;
   bool misbehavior = false;
+  /// Controller-side faults: sweep run_ha_chaos (scenario = seed % 5)
+  /// instead of the switch-side wire harness; emits HA_soak.json.
+  bool controller_faults = false;
 };
 
 void usage() {
@@ -54,7 +59,8 @@ void usage() {
                "                  [--workload fig10|te|acl|all]\n"
                "                  [--policy forward|rollback|both]\n"
                "                  [--replay FILE] [--out DIR] [--no-shrink]\n"
-               "                  [--misbehavior] [--verbose]\n");
+               "                  [--misbehavior] [--controller-faults]\n"
+               "                  [--verbose]\n");
 }
 
 bool parse_seeds(const std::string& s, Args& args) {
@@ -118,6 +124,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.shrink = false;
     } else if (arg == "--misbehavior") {
       args.misbehavior = true;
+    } else if (arg == "--controller-faults") {
+      args.controller_faults = true;
     } else if (arg == "--verbose") {
       args.verbose = true;
     } else {
@@ -163,6 +171,101 @@ int replay_file(const std::string& path) {
   return result.ok() ? 0 : 1;
 }
 
+/// Controller-fault sweep: each seed picks a failover scenario (seed % 5) on
+/// top of the usual workload/policy grid; every run must hold the HA oracles
+/// (exactly-one-active-epoch, no stale-epoch mutation, no committed txn
+/// lost, takeover convergence). Emits HA_soak.json.
+int run_controller_faults(const Args& args) {
+  telemetry::RunReport report("HA_soak");
+  std::size_t runs = 0;
+  std::size_t violations_found = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t stale_rejections = 0;
+  double takeover_ms_max = 0;
+  double replication_lag_ns_max = 0;
+
+  for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
+    for (const auto workload : args.workloads) {
+      for (const auto policy : args.policies) {
+        chaos::HaChaosSpec spec;
+        spec.seed = seed;
+        spec.workload = workload;
+        spec.policy = policy;
+        spec.horizon = args.horizon;
+        spec.scenario = chaos::scenario_of(seed);
+        const auto result = chaos::run_ha_chaos(spec);
+        ++runs;
+
+        double takeover_ms = 0;
+        for (const auto& rep : result.takeovers) {
+          takeover_ms = std::max(takeover_ms, rep.takeover_ms);
+        }
+        const auto lag_ns = static_cast<double>(
+            result.standby.max_replication_lag.ns());
+        failovers += result.ha.failover_count;
+        stale_rejections += result.stale_epoch_rejections;
+        takeover_ms_max = std::max(takeover_ms_max, takeover_ms);
+        replication_lag_ns_max = std::max(replication_lag_ns_max, lag_ns);
+
+        report.add_row()
+            .col("seed", static_cast<double>(seed))
+            .col("workload", chaos::to_string(workload))
+            .col("policy", sched::to_string(policy))
+            .col("scenario", chaos::to_string(spec.scenario))
+            .col("failovers", static_cast<double>(result.ha.failover_count))
+            .col("takeover_ms", takeover_ms)
+            .col("replication_lag_ns", lag_ns)
+            .col("stale_epoch_rejections",
+                 static_cast<double>(result.stale_epoch_rejections))
+            .col("violations", static_cast<double>(result.violations.size()));
+        if (result.ok()) {
+          if (args.verbose) {
+            std::printf(
+                "ok    seed %llu %s/%s %s (fp 0x%016llx)\n",
+                static_cast<unsigned long long>(seed),
+                chaos::to_string(workload).c_str(),
+                sched::to_string(policy).c_str(),
+                chaos::to_string(spec.scenario).c_str(),
+                static_cast<unsigned long long>(result.fingerprint));
+          }
+          continue;
+        }
+        ++violations_found;
+        std::printf("FAIL  seed %llu %s/%s %s: %zu violation(s)\n",
+                    static_cast<unsigned long long>(seed),
+                    chaos::to_string(workload).c_str(),
+                    sched::to_string(policy).c_str(),
+                    chaos::to_string(spec.scenario).c_str(),
+                    result.violations.size());
+        for (const auto& v : result.violations) {
+          std::printf("      %s\n", chaos::to_string(v).c_str());
+        }
+      }
+    }
+  }
+
+  log::flush_suppressed();
+
+  report.set_result("ha.runs", static_cast<double>(runs));
+  report.set_result("ha.violations", static_cast<double>(violations_found));
+  report.set_result("ha.failover_count", static_cast<double>(failovers));
+  report.set_result("ha.takeover_ms_max", takeover_ms_max);
+  report.set_result("ha.replication_lag_ns_max", replication_lag_ns_max);
+  report.set_result("ha.stale_epoch_rejections",
+                    static_cast<double>(stale_rejections));
+  report.set_result("ha.horizon", chaos::to_string(args.horizon));
+  report.set_result("ha.seed_lo", static_cast<double>(args.seed_lo));
+  report.set_result("ha.seed_hi", static_cast<double>(args.seed_hi));
+  const std::string report_path = args.out_dir + "/HA_soak.json";
+  if (!report.write(report_path)) {
+    std::fprintf(stderr, "chaos_soak: cannot write %s\n", report_path.c_str());
+  }
+
+  std::printf("%zu HA run(s), %zu with violations; report at %s\n", runs,
+              violations_found, report_path.c_str());
+  return violations_found == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -189,6 +292,8 @@ int main(int argc, char** argv) {
                  args.out_dir.c_str(), ec.message().c_str());
     return 2;
   }
+
+  if (args.controller_faults) return run_controller_faults(args);
 
   telemetry::RunReport report("CHAOS_soak");
   std::size_t runs = 0;

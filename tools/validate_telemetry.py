@@ -18,10 +18,16 @@ report (CHAOS_soak.json): the chaos.* result keys must be present and
 consistent with the per-run rows, and every violating run must reference
 its repro file.
 
+With --ha, the report is validated as a controller-fault sweep report
+(HA_soak.json from chaos_soak --controller-faults): the ha.* result keys
+must be present and consistent with the per-run rows (failover counts,
+takeover latency, replication lag, stale-epoch rejections).
+
 Usage:
   tools/validate_telemetry.py BENCH_fig10_network_wide.json \
       [BENCH_fig10_network_wide.trace.json]
   tools/validate_telemetry.py --chaos CHAOS_soak.json
+  tools/validate_telemetry.py --ha HA_soak.json
 
 Exits non-zero with a message on the first violation.
 """
@@ -169,17 +175,98 @@ def validate_chaos(path, report):
           f"horizon {results['chaos.horizon']})")
 
 
+HA_RESULT_KEYS = [
+    "ha.runs", "ha.violations", "ha.failover_count",
+    "ha.takeover_ms_max", "ha.replication_lag_ns_max",
+    "ha.stale_epoch_rejections", "ha.horizon", "ha.seed_lo", "ha.seed_hi",
+]
+HA_ROW_KEYS = ["seed", "workload", "policy", "scenario", "failovers",
+               "takeover_ms", "replication_lag_ns", "stale_epoch_rejections",
+               "violations"]
+HA_SCENARIOS = {"controller_crash", "controller_partition", "replication_loss",
+                "crash_during_takeover", "crash_after_commit"}
+
+
+def validate_ha(path, report):
+    results = report.get("results", {})
+    for key in HA_RESULT_KEYS:
+        if key not in results:
+            fail(f"{path}: missing ha result key {key!r}")
+    if results["ha.horizon"] not in CHAOS_HORIZONS:
+        fail(f"{path}: ha.horizon {results['ha.horizon']!r} invalid")
+    if results["ha.seed_lo"] > results["ha.seed_hi"]:
+        fail(f"{path}: ha.seed_lo > ha.seed_hi")
+
+    rows = report["rows"]
+    if results["ha.runs"] != len(rows):
+        fail(f"{path}: ha.runs {results['ha.runs']} != {len(rows)} rows")
+    violating = 0
+    failovers = 0
+    rejections = 0
+    takeover_ms_max = 0.0
+    lag_ns_max = 0.0
+    for i, row in enumerate(rows):
+        for key in HA_ROW_KEYS:
+            if key not in row:
+                fail(f"{path}: row {i}: missing key {key!r}")
+        if row["workload"] not in CHAOS_WORKLOADS:
+            fail(f"{path}: row {i}: workload {row['workload']!r} invalid")
+        if row["policy"] not in CHAOS_POLICIES:
+            fail(f"{path}: row {i}: policy {row['policy']!r} invalid")
+        if row["scenario"] not in HA_SCENARIOS:
+            fail(f"{path}: row {i}: scenario {row['scenario']!r} invalid")
+        if not (results["ha.seed_lo"] <= row["seed"] <= results["ha.seed_hi"]):
+            fail(f"{path}: row {i}: seed {row['seed']} outside sweep range")
+        for key in ("failovers", "takeover_ms", "replication_lag_ns",
+                    "stale_epoch_rejections", "violations"):
+            if row[key] < 0:
+                fail(f"{path}: row {i}: negative {key}")
+        # A scenario run that held its oracles always failed over at least
+        # once (double failover counts twice).
+        expected = 2 if row["scenario"] == "crash_during_takeover" else 1
+        if row["violations"] == 0 and row["failovers"] != expected:
+            fail(f"{path}: row {i}: clean {row['scenario']} run has "
+                 f"{row['failovers']} failovers, expected {expected}")
+        violating += 1 if row["violations"] > 0 else 0
+        failovers += row["failovers"]
+        rejections += row["stale_epoch_rejections"]
+        takeover_ms_max = max(takeover_ms_max, row["takeover_ms"])
+        lag_ns_max = max(lag_ns_max, row["replication_lag_ns"])
+    if results["ha.violations"] != violating:
+        fail(f"{path}: ha.violations {results['ha.violations']} != "
+             f"{violating} rows with violations")
+    if results["ha.failover_count"] != failovers:
+        fail(f"{path}: ha.failover_count {results['ha.failover_count']} != "
+             f"{failovers} summed from rows")
+    if results["ha.stale_epoch_rejections"] != rejections:
+        fail(f"{path}: ha.stale_epoch_rejections "
+             f"{results['ha.stale_epoch_rejections']} != {rejections} summed")
+    if abs(results["ha.takeover_ms_max"] - takeover_ms_max) > 1e-6:
+        fail(f"{path}: ha.takeover_ms_max {results['ha.takeover_ms_max']} != "
+             f"{takeover_ms_max} from rows")
+    if abs(results["ha.replication_lag_ns_max"] - lag_ns_max) > 1e-6:
+        fail(f"{path}: ha.replication_lag_ns_max "
+             f"{results['ha.replication_lag_ns_max']} != {lag_ns_max} from rows")
+    print(f"  ha ok: {path} ({len(rows)} runs, {violating} with violations, "
+          f"{failovers} failovers, max takeover {takeover_ms_max:.3f} ms)")
+
+
 def main(argv):
     args = list(argv[1:])
     chaos = "--chaos" in args
     if chaos:
         args.remove("--chaos")
+    ha = "--ha" in args
+    if ha:
+        args.remove("--ha")
     if len(args) < 1 or len(args) > 2:
         print(__doc__, file=sys.stderr)
         return 2
     report = validate_report(args[0])
     if chaos:
         validate_chaos(args[0], report)
+    if ha:
+        validate_ha(args[0], report)
     if len(args) == 2:
         validate_trace(args[1], report)
     print("validate_telemetry: OK")
