@@ -361,6 +361,7 @@ HaChaosResult run_ha_chaos(const HaChaosSpec& spec) {
   }
 
   out.end_time = net.now();
+  out.wall_ns = net.wall_ns();
   out.fingerprint = fingerprint_of(out, tables, epochs);
   return out;
 }

@@ -75,6 +75,8 @@ struct HaChaosResult {
   /// counters, final tables, and the final clock.
   std::uint64_t fingerprint = 0;
   SimTime end_time{};
+  /// Real (wall-clock) event-loop nanoseconds; excluded from fingerprint.
+  std::uint64_t wall_ns = 0;
   std::vector<ha::TakeoverReport> takeovers;
   ha::LinkStats link;
   ha::StandbyStats standby;

@@ -482,6 +482,7 @@ ChaosResult run_chaos(const ChaosSchedule& schedule) {
   }
 
   out.end_time = net.now();
+  out.wall_ns = net.wall_ns();
   out.fingerprint = fingerprint_of(out, tables);
   return out;
 }

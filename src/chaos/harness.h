@@ -61,6 +61,10 @@ struct ChaosResult {
   std::uint64_t fingerprint = 0;
   /// Virtual time when the run quiesced.
   SimTime end_time{};
+  /// Real (wall-clock) nanoseconds the run's network spent advancing its
+  /// event loop. Diagnostics only — never folded into the fingerprint, so
+  /// two runs with equal fingerprints may carry different wall times.
+  std::uint64_t wall_ns = 0;
   /// Per-switch injector stats captured before the oracle phase.
   std::map<SwitchId, net::FaultStats> fault_stats;
   /// Per-switch semantic-fault stats (misbehavior specs only).

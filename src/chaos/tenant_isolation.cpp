@@ -438,6 +438,7 @@ TenantChaosResult run_tenant_chaos(const TenantChaosSpec& raw) {
   }
 
   out.end_time = net.now();
+  out.wall_ns = net.wall_ns();
   out.fingerprint = fingerprint_of(out, intents, tables);
   return out;
 }

@@ -70,6 +70,8 @@ struct TenantChaosResult {
   std::uint64_t fingerprint = 0;
   /// Virtual time when the run quiesced.
   SimTime end_time{};
+  /// Real (wall-clock) event-loop nanoseconds; excluded from fingerprint.
+  std::uint64_t wall_ns = 0;
   /// Victim-switch injector stats (the only faulted channel).
   std::map<SwitchId, net::FaultStats> fault_stats;
   /// Victim intents that actually rolled back (0 under many seeds where the

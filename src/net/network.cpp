@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <cassert>
+#include <chrono>
 
 #include "common/logging.h"
 #include "openflow/epoch.h"
@@ -154,7 +155,36 @@ void Network::set_misbehavior(SwitchId id,
   }
 }
 
+namespace {
+
+/// Wall-clock scope guard: adds the elapsed real time of an event-loop
+/// stretch to `acc` on exit. Reading steady_clock never perturbs the
+/// simulation (no event, no RNG, no virtual time).
+class WallTimer {
+ public:
+  explicit WallTimer(std::uint64_t& acc)
+      : acc_(acc), begin_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() {
+    acc_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - begin_)
+            .count());
+  }
+
+ private:
+  std::uint64_t& acc_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+}  // namespace
+
+void Network::run_all() {
+  WallTimer timer(wall_ns_);
+  events_.run();
+}
+
 bool Network::run_until_done(const bool& done, SimDuration timeout) {
+  WallTimer timer(wall_ns_);
   if (timeout.ns() == 0) {
     while (!done && events_.step()) {
     }

@@ -220,7 +220,14 @@ class Network {
   }
 
   /// Drain all pending events.
-  void run_all() { events_.run(); }
+  void run_all();
+
+  /// Wall-clock nanoseconds this network has spent advancing its event
+  /// loop (run_all / run_until_done and everything built on them). Real
+  /// time, not simulated time: soak drivers surface it per seed so
+  /// tools/bench_compare.py can gate parallel-runner speedups. Never feeds
+  /// back into simulated behaviour or fingerprints.
+  [[nodiscard]] std::uint64_t wall_ns() const { return wall_ns_; }
 
   [[nodiscard]] const ChannelStats& stats(SwitchId id) const;
   [[nodiscard]] SimDuration control_latency() const { return control_latency_; }
@@ -246,6 +253,7 @@ class Network {
   telemetry::Telemetry* telemetry_ = nullptr;
   std::vector<Endpoint> endpoints_;
   std::uint32_t xid_ = 1;
+  std::uint64_t wall_ns_ = 0;
 
   // Dispatch tables keyed by xid. Flow-mod completions are stored in the
   // detailed form; plain Completion callers are wrapped on entry.

@@ -1,6 +1,12 @@
 // Network topology graph: switches as nodes, links with latencies and
 // up/down state, shortest-path routing, and link-failure injection for the
 // network-wide experiments (Fig 10's LF scenario).
+//
+// Adjacency is indexed per node (each node records the links that touch
+// it, in link-index order) so neighbor queries and routing cost degree
+// work, not a scan of every link in the fabric — the difference between
+// O(V log V) and O(V·L) Dijkstra on the 1000-switch topologies
+// workload::TopologyGen generates.
 #pragma once
 
 #include <cstddef>
@@ -59,12 +65,20 @@ class Topology {
   [[nodiscard]] std::vector<std::vector<NodeId>> disjoint_paths(NodeId src, NodeId dst,
                                                                 std::size_t k) const;
 
-  /// Index of an up link between two adjacent nodes, if any.
+  /// Index of an up link between two adjacent nodes, if any (lowest link
+  /// index wins, matching historical scan order).
   [[nodiscard]] std::optional<std::size_t> link_between(NodeId a, NodeId b) const;
+
+  /// Indices of all links touching `n` (up or down), in link-index order.
+  [[nodiscard]] const std::vector<std::size_t>& links_of(NodeId n) const {
+    return adj_[n];
+  }
 
  private:
   std::vector<std::string> names_;
   std::vector<Link> links_;
+  /// Per-node link-index lists; maintained by add_node/add_link.
+  std::vector<std::vector<std::size_t>> adj_;
 };
 
 }  // namespace tango::net

@@ -1,6 +1,7 @@
 #include "scheduler/transaction.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "common/logging.h"
@@ -43,8 +44,14 @@ UpdateTransaction::UpdateTransaction(net::Network& network, RequestDag dag,
                                      TransactionOptions options)
     : network_(network), dag_(std::move(dag)), options_(std::move(options)) {
   const SimTime phase_begin = network_.now();
-  static std::uint32_t next_txn_id = 1;
-  txn_id_ = options_.txn_id != 0 ? options_.txn_id : next_txn_id++;
+  // Fallback id draw for callers that don't pin one (examples, ad-hoc
+  // tests). Atomic because parallel seed-sweep workers may construct
+  // transactions concurrently; every determinism-sensitive path (chaos,
+  // HA, service) pins options_.txn_id and never touches this counter.
+  static std::atomic<std::uint32_t> next_txn_id{1};
+  txn_id_ = options_.txn_id != 0
+                ? options_.txn_id
+                : next_txn_id.fetch_add(1, std::memory_order_relaxed);
   report_.txn_id = txn_id_;
   report_.policy = options_.policy;
 

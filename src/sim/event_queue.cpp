@@ -4,19 +4,67 @@
 
 namespace tango::sim {
 
+std::uint32_t EventQueue::acquire_slot(Callback fn) {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    pool_[slot] = std::move(fn);
+    return slot;
+  }
+  pool_.push_back(std::move(fn));
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
 void EventQueue::schedule_at(SimTime at, Callback fn) {
   if (at < now_) at = now_;
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+  heap_.push_back(Item{at, next_seq_++, acquire_slot(std::move(fn))});
+  sift_up(heap_.size() - 1);
+}
+
+EventQueue::Callback EventQueue::pop_top() {
+  const Item top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  Callback fn = std::move(pool_[top.slot]);
+  // Leave the moved-from function empty and recycle the slot: the next
+  // schedule_at move-assigns into it without touching the heap's layout.
+  pool_[top.slot] = nullptr;
+  free_.push_back(top.slot);
+  now_ = top.at;
+  return fn;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && before(heap_[l], heap_[best])) best = l;
+    if (r < n && before(heap_[r], heap_[best])) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
 }
 
 std::size_t EventQueue::run() {
   std::size_t count = 0;
   while (!heap_.empty()) {
-    // Copy out before pop: the callback may schedule more events.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    now_ = ev.at;
-    ev.fn();
+    // Move the callback out before running: it may schedule more events
+    // (growing the pool) or even re-enter the queue.
+    Callback fn = pop_top();
+    fn();
     ++count;
   }
   return count;
@@ -24,11 +72,9 @@ std::size_t EventQueue::run() {
 
 std::size_t EventQueue::run_until(SimTime deadline) {
   std::size_t count = 0;
-  while (!heap_.empty() && heap_.top().at <= deadline) {
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    now_ = ev.at;
-    ev.fn();
+  while (!heap_.empty() && heap_.front().at <= deadline) {
+    Callback fn = pop_top();
+    fn();
     ++count;
   }
   if (now_ < deadline) now_ = deadline;
@@ -37,15 +83,21 @@ std::size_t EventQueue::run_until(SimTime deadline) {
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  now_ = ev.at;
-  ev.fn();
+  Callback fn = pop_top();
+  fn();
   return true;
 }
 
+void EventQueue::reserve(std::size_t n) {
+  heap_.reserve(n);
+  pool_.reserve(n);
+  free_.reserve(n);
+}
+
 void EventQueue::reset() {
-  heap_ = {};
+  heap_.clear();
+  pool_.clear();
+  free_.clear();
   now_ = SimTime{};
   next_seq_ = 0;
 }

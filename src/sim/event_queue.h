@@ -1,13 +1,27 @@
 // Deterministic discrete-event simulation core.
 //
 // The network executor, control channels, and switch models all advance a
-// shared EventQueue; ties in time are broken by insertion sequence so runs
-// are bit-for-bit reproducible.
+// shared EventQueue.
+//
+// Ordering contract (pinned by test_event_queue's regression suite, and
+// load-bearing for every chaos/soak fingerprint): events pop strictly
+// ordered by (time, insertion sequence). Two events scheduled for the same
+// instant run in the order schedule_at()/schedule_after() was called —
+// including events a running callback schedules for "now". The tiebreak is
+// the only thing standing between two same-seed worlds and divergence, so
+// it must never depend on allocation addresses, hashing, or any other
+// run-to-run-unstable input. Parallel seed sweeps (src/runner) rely on this:
+// each worker owns a private EventQueue whose trace is a pure function of
+// what was scheduled, never of what other workers are doing.
+//
+// Storage is pooled for the simulator's hot path: callbacks live in
+// recycled slots and the heap orders small POD handles, so steady-state
+// scheduling (the millions of send/deliver/complete events of a
+// 1024-switch run) stops allocating once the pool is warm.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
@@ -18,7 +32,7 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Current simulated time. Only advances inside run()/run_until().
+  /// Current simulated time. Only advances inside run()/run_until()/step().
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `at` (clamped to now if in past).
@@ -44,27 +58,43 @@ class EventQueue {
   /// Time of the earliest pending event. Only valid when !empty(); lets
   /// bounded-wait loops stop stepping once everything left lies beyond
   /// their deadline.
-  [[nodiscard]] SimTime peek_time() const { return heap_.top().at; }
+  [[nodiscard]] SimTime peek_time() const { return heap_.front().at; }
 
-  /// Drop all pending events and reset the clock to zero.
+  /// Pre-size the slot pool and heap for `n` concurrently-pending events.
+  void reserve(std::size_t n);
+
+  /// Slots currently available for reuse (observability for pool tests).
+  [[nodiscard]] std::size_t free_slots() const { return free_.size(); }
+
+  /// Drop all pending events and reset the clock to zero. Pool capacity is
+  /// retained.
   void reset();
 
  private:
-  struct Event {
+  /// Heap handle: ordering key plus the index of the callback's pool slot.
+  /// Kept POD-small so sift operations move 24 bytes, not a std::function.
+  struct Item {
     SimTime at;
     std::uint64_t seq;
-    Callback fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+
+  static bool before(const Item& a, const Item& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot(Callback fn);
+  /// Pop the top item and return its callback; releases the slot.
+  Callback pop_top();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
 
   SimTime now_{};
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Item> heap_;        // binary min-heap ordered by before()
+  std::vector<Callback> pool_;    // slot-addressed callback storage
+  std::vector<std::uint32_t> free_;  // recycled pool slots
 };
 
 }  // namespace tango::sim

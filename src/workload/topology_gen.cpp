@@ -1,0 +1,169 @@
+#include "workload/topology_gen.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "net/b4.h"
+#include "tango/probe_engine.h"
+
+namespace tango::workload {
+
+namespace {
+
+using sched::RequestDag;
+using sched::RequestType;
+using sched::SwitchRequest;
+
+/// Role-tagged node names: c<i>, a<pod>-<i>, e<pod>-<i>.
+std::string core_name(std::size_t i) { return "c" + std::to_string(i); }
+std::string agg_name(std::size_t pod, std::size_t i) {
+  return "a" + std::to_string(pod) + "-" + std::to_string(i);
+}
+std::string edge_name(std::size_t pod, std::size_t i) {
+  return "e" + std::to_string(pod) + "-" + std::to_string(i);
+}
+
+/// Shared wiring walk. Creation order is the determinism contract (see
+/// header): cores first, then per pod aggs then edges, then per pod the
+/// edge–agg full bipartite links and the agg–core group links.
+template <typename AddNode, typename AddLink>
+FatTreeNodes wire_fat_tree(const FatTreeSpec& spec, AddNode&& add_node,
+                           AddLink&& add_link) {
+  assert(spec.k >= 2 && spec.k % 2 == 0);
+  const std::size_t half = spec.k / 2;
+  const std::size_t pods = spec.pods == 0 ? spec.k : spec.pods;
+
+  FatTreeNodes nodes;
+  nodes.core.reserve(half * half);
+  for (std::size_t c = 0; c < half * half; ++c) {
+    nodes.core.push_back(add_node(core_name(c)));
+  }
+  nodes.agg.resize(pods);
+  nodes.edge.resize(pods);
+  for (std::size_t p = 0; p < pods; ++p) {
+    for (std::size_t i = 0; i < half; ++i) {
+      nodes.agg[p].push_back(add_node(agg_name(p, i)));
+    }
+    for (std::size_t i = 0; i < half; ++i) {
+      nodes.edge[p].push_back(add_node(edge_name(p, i)));
+    }
+  }
+  for (std::size_t p = 0; p < pods; ++p) {
+    for (std::size_t e = 0; e < half; ++e) {
+      for (std::size_t a = 0; a < half; ++a) {
+        add_link(nodes.edge[p][e], nodes.agg[p][a], spec.edge_agg_latency);
+      }
+    }
+    // Agg i serves core group i: cores [i·k/2, (i+1)·k/2). Every pod
+    // reaches every core, and two inter-pod paths share a core only when
+    // they share the agg position — the canonical k-ary wiring.
+    for (std::size_t a = 0; a < half; ++a) {
+      for (std::size_t j = 0; j < half; ++j) {
+        add_link(nodes.agg[p][a], nodes.core[a * half + j],
+                 spec.agg_core_latency);
+      }
+    }
+  }
+  return nodes;
+}
+
+}  // namespace
+
+std::vector<net::NodeId> FatTreeNodes::all_edges() const {
+  std::vector<net::NodeId> out;
+  for (const auto& pod : edge) out.insert(out.end(), pod.begin(), pod.end());
+  return out;
+}
+
+FatTree fat_tree(const FatTreeSpec& spec) {
+  FatTree ft;
+  ft.nodes = wire_fat_tree(
+      spec, [&](std::string name) { return ft.topo.add_node(std::move(name)); },
+      [&](net::NodeId a, net::NodeId b, SimDuration lat) {
+        ft.topo.add_link(a, b, lat, 10.0);
+      });
+  return ft;
+}
+
+FatTreeNodes build_fat_tree(net::Network& network, const FatTreeSpec& spec,
+                            const switchsim::SwitchProfile& profile) {
+  assert(network.switch_count() == 0);
+  return wire_fat_tree(
+      spec,
+      [&](std::string name) {
+        auto node_profile = profile;
+        node_profile.name = std::move(name);
+        return net::Network::node_of(network.add_switch(node_profile));
+      },
+      [&](net::NodeId a, net::NodeId b, SimDuration lat) {
+        network.topology().add_link(a, b, lat, 10.0);
+      });
+}
+
+net::Topology scaled_b4(std::size_t replicas) {
+  assert(replicas >= 1);
+  const net::Topology base = net::b4_topology();
+  const std::size_t n = base.node_count();
+  net::Topology topo;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      topo.add_node("r" + std::to_string(r) + ":" + base.name(i));
+    }
+    for (const auto& l : base.links()) {
+      topo.add_link(r * n + l.a, r * n + l.b, l.latency, l.capacity_gbps);
+    }
+    if (r > 0) {
+      // Gateways: previous replica's last two sites to this one's first
+      // two. Trans-replica spans are long-haul.
+      topo.add_link((r - 1) * n + (n - 2), r * n + 0, millis(25), 10.0);
+      topo.add_link((r - 1) * n + (n - 1), r * n + 1, millis(25), 10.0);
+    }
+  }
+  return topo;
+}
+
+sched::RequestDag fabric_update_scenario(const net::Topology& topo,
+                                         const FatTreeNodes& nodes,
+                                         const FabricUpdateSpec& spec,
+                                         Rng& rng) {
+  const std::vector<net::NodeId> edges = nodes.all_edges();
+  assert(edges.size() >= 2);
+  RequestDag dag;
+  for (std::size_t f = 0; f < spec.n_flows; ++f) {
+    const auto index = spec.first_index + static_cast<std::uint32_t>(f);
+    // Two distinct edge switches, drawn without rejection.
+    const std::size_t si = rng.index(edges.size());
+    std::size_t di = rng.index(edges.size() - 1);
+    if (di >= si) ++di;
+    const net::NodeId src = edges[si];
+    const net::NodeId dst = edges[di];
+    const auto path = topo.shortest_path(src, dst);
+    if (path.size() < 2) continue;  // disconnected after link failures
+    // Consistent update: bring the new path up destination-to-source,
+    // then repoint the source edge switch (MOD) — Fig 10's shape.
+    std::size_t prev = SIZE_MAX;
+    for (std::size_t h = path.size(); h-- > 1;) {
+      SwitchRequest req;
+      req.location = net::Network::switch_of(path[h]);
+      req.type = RequestType::kAdd;
+      req.priority = static_cast<std::uint16_t>(rng.uniform_int(1000, 9000));
+      req.match = core::ProbeEngine::probe_match(index);
+      req.actions = of::output_to(2);
+      const std::size_t id = dag.add(std::move(req));
+      if (prev != SIZE_MAX) dag.add_dependency(prev, id);
+      prev = id;
+    }
+    SwitchRequest repoint;
+    repoint.location = net::Network::switch_of(path[0]);
+    repoint.type = RequestType::kMod;
+    repoint.priority = static_cast<std::uint16_t>(rng.uniform_int(1000, 9000));
+    repoint.match = core::ProbeEngine::probe_match(index);
+    repoint.actions = of::output_to(2);
+    const std::size_t id = dag.add(std::move(repoint));
+    if (prev != SIZE_MAX) dag.add_dependency(prev, id);
+  }
+  return dag;
+}
+
+}  // namespace tango::workload

@@ -1,0 +1,108 @@
+// Scale topology generators for the 1000-switch experiments.
+//
+// The paper's testbed scenarios run on a three-switch triangle; the
+// network-wide results (Fig 10/12) extrapolate to fabrics. These
+// generators produce the fabrics: k-ary fat-trees (canonical and
+// pod-scaled — fat_tree(k=16, pods=60) is exactly 1024 switches) and a
+// replicated B4 WAN, plus a Fig-10-style network-wide update scenario
+// that reroutes flows across the fabric with destination-to-source
+// dependency chains (consistent updates [18]).
+//
+// Determinism contract: node/link creation order is a pure function of
+// the spec (cores, then pod by pod: aggs then edges; links edge→agg then
+// agg→core per pod), so node ids, link indices — and therefore
+// port_for_link() assignments and every downstream fingerprint — are
+// reproducible across runs and across the serial/parallel runners.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "scheduler/request.h"
+#include "switchsim/switch_model.h"
+
+namespace tango::workload {
+
+struct FatTreeSpec {
+  /// Radix; must be even and >= 2. Canonical sizes: k=4 → 20 switches,
+  /// k=8 → 80, k=16 → 320.
+  unsigned k = 4;
+  /// Number of pods; 0 means canonical (pods = k). Scaling pods past k
+  /// grows edge capacity without growing the core: k=16, pods=60 →
+  /// 64 core + 60·16 pod switches = 1024 exactly.
+  unsigned pods = 0;
+  SimDuration edge_agg_latency = micros(20);
+  SimDuration agg_core_latency = micros(40);
+};
+
+/// Node ids of a generated fat-tree, by role. agg/edge are indexed
+/// [pod][position], each inner vector of size k/2.
+struct FatTreeNodes {
+  std::vector<net::NodeId> core;
+  std::vector<std::vector<net::NodeId>> agg;
+  std::vector<std::vector<net::NodeId>> edge;
+
+  /// All edge nodes, pod-major — the endpoints flows travel between.
+  [[nodiscard]] std::vector<net::NodeId> all_edges() const;
+};
+
+struct FatTree {
+  net::Topology topo;
+  FatTreeNodes nodes;
+};
+
+/// Switch count: (k/2)² core + pods·k pod switches.
+constexpr std::size_t fat_tree_switch_count(unsigned k, unsigned pods) {
+  const std::size_t half = k / 2;
+  return half * half + static_cast<std::size_t>(pods == 0 ? k : pods) * k;
+}
+
+/// Link count: pods·(k/2)² edge–agg plus pods·(k/2)² agg–core.
+/// Canonical (pods = k) this is k³/2.
+constexpr std::size_t fat_tree_link_count(unsigned k, unsigned pods) {
+  const std::size_t half = k / 2;
+  return 2 * static_cast<std::size_t>(pods == 0 ? k : pods) * half * half;
+}
+
+/// Standalone fat-tree topology (for routing / structural tests).
+FatTree fat_tree(const FatTreeSpec& spec);
+
+/// Instantiate a fat-tree inside a Network: one simulated switch per node
+/// (all sharing `profile`, named by role), links mirrored into the
+/// network's topology. Returned node ids convert to switch ids via
+/// net::Network::switch_of. Requires an empty network (node ids must
+/// start at 0 for the id mapping to hold).
+FatTreeNodes build_fat_tree(net::Network& network, const FatTreeSpec& spec,
+                            const switchsim::SwitchProfile& profile);
+
+/// B4 scaled out: `replicas` copies of the 12-site/19-link B4 graph,
+/// adjacent replicas joined by two gateway links (last two sites of one
+/// to the first two sites of the next) so the WAN stays 2-connected.
+/// replicas=86 → 1032 sites.
+net::Topology scaled_b4(std::size_t replicas);
+
+struct FabricUpdateSpec {
+  /// Flows to reroute. Each flow contributes one request per hop of its
+  /// (shortest) path — ADDs destination-to-source, then a MOD repointing
+  /// the source edge switch, all chained, exactly the Fig 10 link-failure
+  /// update shape generalized from the triangle to a fabric.
+  std::size_t n_flows = 512;
+  /// First flow/rule index (matches are ProbeEngine::probe_match(index)).
+  std::uint32_t first_index = 0;
+};
+
+/// Network-wide consistent-update scenario over a generated fabric.
+/// Paths are computed over `topo` as it stands — fail a link first and
+/// the generated update routes around it. Flows whose endpoints became
+/// disconnected are skipped (counted, not silently absorbed, via the
+/// returned DAG being short). Requests target switch ids derived from
+/// node ids (switch = node + 1, the build_fat_tree mapping).
+sched::RequestDag fabric_update_scenario(const net::Topology& topo,
+                                         const FatTreeNodes& nodes,
+                                         const FabricUpdateSpec& spec, Rng& rng);
+
+}  // namespace tango::workload

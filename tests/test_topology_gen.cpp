@@ -1,0 +1,155 @@
+// Structural invariants of the scale topology generators: fat-tree
+// switch/link counts, path lengths and redundancy, scaled-B4 shape,
+// generator determinism, and the fabric-wide update scenario's DAG shape.
+// The 1024-switch smoke lives in test_scale.cpp (ctest label `scale`) so
+// tier-1 stays fast.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/topology_gen.h"
+
+namespace tango::workload {
+namespace {
+
+TEST(FatTreeStructure, CanonicalCounts) {
+  for (const unsigned k : {4u, 8u}) {
+    FatTreeSpec spec;
+    spec.k = k;
+    const auto ft = fat_tree(spec);
+    // Canonical k-ary fat-tree: 5k²/4 switches, k³/2 switch-switch links.
+    EXPECT_EQ(ft.topo.node_count(), 5u * k * k / 4) << "k=" << k;
+    EXPECT_EQ(ft.topo.link_count(), static_cast<std::size_t>(k) * k * k / 2)
+        << "k=" << k;
+    EXPECT_EQ(ft.topo.node_count(), fat_tree_switch_count(k, 0));
+    EXPECT_EQ(ft.topo.link_count(), fat_tree_link_count(k, 0));
+    // Role vectors partition the node set.
+    std::size_t counted = ft.nodes.core.size();
+    for (const auto& pod : ft.nodes.agg) counted += pod.size();
+    for (const auto& pod : ft.nodes.edge) counted += pod.size();
+    EXPECT_EQ(counted, ft.topo.node_count());
+  }
+}
+
+TEST(FatTreeStructure, PodScaledCountsHit1024) {
+  FatTreeSpec spec;
+  spec.k = 16;
+  spec.pods = 60;
+  EXPECT_EQ(fat_tree_switch_count(spec.k, spec.pods), 1024u);
+  const auto ft = fat_tree(spec);
+  EXPECT_EQ(ft.topo.node_count(), 1024u);
+  EXPECT_EQ(ft.topo.link_count(), fat_tree_link_count(spec.k, spec.pods));
+  EXPECT_EQ(ft.topo.link_count(), 2u * 60 * 8 * 8);
+}
+
+TEST(FatTreeStructure, NodeDegreesMatchRole) {
+  FatTreeSpec spec;
+  spec.k = 8;
+  const auto ft = fat_tree(spec);
+  // Edge: k/2 agg uplinks. Agg: k/2 edge downlinks + k/2 core uplinks.
+  // Core: one link per pod (k pods canonically).
+  for (const auto n : ft.nodes.core) {
+    EXPECT_EQ(ft.topo.links_of(n).size(), 8u);
+  }
+  for (const auto& pod : ft.nodes.agg) {
+    for (const auto n : pod) EXPECT_EQ(ft.topo.links_of(n).size(), 8u);
+  }
+  for (const auto& pod : ft.nodes.edge) {
+    for (const auto n : pod) EXPECT_EQ(ft.topo.links_of(n).size(), 4u);
+  }
+}
+
+TEST(FatTreeStructure, PathLengthsMatchTheory) {
+  FatTreeSpec spec;
+  spec.k = 4;
+  const auto ft = fat_tree(spec);
+  // Same pod: edge–agg–edge, 3 nodes.
+  const auto intra =
+      ft.topo.shortest_path(ft.nodes.edge[0][0], ft.nodes.edge[0][1]);
+  EXPECT_EQ(intra.size(), 3u);
+  // Different pods: edge–agg–core–agg–edge, 5 nodes.
+  const auto inter =
+      ft.topo.shortest_path(ft.nodes.edge[0][0], ft.nodes.edge[3][1]);
+  EXPECT_EQ(inter.size(), 5u);
+}
+
+TEST(FatTreeStructure, SurvivesSingleLinkFailure) {
+  FatTreeSpec spec;
+  spec.k = 4;
+  auto ft = fat_tree(spec);
+  const auto src = ft.nodes.edge[0][0];
+  const auto dst = ft.nodes.edge[2][0];
+  // k/2 link-disjoint inter-pod paths (bounded by the edge uplink count).
+  const auto paths = ft.topo.disjoint_paths(src, dst, spec.k);
+  EXPECT_EQ(paths.size(), 2u);
+  // Fail the first hop of the shortest path; an equal-length detour exists.
+  const auto before = ft.topo.shortest_path(src, dst);
+  ASSERT_EQ(before.size(), 5u);
+  ASSERT_TRUE(ft.topo.fail_link_between(before[0], before[1]).has_value());
+  const auto after = ft.topo.shortest_path(src, dst);
+  EXPECT_EQ(after.size(), 5u);
+  EXPECT_NE(after[1], before[1]);
+}
+
+TEST(FatTreeStructure, GenerationIsDeterministic) {
+  FatTreeSpec spec;
+  spec.k = 8;
+  spec.pods = 3;
+  const auto a = fat_tree(spec);
+  const auto b = fat_tree(spec);
+  ASSERT_EQ(a.topo.node_count(), b.topo.node_count());
+  ASSERT_EQ(a.topo.link_count(), b.topo.link_count());
+  for (std::size_t n = 0; n < a.topo.node_count(); ++n) {
+    EXPECT_EQ(a.topo.name(n), b.topo.name(n));
+  }
+  for (std::size_t i = 0; i < a.topo.link_count(); ++i) {
+    EXPECT_EQ(a.topo.link(i).a, b.topo.link(i).a);
+    EXPECT_EQ(a.topo.link(i).b, b.topo.link(i).b);
+  }
+}
+
+TEST(ScaledB4, ShapeAndConnectivity) {
+  const auto topo = scaled_b4(3);
+  EXPECT_EQ(topo.node_count(), 36u);
+  // 19 intra-replica links per copy + 2 gateways per adjacent pair.
+  EXPECT_EQ(topo.link_count(), 19u * 3 + 2u * 2);
+  const auto path = topo.shortest_path(0, topo.node_count() - 1);
+  EXPECT_GE(path.size(), 3u);  // spans all three replicas
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), topo.node_count() - 1);
+}
+
+TEST(FabricUpdate, DagShapeAndDeterminism) {
+  FatTreeSpec spec;
+  spec.k = 4;
+  const auto ft = fat_tree(spec);
+  FabricUpdateSpec us;
+  us.n_flows = 50;
+  Rng rng_a(42);
+  const auto a = fabric_update_scenario(ft.topo, ft.nodes, us, rng_a);
+  // Every flow yields at least ADD + MOD (shortest possible path is
+  // 3 nodes intra-pod → 2 ADDs + 1 MOD) and at most 4 ADDs + 1 MOD.
+  EXPECT_GE(a.size(), 3u * us.n_flows);
+  EXPECT_LE(a.size(), 5u * us.n_flows);
+  std::size_t mods = 0;
+  std::set<SwitchId> touched;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& req = a.request(i);
+    touched.insert(req.location);
+    ASSERT_GE(req.location, 1u);
+    ASSERT_LE(req.location, ft.topo.node_count());
+    if (req.type == sched::RequestType::kMod) ++mods;
+  }
+  EXPECT_EQ(mods, us.n_flows);       // one repoint per flow
+  EXPECT_GT(touched.size(), 10u);    // genuinely network-wide
+  Rng rng_b(42);
+  const auto b = fabric_update_scenario(ft.topo, ft.nodes, us, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.request(i).location, b.request(i).location);
+    EXPECT_EQ(a.request(i).type, b.request(i).type);
+  }
+}
+
+}  // namespace
+}  // namespace tango::workload

@@ -2,18 +2,27 @@
 // violation to a minimal reproducer, and emit machine-readable artifacts.
 //
 //   chaos_soak --seeds 1-20 --horizon short --workload all --policy both
-//   chaos_soak --replay repro_seed42.json          # re-execute a repro file
+//   chaos_soak --seeds 1-200 --workers 8       # parallel seed sweep
+//   chaos_soak --replay repro_seed42.json      # re-execute a repro file
 //
 // Every run is deterministic: a seed identifies a fault schedule, and the
 // run's 64-bit fingerprint (counters + fault stats + final tables + final
 // virtual clock) is printed so bit-identical replay is checkable by eye or
 // by CI. On violation the schedule is delta-debugged down to a locally
-// minimal event list and written as a chaos_repro.v1 JSON file into --out;
+// minimal event list and written as a chaos_repro JSON file into --out;
 // a CHAOS_soak.json run report (tango.run_report.v1) summarizes the sweep.
+//
+// The sweep itself runs on runner::run_chaos_sweep: `--workers N` fans the
+// seed grid over a thread pool (each run owns an isolated world) while the
+// report, console lines, repro files, and sweep fingerprint stay
+// byte-identical to a serial run — the nightly job spot-checks exactly
+// that. `--wall` additionally surfaces per-run wall_ms columns (real
+// time, nondeterministic, so off by default); `--bench-speedup` runs the
+// sweep twice (serial then parallel) and records the measured
+// `chaos.speedup_parallel` for tools/bench_compare.py to gate.
 //
 // Exit status: 0 = all runs clean (or replay clean), 1 = violations found
 // (or replay reproduced its violation), 2 = usage/file errors.
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,33 +30,21 @@
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <vector>
 
-#include "chaos/ha_harness.h"
-#include "chaos/harness.h"
 #include "chaos/schedule.h"
-#include "chaos/shrinker.h"
 #include "common/logging.h"
-#include "telemetry/run_report.h"
+#include "runner/soak.h"
 
 namespace {
 
 using namespace tango;  // tool code: brevity over namespace hygiene
 
 struct Args {
-  std::uint64_t seed_lo = 1;
-  std::uint64_t seed_hi = 20;
-  chaos::Horizon horizon = chaos::Horizon::kShort;
-  std::vector<chaos::Workload> workloads = {
-      chaos::Workload::kFig10, chaos::Workload::kTrafficEngineering,
-      chaos::Workload::kAcl};
-  std::vector<sched::RecoveryPolicy> policies = {
-      sched::RecoveryPolicy::kRollForward, sched::RecoveryPolicy::kRollBack};
+  runner::ChaosSweepConfig sweep;
+  runner::SweepOptions opt;
   std::string replay;
-  std::string out_dir = ".";
-  bool shrink = true;
-  bool verbose = false;
-  bool misbehavior = false;
+  /// Measure a serial pass first and report chaos.speedup_parallel.
+  bool bench_speedup = false;
   /// Controller-side faults: sweep run_ha_chaos (scenario = seed % 5)
   /// instead of the switch-side wire harness; emits HA_soak.json.
   bool controller_faults = false;
@@ -60,18 +57,19 @@ void usage() {
                "                  [--policy forward|rollback|both]\n"
                "                  [--replay FILE] [--out DIR] [--no-shrink]\n"
                "                  [--misbehavior] [--controller-faults]\n"
+               "                  [--workers N] [--wall] [--bench-speedup]\n"
                "                  [--verbose]\n");
 }
 
-bool parse_seeds(const std::string& s, Args& args) {
+bool parse_seeds(const std::string& s, runner::ChaosSweepConfig& cfg) {
   const auto dash = s.find('-');
   if (dash == std::string::npos) {
-    args.seed_lo = args.seed_hi = std::strtoull(s.c_str(), nullptr, 0);
-    return args.seed_lo > 0;
+    cfg.seed_lo = cfg.seed_hi = std::strtoull(s.c_str(), nullptr, 0);
+    return cfg.seed_lo > 0;
   }
-  args.seed_lo = std::strtoull(s.substr(0, dash).c_str(), nullptr, 0);
-  args.seed_hi = std::strtoull(s.substr(dash + 1).c_str(), nullptr, 0);
-  return args.seed_lo > 0 && args.seed_hi >= args.seed_lo;
+  cfg.seed_lo = std::strtoull(s.substr(0, dash).c_str(), nullptr, 0);
+  cfg.seed_hi = std::strtoull(s.substr(dash + 1).c_str(), nullptr, 0);
+  return cfg.seed_lo > 0 && cfg.seed_hi >= cfg.seed_lo;
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -82,23 +80,23 @@ bool parse_args(int argc, char** argv, Args& args) {
     };
     if (arg == "--seeds") {
       const char* v = value();
-      if (v == nullptr || !parse_seeds(v, args)) return false;
+      if (v == nullptr || !parse_seeds(v, args.sweep)) return false;
     } else if (arg == "--horizon") {
       const char* v = value();
       if (v == nullptr) return false;
-      if (std::strcmp(v, "short") == 0) args.horizon = chaos::Horizon::kShort;
-      else if (std::strcmp(v, "medium") == 0) args.horizon = chaos::Horizon::kMedium;
-      else if (std::strcmp(v, "long") == 0) args.horizon = chaos::Horizon::kLong;
+      if (std::strcmp(v, "short") == 0) args.sweep.horizon = chaos::Horizon::kShort;
+      else if (std::strcmp(v, "medium") == 0) args.sweep.horizon = chaos::Horizon::kMedium;
+      else if (std::strcmp(v, "long") == 0) args.sweep.horizon = chaos::Horizon::kLong;
       else return false;
     } else if (arg == "--workload") {
       const char* v = value();
       if (v == nullptr) return false;
       if (std::strcmp(v, "fig10") == 0) {
-        args.workloads = {chaos::Workload::kFig10};
+        args.sweep.workloads = {chaos::Workload::kFig10};
       } else if (std::strcmp(v, "te") == 0) {
-        args.workloads = {chaos::Workload::kTrafficEngineering};
+        args.sweep.workloads = {chaos::Workload::kTrafficEngineering};
       } else if (std::strcmp(v, "acl") == 0) {
-        args.workloads = {chaos::Workload::kAcl};
+        args.sweep.workloads = {chaos::Workload::kAcl};
       } else if (std::strcmp(v, "all") != 0) {
         return false;
       }
@@ -106,9 +104,9 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = value();
       if (v == nullptr) return false;
       if (std::strcmp(v, "forward") == 0) {
-        args.policies = {sched::RecoveryPolicy::kRollForward};
+        args.sweep.policies = {sched::RecoveryPolicy::kRollForward};
       } else if (std::strcmp(v, "rollback") == 0) {
-        args.policies = {sched::RecoveryPolicy::kRollBack};
+        args.sweep.policies = {sched::RecoveryPolicy::kRollBack};
       } else if (std::strcmp(v, "both") != 0) {
         return false;
       }
@@ -119,15 +117,23 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (arg == "--out") {
       const char* v = value();
       if (v == nullptr) return false;
-      args.out_dir = v;
+      args.sweep.out_dir = v;
     } else if (arg == "--no-shrink") {
-      args.shrink = false;
+      args.sweep.shrink = false;
     } else if (arg == "--misbehavior") {
-      args.misbehavior = true;
+      args.sweep.misbehavior = true;
     } else if (arg == "--controller-faults") {
       args.controller_faults = true;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.opt.workers = static_cast<std::size_t>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--wall") {
+      args.opt.wall = true;
+    } else if (arg == "--bench-speedup") {
+      args.bench_speedup = true;
     } else if (arg == "--verbose") {
-      args.verbose = true;
+      args.opt.verbose = true;
     } else {
       return false;
     }
@@ -171,101 +177,6 @@ int replay_file(const std::string& path) {
   return result.ok() ? 0 : 1;
 }
 
-/// Controller-fault sweep: each seed picks a failover scenario (seed % 5) on
-/// top of the usual workload/policy grid; every run must hold the HA oracles
-/// (exactly-one-active-epoch, no stale-epoch mutation, no committed txn
-/// lost, takeover convergence). Emits HA_soak.json.
-int run_controller_faults(const Args& args) {
-  telemetry::RunReport report("HA_soak");
-  std::size_t runs = 0;
-  std::size_t violations_found = 0;
-  std::uint64_t failovers = 0;
-  std::uint64_t stale_rejections = 0;
-  double takeover_ms_max = 0;
-  double replication_lag_ns_max = 0;
-
-  for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
-    for (const auto workload : args.workloads) {
-      for (const auto policy : args.policies) {
-        chaos::HaChaosSpec spec;
-        spec.seed = seed;
-        spec.workload = workload;
-        spec.policy = policy;
-        spec.horizon = args.horizon;
-        spec.scenario = chaos::scenario_of(seed);
-        const auto result = chaos::run_ha_chaos(spec);
-        ++runs;
-
-        double takeover_ms = 0;
-        for (const auto& rep : result.takeovers) {
-          takeover_ms = std::max(takeover_ms, rep.takeover_ms);
-        }
-        const auto lag_ns = static_cast<double>(
-            result.standby.max_replication_lag.ns());
-        failovers += result.ha.failover_count;
-        stale_rejections += result.stale_epoch_rejections;
-        takeover_ms_max = std::max(takeover_ms_max, takeover_ms);
-        replication_lag_ns_max = std::max(replication_lag_ns_max, lag_ns);
-
-        report.add_row()
-            .col("seed", static_cast<double>(seed))
-            .col("workload", chaos::to_string(workload))
-            .col("policy", sched::to_string(policy))
-            .col("scenario", chaos::to_string(spec.scenario))
-            .col("failovers", static_cast<double>(result.ha.failover_count))
-            .col("takeover_ms", takeover_ms)
-            .col("replication_lag_ns", lag_ns)
-            .col("stale_epoch_rejections",
-                 static_cast<double>(result.stale_epoch_rejections))
-            .col("violations", static_cast<double>(result.violations.size()));
-        if (result.ok()) {
-          if (args.verbose) {
-            std::printf(
-                "ok    seed %llu %s/%s %s (fp 0x%016llx)\n",
-                static_cast<unsigned long long>(seed),
-                chaos::to_string(workload).c_str(),
-                sched::to_string(policy).c_str(),
-                chaos::to_string(spec.scenario).c_str(),
-                static_cast<unsigned long long>(result.fingerprint));
-          }
-          continue;
-        }
-        ++violations_found;
-        std::printf("FAIL  seed %llu %s/%s %s: %zu violation(s)\n",
-                    static_cast<unsigned long long>(seed),
-                    chaos::to_string(workload).c_str(),
-                    sched::to_string(policy).c_str(),
-                    chaos::to_string(spec.scenario).c_str(),
-                    result.violations.size());
-        for (const auto& v : result.violations) {
-          std::printf("      %s\n", chaos::to_string(v).c_str());
-        }
-      }
-    }
-  }
-
-  log::flush_suppressed();
-
-  report.set_result("ha.runs", static_cast<double>(runs));
-  report.set_result("ha.violations", static_cast<double>(violations_found));
-  report.set_result("ha.failover_count", static_cast<double>(failovers));
-  report.set_result("ha.takeover_ms_max", takeover_ms_max);
-  report.set_result("ha.replication_lag_ns_max", replication_lag_ns_max);
-  report.set_result("ha.stale_epoch_rejections",
-                    static_cast<double>(stale_rejections));
-  report.set_result("ha.horizon", chaos::to_string(args.horizon));
-  report.set_result("ha.seed_lo", static_cast<double>(args.seed_lo));
-  report.set_result("ha.seed_hi", static_cast<double>(args.seed_hi));
-  const std::string report_path = args.out_dir + "/HA_soak.json";
-  if (!report.write(report_path)) {
-    std::fprintf(stderr, "chaos_soak: cannot write %s\n", report_path.c_str());
-  }
-
-  std::printf("%zu HA run(s), %zu with violations; report at %s\n", runs,
-              violations_found, report_path.c_str());
-  return violations_found == 0 ? 0 : 1;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -274,7 +185,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  log::set_threshold(args.verbose ? log::Level::kInfo : log::Level::kError);
+  log::set_threshold(args.opt.verbose ? log::Level::kInfo : log::Level::kError);
   // Fault storms repeat the same few lines thousands of times; cap each
   // message family and account for the rest in flush summaries.
   log::set_rate_limit(20);
@@ -286,108 +197,60 @@ int main(int argc, char** argv) {
   }
 
   std::error_code ec;
-  std::filesystem::create_directories(args.out_dir, ec);
+  std::filesystem::create_directories(args.sweep.out_dir, ec);
   if (ec) {
     std::fprintf(stderr, "chaos_soak: cannot create %s: %s\n",
-                 args.out_dir.c_str(), ec.message().c_str());
+                 args.sweep.out_dir.c_str(), ec.message().c_str());
     return 2;
   }
 
-  if (args.controller_faults) return run_controller_faults(args);
+  const auto sweep = [&](const runner::SweepOptions& opt,
+                         const runner::ChaosSweepConfig& cfg) {
+    return args.controller_faults ? runner::run_ha_sweep(cfg, opt)
+                                  : runner::run_chaos_sweep(cfg, opt);
+  };
 
-  telemetry::RunReport report("CHAOS_soak");
-  std::size_t runs = 0;
-  std::size_t violations_found = 0;
-  std::size_t repros_written = 0;
-
-  for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
-    for (const auto workload : args.workloads) {
-      for (const auto policy : args.policies) {
-        chaos::ChaosSpec spec;
-        spec.seed = seed;
-        spec.workload = workload;
-        spec.policy = policy;
-        spec.horizon = args.horizon;
-        spec.misbehavior = args.misbehavior;
-        const auto schedule = chaos::generate_schedule(spec);
-        auto result = chaos::run_chaos(schedule);
-        ++runs;
-
-        auto& row = report.add_row()
-                        .col("seed", static_cast<double>(seed))
-                        .col("workload", chaos::to_string(workload))
-                        .col("policy", sched::to_string(policy))
-                        .col("events", static_cast<double>(schedule.events.size()))
-                        .col("violations",
-                             static_cast<double>(result.violations.size()))
-                        .col("makespan_ns",
-                             static_cast<double>(result.report.exec.makespan.ns()));
-        if (result.ok()) {
-          if (args.verbose) {
-            std::printf("ok    %s (%zu events, fp 0x%016llx)\n",
-                        run_label(schedule).c_str(), schedule.events.size(),
-                        static_cast<unsigned long long>(result.fingerprint));
-          }
-          continue;
-        }
-
-        ++violations_found;
-        std::printf("FAIL  %s: %zu violation(s)\n", run_label(schedule).c_str(),
-                    result.violations.size());
-        for (const auto& v : result.violations) {
-          std::printf("      %s\n", chaos::to_string(v).c_str());
-        }
-
-        chaos::ChaosSchedule minimal = schedule;
-        if (args.shrink) {
-          const auto shrunk = chaos::shrink_schedule(
-              schedule, [](const chaos::ChaosSchedule& candidate) {
-                return !chaos::run_chaos(candidate).ok();
-              });
-          minimal = shrunk.schedule;
-          std::printf("      shrunk %zu -> %zu events in %zu probes\n",
-                      schedule.events.size(), minimal.events.size(),
-                      shrunk.probes);
-          // Re-run the minimal schedule so the repro captures ITS
-          // fingerprint and violations, not the original's.
-          result = chaos::run_chaos(minimal);
-        }
-
-        const std::string path =
-            args.out_dir + "/chaos_repro_seed" + std::to_string(seed) + "_" +
-            chaos::to_string(workload) + "_" +
-            (policy == sched::RecoveryPolicy::kRollForward ? "fwd" : "back") +
-            ".json";
-        std::ofstream repro(path);
-        if (repro) {
-          repro << chaos::to_repro_json(minimal, result.fingerprint,
-                                        result.violation_names());
-          ++repros_written;
-          std::printf("      repro written to %s\n", path.c_str());
-        } else {
-          std::fprintf(stderr, "chaos_soak: cannot write %s\n", path.c_str());
-        }
-        row.col("repro", path);
-      }
-    }
+  // Bench mode: a quiet serial pass first (no repro files, no narrative)
+  // purely to measure the serial wall-clock the parallel pass is gated
+  // against.
+  std::uint64_t serial_wall_ns = 0;
+  if (args.bench_speedup) {
+    auto quiet = args.sweep;
+    quiet.out_dir.clear();
+    runner::SweepOptions serial;
+    serial.workers = 1;
+    serial_wall_ns = sweep(serial, quiet).total_wall_ns;
   }
 
+  auto outcome = sweep(args.opt, args.sweep);
+
+  if (args.bench_speedup && outcome.total_wall_ns > 0) {
+    // Key named for tools/bench_compare.py: `speedup_` metrics gate
+    // against the checked-in baseline with a lower tolerance band.
+    outcome.report.set_result(
+        "speedup_parallel",
+        static_cast<double>(serial_wall_ns) /
+            static_cast<double>(outcome.total_wall_ns));
+    outcome.report.set_result("bench_workers",
+                              static_cast<double>(args.opt.workers));
+  }
+
+  std::fputs(outcome.text.c_str(), stdout);
+  std::fputs(outcome.errors.c_str(), stderr);
   log::flush_suppressed();
 
-  report.set_result("chaos.runs", static_cast<double>(runs));
-  report.set_result("chaos.violations", static_cast<double>(violations_found));
-  report.set_result("chaos.repros_written",
-                    static_cast<double>(repros_written));
-  report.set_result("chaos.horizon", chaos::to_string(args.horizon));
-  report.set_result("chaos.misbehavior", args.misbehavior ? 1.0 : 0.0);
-  report.set_result("chaos.seed_lo", static_cast<double>(args.seed_lo));
-  report.set_result("chaos.seed_hi", static_cast<double>(args.seed_hi));
-  const std::string report_path = args.out_dir + "/CHAOS_soak.json";
-  if (!report.write(report_path)) {
+  const std::string report_path = args.sweep.out_dir + "/" +
+                                  outcome.report.name() + ".json";
+  if (!outcome.report.write(report_path)) {
     std::fprintf(stderr, "chaos_soak: cannot write %s\n", report_path.c_str());
   }
 
-  std::printf("%zu run(s), %zu with violations; report at %s\n", runs,
-              violations_found, report_path.c_str());
-  return violations_found == 0 ? 0 : 1;
+  if (args.controller_faults) {
+    std::printf("%zu HA run(s), %zu with violations; report at %s\n",
+                outcome.runs, outcome.violations, report_path.c_str());
+  } else {
+    std::printf("%zu run(s), %zu with violations; report at %s\n",
+                outcome.runs, outcome.violations, report_path.c_str());
+  }
+  return outcome.ok() ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 // and emit a machine-readable run report.
 //
 //   service_soak --seeds 1-20 --tenants 4 --intents 3
+//   service_soak --seeds 1-200 --workers 8     # parallel seed sweep
 //   service_soak --seeds 7 --no-faults --verbose
 //
 // Every run is deterministic: a (seed, tenants, intents, faults) tuple
@@ -14,6 +15,10 @@
 // summarizes the sweep, including how many runs actually exercised a
 // victim rollback (the scenario the isolation oracle exists for).
 //
+// The sweep runs on runner::run_service_sweep: `--workers N` fans seeds
+// over a thread pool while report and console output stay byte-identical
+// to a serial run; `--wall` opts into nondeterministic per-run wall_ms.
+//
 // Exit status: 0 = all runs clean, 1 = violations found, 2 = usage errors.
 #include <cstdio>
 #include <cstdlib>
@@ -21,39 +26,35 @@
 #include <filesystem>
 #include <string>
 
-#include "chaos/tenant_isolation.h"
 #include "common/logging.h"
-#include "telemetry/run_report.h"
+#include "runner/soak.h"
 
 namespace {
 
 using namespace tango;  // tool code: brevity over namespace hygiene
 
 struct Args {
-  std::uint64_t seed_lo = 1;
-  std::uint64_t seed_hi = 20;
-  std::uint32_t tenants = 3;
-  std::uint32_t intents = 3;
-  bool faults = true;
+  runner::ServiceSweepConfig sweep;
+  runner::SweepOptions opt;
   std::string out_dir = ".";
-  bool verbose = false;
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: service_soak [--seeds A-B] [--tenants N] [--intents N]\n"
-               "                    [--no-faults] [--out DIR] [--verbose]\n");
+               "                    [--no-faults] [--out DIR] [--workers N]\n"
+               "                    [--wall] [--verbose]\n");
 }
 
-bool parse_seeds(const std::string& s, Args& args) {
+bool parse_seeds(const std::string& s, runner::ServiceSweepConfig& cfg) {
   const auto dash = s.find('-');
   if (dash == std::string::npos) {
-    args.seed_lo = args.seed_hi = std::strtoull(s.c_str(), nullptr, 0);
-    return args.seed_lo > 0;
+    cfg.seed_lo = cfg.seed_hi = std::strtoull(s.c_str(), nullptr, 0);
+    return cfg.seed_lo > 0;
   }
-  args.seed_lo = std::strtoull(s.substr(0, dash).c_str(), nullptr, 0);
-  args.seed_hi = std::strtoull(s.substr(dash + 1).c_str(), nullptr, 0);
-  return args.seed_lo > 0 && args.seed_hi >= args.seed_lo;
+  cfg.seed_lo = std::strtoull(s.substr(0, dash).c_str(), nullptr, 0);
+  cfg.seed_hi = std::strtoull(s.substr(dash + 1).c_str(), nullptr, 0);
+  return cfg.seed_lo > 0 && cfg.seed_hi >= cfg.seed_lo;
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -64,23 +65,31 @@ bool parse_args(int argc, char** argv, Args& args) {
     };
     if (arg == "--seeds") {
       const char* v = value();
-      if (v == nullptr || !parse_seeds(v, args)) return false;
+      if (v == nullptr || !parse_seeds(v, args.sweep)) return false;
     } else if (arg == "--tenants") {
       const char* v = value();
       if (v == nullptr) return false;
-      args.tenants = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+      args.sweep.tenants =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--intents") {
       const char* v = value();
       if (v == nullptr) return false;
-      args.intents = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+      args.sweep.intents =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--no-faults") {
-      args.faults = false;
+      args.sweep.faults = false;
     } else if (arg == "--out") {
       const char* v = value();
       if (v == nullptr) return false;
       args.out_dir = v;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.opt.workers = static_cast<std::size_t>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--wall") {
+      args.opt.wall = true;
     } else if (arg == "--verbose") {
-      args.verbose = true;
+      args.opt.verbose = true;
     } else {
       return false;
     }
@@ -96,7 +105,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  log::set_threshold(args.verbose ? log::Level::kInfo : log::Level::kError);
+  log::set_threshold(args.opt.verbose ? log::Level::kInfo : log::Level::kError);
   log::set_rate_limit(20);
 
   std::error_code ec;
@@ -107,64 +116,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  telemetry::RunReport report("SERVICE_soak");
-  std::size_t runs = 0;
-  std::size_t violations_found = 0;
-  std::size_t rollback_runs = 0;
+  auto outcome = runner::run_service_sweep(args.sweep, args.opt);
 
-  for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
-    chaos::TenantChaosSpec spec;
-    spec.seed = seed;
-    spec.n_tenants = args.tenants;
-    spec.intents_per_tenant = args.intents;
-    spec.faults = args.faults;
-    const auto result = chaos::run_tenant_chaos(spec);
-    ++runs;
-    if (result.rollbacks > 0) ++rollback_runs;
-
-    report.add_row()
-        .col("seed", static_cast<double>(seed))
-        .col("tenants", static_cast<double>(result.spec.n_tenants))
-        .col("violations", static_cast<double>(result.violations.size()))
-        .col("rollbacks", static_cast<double>(result.rollbacks))
-        .col("fairness", result.report.fairness_index)
-        .col("max_concurrency",
-             static_cast<double>(result.report.max_concurrency))
-        .col("makespan_ns", static_cast<double>(result.report.makespan.ns()));
-
-    if (result.ok()) {
-      if (args.verbose) {
-        std::printf(
-            "ok    seed %llu: %zu intents committed, %zu rollback(s), "
-            "fairness %.3f, fp 0x%016llx\n",
-            static_cast<unsigned long long>(seed), result.report.completed,
-            result.rollbacks, result.report.fairness_index,
-            static_cast<unsigned long long>(result.fingerprint));
-      }
-      continue;
-    }
-    ++violations_found;
-    std::printf("FAIL  seed %llu: %zu violation(s)\n",
-                static_cast<unsigned long long>(seed),
-                result.violations.size());
-    for (const auto& v : result.violations) {
-      std::printf("      %s\n", chaos::to_string(v).c_str());
-    }
-  }
-
+  std::fputs(outcome.text.c_str(), stdout);
+  std::fputs(outcome.errors.c_str(), stderr);
   log::flush_suppressed();
 
-  report.set_result("service.runs", static_cast<double>(runs));
-  report.set_result("service.violations",
-                    static_cast<double>(violations_found));
-  report.set_result("service.rollback_runs",
-                    static_cast<double>(rollback_runs));
-  report.set_result("service.tenants", static_cast<double>(args.tenants));
-  report.set_result("service.faults", args.faults ? 1.0 : 0.0);
-  report.set_result("service.seed_lo", static_cast<double>(args.seed_lo));
-  report.set_result("service.seed_hi", static_cast<double>(args.seed_hi));
   const std::string report_path = args.out_dir + "/SERVICE_soak.json";
-  if (!report.write(report_path)) {
+  if (!outcome.report.write(report_path)) {
     std::fprintf(stderr, "service_soak: cannot write %s\n",
                  report_path.c_str());
   }
@@ -172,6 +131,7 @@ int main(int argc, char** argv) {
   std::printf(
       "%zu run(s), %zu with violations, %zu exercised a rollback; report at "
       "%s\n",
-      runs, violations_found, rollback_runs, report_path.c_str());
-  return violations_found == 0 ? 0 : 1;
+      outcome.runs, outcome.violations, outcome.rollback_runs,
+      report_path.c_str());
+  return outcome.ok() ? 0 : 1;
 }

@@ -129,12 +129,46 @@ def validate_trace(path, report):
 CHAOS_RESULT_KEYS = [
     "chaos.runs", "chaos.violations", "chaos.repros_written",
     "chaos.horizon", "chaos.seed_lo", "chaos.seed_hi",
+    "chaos.sweep_fingerprint",
 ]
 CHAOS_ROW_KEYS = ["seed", "workload", "policy", "events", "violations",
                   "makespan_ns"]
 CHAOS_WORKLOADS = {"fig10", "te", "acl"}
 CHAOS_POLICIES = {"roll-forward", "roll-back"}
 CHAOS_HORIZONS = {"short", "medium", "long"}
+
+
+def validate_fingerprint(path, results, key):
+    fp = results[key]
+    if not (isinstance(fp, str) and fp.startswith("0x") and len(fp) == 18):
+        fail(f"{path}: {key} {fp!r} is not a 0x-prefixed 64-bit hex string")
+
+
+def validate_wall(path, results, rows, prefix):
+    """Opt-in wall-clock surfacing (--wall): when any wall field is present,
+    the whole family must be, and every value must be a sane duration.
+    These feed tools/bench_compare.py speedup gates, so garbage here would
+    silently disarm a perf regression check."""
+    keys = [f"{prefix}.wall_ms", f"{prefix}.sweep_wall_ms"]
+    present = [k for k in keys if k in results]
+    row_wall = any("wall_ms" in row for row in rows)
+    if not present and not row_wall:
+        return
+    for key in keys:
+        if key not in results:
+            fail(f"{path}: wall-clock reporting is partial: missing {key!r}")
+    for key in keys:
+        if not isinstance(results[key], (int, float)) or results[key] < 0:
+            fail(f"{path}: {key} is not a non-negative number")
+    for i, row in enumerate(rows):
+        if "wall_ms" not in row:
+            fail(f"{path}: row {i}: missing wall_ms while sweep reports wall")
+        if row["wall_ms"] < 0:
+            fail(f"{path}: row {i}: negative wall_ms")
+    speedup = results.get("speedup_parallel")
+    if speedup is not None and (not isinstance(speedup, (int, float))
+                                or speedup <= 0):
+        fail(f"{path}: speedup_parallel must be a positive number")
 
 
 def validate_chaos(path, report):
@@ -171,6 +205,8 @@ def validate_chaos(path, report):
     if results["chaos.violations"] != violating:
         fail(f"{path}: chaos.violations {results['chaos.violations']} != "
              f"{violating} rows with violations")
+    validate_fingerprint(path, results, "chaos.sweep_fingerprint")
+    validate_wall(path, results, rows, "chaos")
     print(f"  chaos ok: {path} ({len(rows)} runs, {violating} with violations, "
           f"horizon {results['chaos.horizon']})")
 
@@ -179,6 +215,7 @@ HA_RESULT_KEYS = [
     "ha.runs", "ha.violations", "ha.failover_count",
     "ha.takeover_ms_max", "ha.replication_lag_ns_max",
     "ha.stale_epoch_rejections", "ha.horizon", "ha.seed_lo", "ha.seed_hi",
+    "ha.sweep_fingerprint",
 ]
 HA_ROW_KEYS = ["seed", "workload", "policy", "scenario", "failovers",
                "takeover_ms", "replication_lag_ns", "stale_epoch_rejections",
@@ -247,6 +284,8 @@ def validate_ha(path, report):
     if abs(results["ha.replication_lag_ns_max"] - lag_ns_max) > 1e-6:
         fail(f"{path}: ha.replication_lag_ns_max "
              f"{results['ha.replication_lag_ns_max']} != {lag_ns_max} from rows")
+    validate_fingerprint(path, results, "ha.sweep_fingerprint")
+    validate_wall(path, results, rows, "ha")
     print(f"  ha ok: {path} ({len(rows)} runs, {violating} with violations, "
           f"{failovers} failovers, max takeover {takeover_ms_max:.3f} ms)")
 
